@@ -1,0 +1,238 @@
+#include "bench_common.hpp"
+
+#include <iostream>
+#include <memory>
+
+#include "stores/efactory.hpp"
+
+namespace efac::bench {
+
+namespace {
+
+using stores::Cluster;
+using stores::SystemKind;
+using workload::Workload;
+using workload::WorkloadConfig;
+
+constexpr std::size_t kKeyLen = 32;  // the paper's key size
+
+stores::StoreConfig latency_config(std::size_t value_len, std::size_t ops,
+                                   std::uint64_t seed) {
+  stores::StoreConfig config;
+  const std::size_t object = kv::ObjectLayout::total_size(kKeyLen, value_len);
+  config.pool_bytes =
+      std::max<std::size_t>(2 * sizeconst::kMiB, (ops + 256) * object * 2);
+  config.hash_buckets = 1u << 12;
+  config.seed = seed;
+  return config;
+}
+
+}  // namespace
+
+Histogram measure_put_latency(SystemKind kind, std::size_t value_len,
+                              std::size_t ops, std::uint64_t seed) {
+  auto sim = std::make_unique<sim::Simulator>();
+  Cluster cluster = stores::make_cluster(
+      *sim, kind, latency_config(value_len, ops, seed));
+  cluster.start();
+  auto client = cluster.make_client();
+  client->set_size_hint(kKeyLen, value_len);
+
+  Workload workload{WorkloadConfig{.mix = workload::Mix::kUpdateOnly,
+                                   .key_count = 64,
+                                   .key_len = kKeyLen,
+                                   .value_len = value_len,
+                                   .seed = seed}};
+  Histogram hist;
+  bool done = false;
+  sim->spawn([](sim::Simulator& s, stores::KvClient& c, Workload& w,
+                std::size_t n, Histogram* out, bool* flag) -> sim::Task<void> {
+    constexpr std::size_t kWarmup = 100;
+    for (std::size_t i = 0; i < n + kWarmup; ++i) {
+      const std::uint64_t key = i % 64;
+      const SimTime start = s.now();
+      const Status status =
+          co_await c.put(w.key_at(key), w.value_for(key, i));
+      EFAC_CHECK_MSG(status.is_ok(), "bench PUT failed: "
+                                         << status.to_string());
+      if (i >= kWarmup) out->record(s.now() - start);
+    }
+    *flag = true;
+  }(*sim, *client, workload, ops, &hist, &done));
+  while (!done) sim->run_until(sim->now() + timeconst::kMillisecond);
+  sim.reset();
+  return hist;
+}
+
+Histogram measure_get_latency(SystemKind kind, std::size_t value_len,
+                              std::size_t ops, std::uint64_t seed) {
+  auto sim = std::make_unique<sim::Simulator>();
+  Cluster cluster = stores::make_cluster(
+      *sim, kind, latency_config(value_len, 512, seed));
+  cluster.start();
+  auto client = cluster.make_client();
+  client->set_size_hint(kKeyLen, value_len);
+
+  Workload workload{WorkloadConfig{.mix = workload::Mix::kReadOnly,
+                                   .key_count = 64,
+                                   .key_len = kKeyLen,
+                                   .value_len = value_len,
+                                   .seed = seed}};
+  // Load, then settle so background verification completes.
+  bool loaded = false;
+  sim->spawn([](stores::KvClient& c, Workload& w, bool* flag)
+                 -> sim::Task<void> {
+    for (std::uint64_t k = 0; k < 64; ++k) {
+      const Status status = co_await c.put(w.key_at(k), w.value_for(k, 0));
+      EFAC_CHECK(status.is_ok());
+    }
+    *flag = true;
+  }(*client, workload, &loaded));
+  while (!loaded) sim->run_until(sim->now() + timeconst::kMillisecond);
+  if (auto* efactory =
+          dynamic_cast<stores::EFactoryStore*>(cluster.store.get())) {
+    for (int i = 0; i < 1000 && efactory->verify_queue_depth() > 0; ++i) {
+      sim->run_until(sim->now() + 100 * timeconst::kMicrosecond);
+    }
+  }
+  sim->run_until(sim->now() + timeconst::kMillisecond);
+
+  Histogram hist;
+  bool done = false;
+  sim->spawn([](sim::Simulator& s, stores::KvClient& c, Workload& w,
+                std::size_t n, Histogram* out, bool* flag) -> sim::Task<void> {
+    Rng rng{0xBEEF};
+    constexpr std::size_t kWarmup = 100;
+    for (std::size_t i = 0; i < n + kWarmup; ++i) {
+      const std::uint64_t key = rng.next_below(64);
+      const SimTime start = s.now();
+      const Expected<Bytes> value = co_await c.get(w.key_at(key));
+      EFAC_CHECK_MSG(value.has_value(), "bench GET failed: "
+                                            << value.status().to_string());
+      if (i >= kWarmup) out->record(s.now() - start);
+    }
+    *flag = true;
+  }(*sim, *client, workload, ops, &hist, &done));
+  while (!done) sim->run_until(sim->now() + timeconst::kMillisecond);
+  sim.reset();
+  return hist;
+}
+
+workload::RunResult throughput_run(SystemKind kind, workload::Mix mix,
+                                   std::size_t value_len, std::size_t clients,
+                                   std::size_t ops_per_client,
+                                   std::uint64_t key_count,
+                                   std::uint64_t seed) {
+  workload::RunOptions options;
+  options.workload.mix = mix;
+  options.workload.key_count = key_count;
+  options.workload.key_len = kKeyLen;
+  options.workload.value_len = value_len;
+  options.workload.seed = seed;
+  options.clients = clients;
+  options.ops_per_client = ops_per_client;
+
+  auto sim = std::make_unique<sim::Simulator>();
+  Cluster cluster =
+      stores::make_cluster(*sim, kind, sized_store_config(options));
+  workload::RunResult result = workload::run_workload(*sim, cluster, options);
+  sim.reset();
+  return result;
+}
+
+workload::RunResult throughput_point(SystemKind kind, workload::Mix mix,
+                                     std::size_t value_len,
+                                     std::size_t clients,
+                                     std::size_t ops_per_client,
+                                     std::uint64_t key_count, int runs) {
+  EFAC_CHECK(runs >= 1);
+  workload::RunResult combined;
+  double mops_sum = 0.0;
+  bool have_first = false;
+  for (int r = 0; r < runs; ++r) {
+    workload::RunResult result =
+        throughput_run(kind, mix, value_len, clients, ops_per_client,
+                       key_count, 0xF9 + static_cast<std::uint64_t>(r) * 97);
+    mops_sum += result.mops;
+    if (!have_first) {
+      combined = std::move(result);
+      have_first = true;
+    } else {
+      // Pool latency samples and counters across the runs.
+      combined.put_latency.merge(result.put_latency);
+      combined.get_latency.merge(result.get_latency);
+      combined.op_latency.merge(result.op_latency);
+      combined.ops += result.ops;
+      combined.puts += result.puts;
+      combined.gets += result.gets;
+      combined.get_failures += result.get_failures;
+      combined.put_failures += result.put_failures;
+      combined.span_ns += result.span_ns;
+      combined.client_stats.puts += result.client_stats.puts;
+      combined.client_stats.gets += result.client_stats.gets;
+      combined.client_stats.gets_pure_rdma +=
+          result.client_stats.gets_pure_rdma;
+      combined.client_stats.gets_rpc_path +=
+          result.client_stats.gets_rpc_path;
+      combined.client_stats.version_rereads +=
+          result.client_stats.version_rereads;
+      combined.client_stats.client_crc_checks +=
+          result.client_stats.client_crc_checks;
+    }
+  }
+  combined.mops = mops_sum / runs;
+  return combined;
+}
+
+Summary& Summary::instance() {
+  static Summary summary;
+  return summary;
+}
+
+void Summary::add(const std::string& table, const std::string& row,
+                  const std::string& column, double value, int precision) {
+  auto [it, inserted] = tables_.try_emplace(table);
+  if (inserted) table_order_.push_back(table);
+  Table& t = it->second;
+  if (std::find(t.columns.begin(), t.columns.end(), column) ==
+      t.columns.end()) {
+    t.columns.push_back(column);
+  }
+  if (std::find(t.rows.begin(), t.rows.end(), row) == t.rows.end()) {
+    t.rows.push_back(row);
+  }
+  t.cells[row][column] = TextTable::num(value, precision);
+}
+
+void Summary::print_all() const {
+  for (const std::string& name : table_order_) {
+    const Table& t = tables_.at(name);
+    TextTable out{name};
+    std::vector<std::string> header{""};
+    header.insert(header.end(), t.columns.begin(), t.columns.end());
+    out.set_header(std::move(header));
+    for (const std::string& row : t.rows) {
+      std::vector<std::string> cells{row};
+      const auto row_it = t.cells.find(row);
+      for (const std::string& col : t.columns) {
+        const auto cell_it = row_it->second.find(col);
+        cells.push_back(cell_it == row_it->second.end() ? "-"
+                                                        : cell_it->second);
+      }
+      out.add_row(std::move(cells));
+    }
+    out.print(std::cout);
+  }
+  std::cout << std::endl;
+}
+
+int bench_main(int argc, char** argv) {
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  Summary::instance().print_all();
+  return 0;
+}
+
+}  // namespace efac::bench

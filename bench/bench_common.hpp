@@ -1,0 +1,88 @@
+// Shared helpers for the figure-reproduction benches.
+//
+// Every bench binary follows the same pattern: google-benchmark entries
+// (manual virtual time, one iteration per configuration) drive fresh
+// simulated clusters, and every measured number is also registered in the
+// Summary singleton, which prints paper-style tables after the benchmark
+// run so outputs can be diffed against EXPERIMENTS.md.
+#pragma once
+
+#include <benchmark/benchmark.h>
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/histogram.hpp"
+#include "common/table.hpp"
+#include "workload/runner.hpp"
+
+namespace efac::bench {
+
+/// The value sizes swept in the paper's figures.
+inline const std::vector<std::size_t>& value_sizes() {
+  static const std::vector<std::size_t> kSizes{64, 256, 1024, 2048, 4096};
+  return kSizes;
+}
+
+inline std::string size_label(std::size_t bytes) {
+  if (bytes >= 1024 && bytes % 1024 == 0) {
+    return std::to_string(bytes / 1024) + "KB";
+  }
+  return std::to_string(bytes) + "B";
+}
+
+/// Latency of single-client durable PUTs (Fig. 1 methodology).
+Histogram measure_put_latency(stores::SystemKind kind, std::size_t value_len,
+                              std::size_t ops = 1200,
+                              std::uint64_t seed = 0xF16);
+
+/// Latency of single-client GETs against a loaded, settled store (Fig. 2).
+Histogram measure_get_latency(stores::SystemKind kind, std::size_t value_len,
+                              std::size_t ops = 1200,
+                              std::uint64_t seed = 0xF26);
+
+/// One throughput point (Figs. 9 and 10 methodology).
+workload::RunResult throughput_run(stores::SystemKind kind, workload::Mix mix,
+                                   std::size_t value_len, std::size_t clients,
+                                   std::size_t ops_per_client = 800,
+                                   std::uint64_t key_count = 1024,
+                                   std::uint64_t seed = 0xF9);
+
+/// Averaged throughput point: "each data value is the average of 5-run
+/// results" (paper §5.2). Runs 5 independent seeds and averages mops and
+/// latency; the other counters come from the first run.
+workload::RunResult throughput_point(stores::SystemKind kind,
+                                     workload::Mix mix,
+                                     std::size_t value_len,
+                                     std::size_t clients,
+                                     std::size_t ops_per_client = 800,
+                                     std::uint64_t key_count = 1024,
+                                     int runs = 5);
+
+/// Collects (table, row, column) -> formatted cell across benchmarks and
+/// prints every table at exit, in registration order.
+class Summary {
+ public:
+  static Summary& instance();
+
+  void add(const std::string& table, const std::string& row,
+           const std::string& column, double value, int precision = 2);
+
+  void print_all() const;
+
+ private:
+  struct Table {
+    std::vector<std::string> columns;  // insertion order
+    std::vector<std::string> rows;     // insertion order
+    std::map<std::string, std::map<std::string, std::string>> cells;
+  };
+  std::vector<std::string> table_order_;
+  std::map<std::string, Table> tables_;
+};
+
+/// benchmark main body shared by every bench binary: run benchmarks, then
+/// print the summary tables.
+int bench_main(int argc, char** argv);
+
+}  // namespace efac::bench

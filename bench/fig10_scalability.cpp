@@ -1,0 +1,69 @@
+// Figure 10: throughput vs number of client processes (paper §6.2).
+//
+// 32-byte keys, 2048-byte values, clients ∈ {1, 2, 4, 8, 16}, four mixes.
+// Expected shape: eFactory scales ≈linearly; IMM and SAW flatten when
+// writes dominate (server flush on the critical path saturates the
+// request threads) — up to ≈2.1×/2.2× at 16 clients; eFactory stays
+// ≈24 % over Erda and ≈50 % over Forca.
+#include "bench_common.hpp"
+
+namespace efac::bench {
+namespace {
+
+using stores::SystemKind;
+using workload::Mix;
+
+constexpr std::size_t kValueLen = 2048;
+
+const std::vector<std::size_t>& client_counts() {
+  static const std::vector<std::size_t> kCounts{1, 2, 4, 8, 16};
+  return kCounts;
+}
+
+std::string mix_table(Mix mix) {
+  std::string name = "Fig.10 ";
+  name += workload::to_string(mix);
+  return name + " — throughput (Mops/s) vs clients, 2KB values";
+}
+
+void scalability(benchmark::State& state, SystemKind kind, Mix mix,
+                 std::size_t clients) {
+  for (auto _ : state) {
+    const workload::RunResult result =
+        throughput_point(kind, mix, kValueLen, clients);
+    state.SetIterationTime(static_cast<double>(result.span_ns) * 1e-9);
+    state.counters["Mops"] = result.mops;
+    Summary::instance().add(mix_table(mix),
+                            std::string{stores::to_string(kind)},
+                            std::to_string(clients), result.mops, 3);
+  }
+}
+
+const int registrar = [] {
+  for (const workload::Mix mix : workload::all_mixes()) {
+    for (const SystemKind kind : stores::throughput_systems()) {
+      for (const std::size_t clients : client_counts()) {
+        std::string name = "fig10/scalability/";
+        name += workload::to_string(mix);
+        name += "/";
+        name += stores::to_string(kind);
+        name += "/clients:";
+        name += std::to_string(clients);
+        benchmark::RegisterBenchmark(
+            name.c_str(),
+            [kind, mix, clients](benchmark::State& state) {
+              scalability(state, kind, mix, clients);
+            })
+            ->Iterations(1)
+            ->UseManualTime()
+            ->Unit(benchmark::kMillisecond);
+      }
+    }
+  }
+  return 0;
+}();
+
+}  // namespace
+}  // namespace efac::bench
+
+int main(int argc, char** argv) { return efac::bench::bench_main(argc, argv); }

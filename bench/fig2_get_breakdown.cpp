@@ -1,0 +1,67 @@
+// Figure 2: GET latency breakdown for Erda and Forca.
+//
+// One client reads a loaded, settled store; the CRC component is the
+// verification cost per read (client-side for Erda, server-side for
+// Forca), the remainder is network + server processing. The paper reports
+// ≈4.4 µs of CRC at 4 KB — 45 % of Erda's and 35 % of Forca's read
+// latency.
+#include "bench_common.hpp"
+
+#include "stores/config.hpp"
+
+namespace efac::bench {
+namespace {
+
+using stores::SystemKind;
+
+void get_breakdown(benchmark::State& state, SystemKind kind,
+                   std::size_t value_len) {
+  for (auto _ : state) {
+    const Histogram hist = measure_get_latency(kind, value_len);
+    state.SetIterationTime(static_cast<double>(hist.sum()) * 1e-9);
+    const double mean_us = hist.mean() / 1000.0;
+    // Both systems verify every read exactly once per op; the CRC share is
+    // the cost-model verification time for this value size.
+    const checksum::CrcCostModel crc;
+    const double crc_us = static_cast<double>(crc.cost(value_len)) / 1000.0;
+    const double crc_pct = 100.0 * crc_us / mean_us;
+    state.counters["mean_us"] = mean_us;
+    state.counters["crc_us"] = crc_us;
+    state.counters["crc_pct"] = crc_pct;
+
+    const std::string row{stores::to_string(kind)};
+    Summary::instance().add("Fig.2 — mean GET latency (us)", row,
+                            size_label(value_len), mean_us);
+    Summary::instance().add("Fig.2 — CRC time on the read path (us)", row,
+                            size_label(value_len), crc_us);
+    Summary::instance().add("Fig.2 — CRC share of read latency (%)", row,
+                            size_label(value_len), crc_pct, 1);
+    Summary::instance().add("Fig.2 — network+server share (us)", row,
+                            size_label(value_len), mean_us - crc_us);
+  }
+}
+
+const int registrar = [] {
+  for (const SystemKind kind : {SystemKind::kErda, SystemKind::kForca}) {
+    for (const std::size_t size : value_sizes()) {
+      std::string name = "fig2/get_breakdown/";
+      name += stores::to_string(kind);
+      name += "/";
+      name += size_label(size);
+      benchmark::RegisterBenchmark(
+          name.c_str(),
+          [kind, size](benchmark::State& state) {
+            get_breakdown(state, kind, size);
+          })
+          ->Iterations(1)
+          ->UseManualTime()
+          ->Unit(benchmark::kMillisecond);
+    }
+  }
+  return 0;
+}();
+
+}  // namespace
+}  // namespace efac::bench
+
+int main(int argc, char** argv) { return efac::bench::bench_main(argc, argv); }

@@ -1,0 +1,99 @@
+// Crash-recovery demo: power-fail a busy eFactory cluster mid-write-burst
+// and show what the multi-version log recovers — and contrast with Erda,
+// whose 8-byte two-version region and lack of explicit persistence lose
+// data in the same scenario.
+//
+//   $ ./examples/crash_recovery
+#include <cstdio>
+
+#include "stores/baselines.hpp"
+#include "stores/efactory.hpp"
+#include "workload/ycsb.hpp"
+
+using namespace efac;  // NOLINT: example brevity
+
+namespace {
+
+constexpr int kKeys = 16;
+constexpr std::size_t kValueLen = 512;
+
+Bytes value_of(int key, int version) {
+  Bytes v(kValueLen, static_cast<std::uint8_t>('a' + key));
+  v[0] = static_cast<std::uint8_t>(key);
+  v[1] = static_cast<std::uint8_t>(version);
+  return v;
+}
+
+/// Hammer all keys with versioned writes until the crash interrupts.
+sim::Task<void> writer(stores::KvClient& client, workload::Workload& wl) {
+  for (int version = 1;; ++version) {
+    for (int k = 0; k < kKeys; ++k) {
+      static_cast<void>(co_await client.put(wl.key_at(k),
+                                            value_of(k, version)));
+    }
+  }
+}
+
+template <typename Store>
+void report(const char* name, Store& store, workload::Workload& wl) {
+  int intact = 0, lost = 0;
+  for (int k = 0; k < kKeys; ++k) {
+    const Expected<Bytes> got = store.recover_get(wl.key_at(k));
+    if (got.has_value()) {
+      const int key_tag = (*got)[0];
+      const int version = (*got)[1];
+      const bool exact = (*got == value_of(key_tag, version));
+      std::printf("  key %2d -> version %3d %s\n", k, version,
+                  exact ? "(intact)" : "(TORN!)");
+      ++intact;
+    } else {
+      std::printf("  key %2d -> %s\n", k, got.status().to_string().c_str());
+      ++lost;
+    }
+  }
+  std::printf("%s: %d keys recovered, %d lost\n\n", name, intact, lost);
+}
+
+}  // namespace
+
+int main() {
+  workload::Workload wl{workload::WorkloadConfig{
+      .key_count = kKeys, .key_len = 32, .value_len = kValueLen}};
+  const SimTime crash_at = 700 * timeconst::kMicrosecond;
+  // Harsh power failure: no dirty cache line gets lucky.
+  const nvm::CrashPolicy nothing_survives{.eviction_probability = 0.0};
+
+  std::printf("crashing both systems at t=%.0f us, mid write burst\n\n",
+              static_cast<double>(crash_at) / 1000.0);
+
+  {
+    sim::Simulator sim;
+    stores::EFactoryStore store{sim};
+    store.start();
+    auto client = store.make_client();
+    client->set_size_hint(32, kValueLen);
+    sim.spawn(writer(*client, wl));
+    sim.run_until(crash_at);
+    store.arena().crash(nothing_survives);
+    std::printf("eFactory after crash (multi-version list recovery):\n");
+    report("eFactory", store, wl);
+  }
+  {
+    sim::Simulator sim;
+    stores::ErdaStore store{sim};
+    store.start();
+    auto client = store.make_client();
+    client->set_size_hint(32, kValueLen);
+    sim.spawn(writer(*client, wl));
+    sim.run_until(crash_at);
+    store.arena().crash(nothing_survives);
+    std::printf("Erda after the same crash (two-slot atomic region, no "
+                "explicit persistence):\n");
+    report("Erda", store, wl);
+  }
+  std::printf(
+      "eFactory's background thread persists verified versions and the\n"
+      "version list reaches past torn heads; Erda depends on natural cache\n"
+      "eviction, so an unlucky crash loses everything it never flushed.\n");
+  return 0;
+}

@@ -1,0 +1,10 @@
+#!/usr/bin/env bash
+# Build, test, and regenerate every figure + extra table from scratch.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+cmake -B build -G Ninja
+cmake --build build
+ctest --test-dir build --output-on-failure
+for b in build/bench/*; do
+  [ -x "$b" ] && [ -f "$b" ] && "$b"
+done

@@ -1,0 +1,62 @@
+#include "checksum/crc32.hpp"
+
+#include <array>
+
+namespace efac::checksum {
+
+namespace {
+
+constexpr std::uint32_t kPoly = 0xEDB88320u;  // reflected IEEE 802.3
+
+struct Tables {
+  // slicing-by-8: table[k][b] advances the CRC by (8 - k) trailing zero
+  // bytes after byte b.
+  std::array<std::array<std::uint32_t, 256>, 8> t{};
+
+  constexpr Tables() {
+    for (std::uint32_t i = 0; i < 256; ++i) {
+      std::uint32_t crc = i;
+      for (int bit = 0; bit < 8; ++bit) {
+        crc = (crc >> 1) ^ ((crc & 1u) ? kPoly : 0u);
+      }
+      t[0][i] = crc;
+    }
+    for (std::uint32_t i = 0; i < 256; ++i) {
+      std::uint32_t crc = t[0][i];
+      for (std::size_t k = 1; k < 8; ++k) {
+        crc = t[0][crc & 0xFFu] ^ (crc >> 8);
+        t[k][i] = crc;
+      }
+    }
+  }
+};
+
+constexpr Tables kTables{};
+
+}  // namespace
+
+std::uint32_t crc32(BytesView data, std::uint32_t seed) {
+  std::uint32_t crc = ~seed;
+  const std::uint8_t* p = data.data();
+  std::size_t n = data.size();
+
+  // 8 bytes at a time via slicing-by-8.
+  while (n >= 8) {
+    const std::uint32_t lo = crc ^ (static_cast<std::uint32_t>(p[0]) |
+                                    (static_cast<std::uint32_t>(p[1]) << 8) |
+                                    (static_cast<std::uint32_t>(p[2]) << 16) |
+                                    (static_cast<std::uint32_t>(p[3]) << 24));
+    crc = kTables.t[7][lo & 0xFFu] ^ kTables.t[6][(lo >> 8) & 0xFFu] ^
+          kTables.t[5][(lo >> 16) & 0xFFu] ^ kTables.t[4][lo >> 24] ^
+          kTables.t[3][p[4]] ^ kTables.t[2][p[5]] ^ kTables.t[1][p[6]] ^
+          kTables.t[0][p[7]];
+    p += 8;
+    n -= 8;
+  }
+  while (n-- > 0) {
+    crc = kTables.t[0][(crc ^ *p++) & 0xFFu] ^ (crc >> 8);
+  }
+  return ~crc;
+}
+
+}  // namespace efac::checksum

@@ -1,0 +1,52 @@
+// Invariant-checking macros.
+//
+// EFAC_CHECK fires in every build type: simulator correctness depends on
+// these invariants, and the cost of the checks is negligible next to the
+// modelled (virtual-time) work. Violations indicate programmer error and
+// throw `efac::CheckFailure` so that tests can assert on them.
+#pragma once
+
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+namespace efac {
+
+/// Thrown when an EFAC_CHECK invariant is violated.
+class CheckFailure : public std::logic_error {
+ public:
+  explicit CheckFailure(const std::string& what) : std::logic_error(what) {}
+};
+
+namespace detail {
+
+[[noreturn]] inline void check_failed(const char* expr, const char* file,
+                                      int line, const std::string& msg) {
+  std::ostringstream os;
+  os << "EFAC_CHECK failed: " << expr << " at " << file << ':' << line;
+  if (!msg.empty()) os << " — " << msg;
+  throw CheckFailure(os.str());
+}
+
+}  // namespace detail
+}  // namespace efac
+
+#define EFAC_CHECK(expr)                                               \
+  do {                                                                 \
+    if (!(expr)) {                                                     \
+      ::efac::detail::check_failed(#expr, __FILE__, __LINE__, "");     \
+    }                                                                  \
+  } while (false)
+
+#define EFAC_CHECK_MSG(expr, msg)                                      \
+  do {                                                                 \
+    if (!(expr)) {                                                     \
+      std::ostringstream efac_check_os_;                               \
+      efac_check_os_ << msg;                                           \
+      ::efac::detail::check_failed(#expr, __FILE__, __LINE__,          \
+                                   efac_check_os_.str());              \
+    }                                                                  \
+  } while (false)
+
+#define EFAC_UNREACHABLE(msg)                                          \
+  ::efac::detail::check_failed("unreachable", __FILE__, __LINE__, msg)

@@ -1,0 +1,128 @@
+// Byte-buffer helpers and a tiny little-endian serialization layer.
+//
+// RPC requests/responses and on-media object headers are packed with
+// ByteWriter / ByteReader so that layouts are explicit and independent of
+// host struct padding.
+#pragma once
+
+#include <cstdint>
+#include <cstring>
+#include <span>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/assert.hpp"
+
+namespace efac {
+
+using Bytes = std::vector<std::uint8_t>;
+using BytesView = std::span<const std::uint8_t>;
+using MutableBytesView = std::span<std::uint8_t>;
+
+/// Make an owned byte vector from a string-like payload.
+inline Bytes to_bytes(std::string_view s) {
+  return Bytes(s.begin(), s.end());
+}
+
+/// View a byte range as a string (for tests / examples).
+inline std::string to_string(BytesView b) {
+  return std::string(reinterpret_cast<const char*>(b.data()), b.size());
+}
+
+/// Append-only little-endian serializer.
+class ByteWriter {
+ public:
+  ByteWriter() = default;
+  explicit ByteWriter(std::size_t reserve) { buffer_.reserve(reserve); }
+
+  void put_u8(std::uint8_t v) { buffer_.push_back(v); }
+  void put_u16(std::uint16_t v) { put_le(v); }
+  void put_u32(std::uint32_t v) { put_le(v); }
+  void put_u64(std::uint64_t v) { put_le(v); }
+
+  void put_bytes(BytesView data) {
+    buffer_.insert(buffer_.end(), data.begin(), data.end());
+  }
+
+  /// Length-prefixed (u32) blob.
+  void put_blob(BytesView data) {
+    put_u32(static_cast<std::uint32_t>(data.size()));
+    put_bytes(data);
+  }
+
+  [[nodiscard]] std::size_t size() const noexcept { return buffer_.size(); }
+  [[nodiscard]] Bytes take() && { return std::move(buffer_); }
+  [[nodiscard]] const Bytes& bytes() const noexcept { return buffer_; }
+
+ private:
+  template <typename T>
+  void put_le(T v) {
+    for (std::size_t i = 0; i < sizeof(T); ++i) {
+      buffer_.push_back(static_cast<std::uint8_t>(v >> (8 * i)));
+    }
+  }
+  Bytes buffer_;
+};
+
+/// Sequential little-endian deserializer over a borrowed view.
+class ByteReader {
+ public:
+  explicit ByteReader(BytesView data) : data_(data) {}
+
+  std::uint8_t get_u8() { return get_le<std::uint8_t>(); }
+  std::uint16_t get_u16() { return get_le<std::uint16_t>(); }
+  std::uint32_t get_u32() { return get_le<std::uint32_t>(); }
+  std::uint64_t get_u64() { return get_le<std::uint64_t>(); }
+
+  BytesView get_bytes(std::size_t n) {
+    EFAC_CHECK_MSG(remaining() >= n, "ByteReader underflow");
+    BytesView out = data_.subspan(pos_, n);
+    pos_ += n;
+    return out;
+  }
+
+  /// Length-prefixed (u32) blob.
+  BytesView get_blob() {
+    const std::uint32_t n = get_u32();
+    return get_bytes(n);
+  }
+
+  [[nodiscard]] std::size_t remaining() const noexcept {
+    return data_.size() - pos_;
+  }
+  [[nodiscard]] bool exhausted() const noexcept { return remaining() == 0; }
+
+ private:
+  template <typename T>
+  T get_le() {
+    EFAC_CHECK_MSG(remaining() >= sizeof(T), "ByteReader underflow");
+    T v{};
+    for (std::size_t i = 0; i < sizeof(T); ++i) {
+      v = static_cast<T>(v | (static_cast<T>(data_[pos_ + i]) << (8 * i)));
+    }
+    pos_ += sizeof(T);
+    return v;
+  }
+
+  BytesView data_;
+  std::size_t pos_ = 0;
+};
+
+/// Store a u64 little-endian at a raw location (8-byte atomic NVM unit).
+inline void store_u64_le(std::uint8_t* dst, std::uint64_t v) noexcept {
+  for (std::size_t i = 0; i < 8; ++i) {
+    dst[i] = static_cast<std::uint8_t>(v >> (8 * i));
+  }
+}
+
+/// Load a little-endian u64 from a raw location.
+inline std::uint64_t load_u64_le(const std::uint8_t* src) noexcept {
+  std::uint64_t v = 0;
+  for (std::size_t i = 0; i < 8; ++i) {
+    v |= static_cast<std::uint64_t>(src[i]) << (8 * i);
+  }
+  return v;
+}
+
+}  // namespace efac

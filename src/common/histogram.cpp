@@ -1,0 +1,105 @@
+#include "common/histogram.hpp"
+
+#include <algorithm>
+#include <bit>
+
+#include "common/assert.hpp"
+
+namespace efac {
+
+Histogram::Histogram() {
+  // 64-bit values span at most 64 octaves; linear region + 64 octaves of
+  // sub-buckets comfortably fits in this fixed allocation.
+  buckets_.assign(kLinearLimit + 64 * kSubBuckets, 0);
+}
+
+std::uint32_t Histogram::bucket_index(std::uint64_t value) noexcept {
+  if (value < kLinearLimit) return static_cast<std::uint32_t>(value);
+  // Highest set bit defines the octave; next kSubBucketBits bits pick the
+  // sub-bucket within it.
+  const int msb = 63 - std::countl_zero(value);
+  const auto octave = static_cast<std::uint32_t>(msb);
+  const auto sub = static_cast<std::uint32_t>(
+      (value >> (octave - kSubBucketBits)) & (kSubBuckets - 1));
+  // Octave of kLinearLimit's MSB starts right after the linear region.
+  const std::uint32_t base_octave = kSubBucketBits + 1;  // MSB of kLinearLimit
+  return kLinearLimit + (octave - base_octave) * kSubBuckets + sub;
+}
+
+std::uint64_t Histogram::bucket_representative(std::uint32_t index) noexcept {
+  if (index < kLinearLimit) return index;
+  const std::uint32_t base_octave = kSubBucketBits + 1;
+  const std::uint32_t rel = index - kLinearLimit;
+  const std::uint32_t octave = base_octave + rel / kSubBuckets;
+  const std::uint64_t sub = rel % kSubBuckets;
+  const std::uint64_t low =
+      (std::uint64_t{1} << octave) | (sub << (octave - kSubBucketBits));
+  const std::uint64_t width = std::uint64_t{1} << (octave - kSubBucketBits);
+  return low + width / 2;  // midpoint of the bucket
+}
+
+void Histogram::record(std::uint64_t value) noexcept {
+  const std::uint32_t idx = bucket_index(value);
+  if (idx < buckets_.size()) {
+    ++buckets_[idx];
+  } else {
+    ++buckets_.back();  // clamp absurd values rather than UB
+  }
+  if (count_ == 0) {
+    min_ = max_ = value;
+  } else {
+    min_ = std::min(min_, value);
+    max_ = std::max(max_, value);
+  }
+  ++count_;
+  sum_ += value;
+}
+
+void Histogram::merge(const Histogram& other) noexcept {
+  for (std::size_t i = 0; i < buckets_.size(); ++i) {
+    buckets_[i] += other.buckets_[i];
+  }
+  if (other.count_ > 0) {
+    if (count_ == 0) {
+      min_ = other.min_;
+      max_ = other.max_;
+    } else {
+      min_ = std::min(min_, other.min_);
+      max_ = std::max(max_, other.max_);
+    }
+  }
+  count_ += other.count_;
+  sum_ += other.sum_;
+}
+
+double Histogram::mean() const noexcept {
+  return count_ == 0 ? 0.0
+                     : static_cast<double>(sum_) / static_cast<double>(count_);
+}
+
+std::uint64_t Histogram::min() const noexcept { return count_ ? min_ : 0; }
+std::uint64_t Histogram::max() const noexcept { return count_ ? max_ : 0; }
+
+std::uint64_t Histogram::percentile(double q) const noexcept {
+  if (count_ == 0) return 0;
+  q = std::clamp(q, 0.0, 1.0);
+  // Rank of the q-th sample, 1-based, ceil convention.
+  const auto rank = static_cast<std::uint64_t>(q * static_cast<double>(count_));
+  std::uint64_t seen = 0;
+  for (std::uint32_t i = 0; i < buckets_.size(); ++i) {
+    seen += buckets_[i];
+    if (seen > rank || (seen == rank && rank == count_)) {
+      // Clamp the representative into the observed range so tiny histograms
+      // report exact-ish values.
+      return std::clamp(bucket_representative(i), min_, max_);
+    }
+  }
+  return max_;
+}
+
+void Histogram::reset() noexcept {
+  std::fill(buckets_.begin(), buckets_.end(), 0);
+  count_ = sum_ = min_ = max_ = 0;
+}
+
+}  // namespace efac

@@ -1,0 +1,62 @@
+// Log-bucketed latency histogram with percentile queries.
+//
+// HDR-histogram style: values are bucketed with bounded relative error
+// (~1/32 ≈ 3 %), which is plenty for reporting medians and p99s of
+// virtual-time latencies while keeping record() O(1) and allocation-free
+// after construction.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace efac {
+
+class Histogram {
+ public:
+  Histogram();
+
+  /// Record one sample (e.g. an op latency in ns).
+  void record(std::uint64_t value) noexcept;
+
+  /// Merge another histogram into this one.
+  void merge(const Histogram& other) noexcept;
+
+  /// Number of recorded samples.
+  [[nodiscard]] std::uint64_t count() const noexcept { return count_; }
+
+  /// Sum of all recorded samples (exact).
+  [[nodiscard]] std::uint64_t sum() const noexcept { return sum_; }
+
+  /// Arithmetic mean; 0 if empty.
+  [[nodiscard]] double mean() const noexcept;
+
+  /// Exact minimum / maximum of recorded samples; 0 if empty.
+  [[nodiscard]] std::uint64_t min() const noexcept;
+  [[nodiscard]] std::uint64_t max() const noexcept;
+
+  /// Value at quantile q in [0,1] (bucket upper midpoint); 0 if empty.
+  /// percentile(0.5) is the median, percentile(0.99) the p99.
+  [[nodiscard]] std::uint64_t percentile(double q) const noexcept;
+
+  /// Remove all samples.
+  void reset() noexcept;
+
+ private:
+  // Bucket layout: values < kLinearLimit are exact (one bucket per value);
+  // beyond that, each power-of-two range is split into kSubBuckets
+  // logarithmic sub-buckets.
+  static constexpr std::uint32_t kSubBucketBits = 5;               // 32 per octave
+  static constexpr std::uint32_t kSubBuckets = 1u << kSubBucketBits;
+  static constexpr std::uint64_t kLinearLimit = kSubBuckets * 2;   // 64
+
+  static std::uint32_t bucket_index(std::uint64_t value) noexcept;
+  static std::uint64_t bucket_representative(std::uint32_t index) noexcept;
+
+  std::vector<std::uint64_t> buckets_;
+  std::uint64_t count_ = 0;
+  std::uint64_t sum_ = 0;
+  std::uint64_t min_ = 0;
+  std::uint64_t max_ = 0;
+};
+
+}  // namespace efac

@@ -1,0 +1,133 @@
+// Lightweight Status / Expected types for recoverable errors.
+//
+// The library reserves exceptions for programmer errors (EFAC_CHECK);
+// operations that can legitimately fail at runtime (key not found, CRC
+// mismatch, memory-region bounds violation, ...) return Status or
+// Expected<T>. GCC 12 in C++20 mode has no std::expected, so we carry a
+// minimal, allocation-free equivalent.
+#pragma once
+
+#include <string>
+#include <utility>
+#include <variant>
+
+#include "common/assert.hpp"
+
+namespace efac {
+
+/// Error categories used across the library.
+enum class StatusCode : std::uint8_t {
+  kOk = 0,
+  kNotFound,        ///< key / object / version absent
+  kCorrupt,         ///< CRC mismatch or torn data detected
+  kOutOfSpace,      ///< log pool or hash table full
+  kInvalidArgument, ///< malformed request
+  kPermission,      ///< rkey / MR access violation
+  kUnavailable,     ///< transient: retry may succeed (e.g. during cleaning)
+  kTimeout,         ///< object never completed within the timeout window
+  kCrashed,         ///< operation aborted by injected crash
+  kUnimplemented,   ///< operation not supported by this system
+  kInternal,        ///< invariant violation surfaced as an error
+};
+
+/// Human-readable name of a StatusCode.
+constexpr const char* to_string(StatusCode code) noexcept {
+  switch (code) {
+    case StatusCode::kOk: return "OK";
+    case StatusCode::kNotFound: return "NOT_FOUND";
+    case StatusCode::kCorrupt: return "CORRUPT";
+    case StatusCode::kOutOfSpace: return "OUT_OF_SPACE";
+    case StatusCode::kInvalidArgument: return "INVALID_ARGUMENT";
+    case StatusCode::kPermission: return "PERMISSION";
+    case StatusCode::kUnavailable: return "UNAVAILABLE";
+    case StatusCode::kTimeout: return "TIMEOUT";
+    case StatusCode::kCrashed: return "CRASHED";
+    case StatusCode::kUnimplemented: return "UNIMPLEMENTED";
+    case StatusCode::kInternal: return "INTERNAL";
+  }
+  return "UNKNOWN";
+}
+
+/// A status code plus optional message. Cheap to copy when OK.
+class [[nodiscard]] Status {
+ public:
+  Status() noexcept = default;  // OK
+  explicit Status(StatusCode code) : code_(code) {}
+  Status(StatusCode code, std::string message)
+      : code_(code), message_(std::move(message)) {}
+
+  static Status ok() noexcept { return Status{}; }
+
+  [[nodiscard]] bool is_ok() const noexcept {
+    return code_ == StatusCode::kOk;
+  }
+  [[nodiscard]] StatusCode code() const noexcept { return code_; }
+  [[nodiscard]] const std::string& message() const noexcept {
+    return message_;
+  }
+
+  [[nodiscard]] std::string to_string() const {
+    std::string s = efac::to_string(code_);
+    if (!message_.empty()) {
+      s += ": ";
+      s += message_;
+    }
+    return s;
+  }
+
+  friend bool operator==(const Status& a, const Status& b) noexcept {
+    return a.code_ == b.code_;
+  }
+
+ private:
+  StatusCode code_ = StatusCode::kOk;
+  std::string message_;
+};
+
+/// Either a value of type T or a non-OK Status.
+template <typename T>
+class [[nodiscard]] Expected {
+ public:
+  Expected(T value) : data_(std::move(value)) {}  // NOLINT(google-explicit-constructor)
+  Expected(Status status) : data_(std::move(status)) {  // NOLINT
+    EFAC_CHECK_MSG(!std::get<Status>(data_).is_ok(),
+                   "Expected<T> constructed from OK status without a value");
+  }
+  Expected(StatusCode code) : Expected(Status{code}) {}  // NOLINT
+
+  [[nodiscard]] bool has_value() const noexcept {
+    return std::holds_alternative<T>(data_);
+  }
+  explicit operator bool() const noexcept { return has_value(); }
+
+  [[nodiscard]] const T& value() const& {
+    EFAC_CHECK_MSG(has_value(), "value() on error Expected: " << status().to_string());
+    return std::get<T>(data_);
+  }
+  [[nodiscard]] T& value() & {
+    EFAC_CHECK_MSG(has_value(), "value() on error Expected: " << status().to_string());
+    return std::get<T>(data_);
+  }
+  [[nodiscard]] T&& take() && {
+    EFAC_CHECK_MSG(has_value(), "take() on error Expected: " << status().to_string());
+    return std::get<T>(std::move(data_));
+  }
+
+  [[nodiscard]] Status status() const {
+    if (has_value()) return Status::ok();
+    return std::get<Status>(data_);
+  }
+  [[nodiscard]] StatusCode code() const noexcept {
+    return has_value() ? StatusCode::kOk : std::get<Status>(data_).code();
+  }
+
+  const T& operator*() const& { return value(); }
+  T& operator*() & { return value(); }
+  const T* operator->() const { return &value(); }
+  T* operator->() { return &value(); }
+
+ private:
+  std::variant<T, Status> data_;
+};
+
+}  // namespace efac

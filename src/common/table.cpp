@@ -1,0 +1,77 @@
+#include "common/table.hpp"
+
+#include <algorithm>
+#include <cctype>
+#include <cstdio>
+#include <ostream>
+
+namespace efac {
+
+void TextTable::set_header(std::vector<std::string> cells) {
+  header_ = std::move(cells);
+}
+
+void TextTable::add_row(std::vector<std::string> cells) {
+  rows_.push_back(std::move(cells));
+}
+
+std::string TextTable::num(double v, int precision) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.*f", precision, v);
+  return buf;
+}
+
+namespace {
+
+bool looks_numeric(const std::string& s) {
+  if (s.empty()) return false;
+  for (char c : s) {
+    if (std::isdigit(static_cast<unsigned char>(c)) == 0 && c != '.' &&
+        c != '-' && c != '+' && c != 'e' && c != '%' && c != 'x') {
+      return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace
+
+void TextTable::print(std::ostream& os) const {
+  std::vector<std::vector<std::string>> all;
+  if (!header_.empty()) all.push_back(header_);
+  for (const auto& r : rows_) all.push_back(r);
+
+  std::size_t columns = 0;
+  for (const auto& r : all) columns = std::max(columns, r.size());
+  std::vector<std::size_t> widths(columns, 0);
+  for (const auto& r : all) {
+    for (std::size_t c = 0; c < r.size(); ++c) {
+      widths[c] = std::max(widths[c], r[c].size());
+    }
+  }
+
+  os << "\n== " << title_ << " ==\n";
+  auto print_row = [&](const std::vector<std::string>& r) {
+    for (std::size_t c = 0; c < columns; ++c) {
+      const std::string cell = c < r.size() ? r[c] : "";
+      const bool right = c > 0 && looks_numeric(cell);
+      os << (c == 0 ? "" : "  ");
+      if (right) {
+        os << std::string(widths[c] - cell.size(), ' ') << cell;
+      } else {
+        os << cell << std::string(widths[c] - cell.size(), ' ');
+      }
+    }
+    os << '\n';
+  };
+
+  if (!header_.empty()) {
+    print_row(header_);
+    std::size_t total = 0;
+    for (std::size_t c = 0; c < columns; ++c) total += widths[c] + (c ? 2 : 0);
+    os << std::string(total, '-') << '\n';
+  }
+  for (const auto& r : rows_) print_row(r);
+}
+
+}  // namespace efac

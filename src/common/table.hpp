@@ -1,0 +1,36 @@
+// Plain-text table printer for benchmark summaries.
+//
+// Every bench binary ends by printing a paper-style table (rows = systems,
+// columns = value sizes / client counts) through this helper so outputs are
+// uniform and easy to diff against EXPERIMENTS.md.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace efac {
+
+class TextTable {
+ public:
+  explicit TextTable(std::string title) : title_(std::move(title)) {}
+
+  /// Set the header row (first cell is usually the row-label column name).
+  void set_header(std::vector<std::string> cells);
+
+  /// Append a data row. Rows may be ragged; short rows are padded.
+  void add_row(std::vector<std::string> cells);
+
+  /// Render with column alignment. Numeric-looking cells right-align.
+  void print(std::ostream& os) const;
+
+  /// Format a double with the given precision (helper for cells).
+  static std::string num(double v, int precision = 2);
+
+ private:
+  std::string title_;
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace efac

@@ -1,0 +1,39 @@
+// Fundamental type aliases shared across the library.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+namespace efac {
+
+/// Virtual simulation time, in nanoseconds since simulation start.
+using SimTime = std::uint64_t;
+
+/// A span of virtual time, in nanoseconds.
+using SimDuration = std::uint64_t;
+
+/// Offset of a byte within an NVM arena / registered memory region.
+using MemOffset = std::uint64_t;
+
+/// Sentinel for "no offset" (null pointer within an arena).
+inline constexpr MemOffset kNullOffset = ~MemOffset{0};
+
+/// Empty success payload for Expected<Unit> results.
+struct Unit {};
+
+/// Convenience literals for virtual durations.
+namespace timeconst {
+inline constexpr SimDuration kNanosecond = 1;
+inline constexpr SimDuration kMicrosecond = 1'000;
+inline constexpr SimDuration kMillisecond = 1'000'000;
+inline constexpr SimDuration kSecond = 1'000'000'000;
+}  // namespace timeconst
+
+/// Size literals.
+namespace sizeconst {
+inline constexpr std::size_t kKiB = 1024;
+inline constexpr std::size_t kMiB = 1024 * kKiB;
+inline constexpr std::size_t kCacheLine = 64;
+}  // namespace sizeconst
+
+}  // namespace efac

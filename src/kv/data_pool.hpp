@@ -1,0 +1,70 @@
+// Log-structured data pool: a bump allocator over a contiguous arena range.
+//
+// Objects are appended out-of-place; nothing is ever overwritten in place,
+// which is what makes remote updates atomic (a torn append damages only the
+// new version) and leaves old versions available for recovery. Reclamation
+// happens wholesale via log cleaning into a sibling pool.
+#pragma once
+
+#include <cstdint>
+
+#include "common/status.hpp"
+#include "common/types.hpp"
+#include "nvm/arena.hpp"
+
+namespace efac::kv {
+
+class DataPool {
+ public:
+  DataPool(nvm::Arena& arena, MemOffset base, std::size_t capacity)
+      : arena_(&arena), base_(base), capacity_(capacity) {
+    EFAC_CHECK_MSG(base % 8 == 0, "pool base must be 8-aligned");
+    EFAC_CHECK_MSG(base + capacity <= arena.size(), "pool exceeds arena");
+  }
+
+  /// Append-allocate `bytes` (rounded up to 8); returns the absolute arena
+  /// offset, or kOutOfSpace when the pool is exhausted.
+  [[nodiscard]] Expected<MemOffset> allocate(std::size_t bytes) {
+    const std::size_t need = (bytes + 7) / 8 * 8;
+    if (need > capacity_ - used_) {
+      return Status{StatusCode::kOutOfSpace, "data pool full"};
+    }
+    const MemOffset off = base_ + used_;
+    used_ += need;
+    ++allocations_;
+    return off;
+  }
+
+  /// Drop all allocations (after this pool's contents were migrated away).
+  void reset() noexcept {
+    used_ = 0;
+    allocations_ = 0;
+  }
+
+  [[nodiscard]] MemOffset base() const noexcept { return base_; }
+  [[nodiscard]] std::size_t capacity() const noexcept { return capacity_; }
+  [[nodiscard]] std::size_t used() const noexcept { return used_; }
+  [[nodiscard]] std::size_t remaining() const noexcept {
+    return capacity_ - used_;
+  }
+  [[nodiscard]] std::uint64_t allocations() const noexcept {
+    return allocations_;
+  }
+  [[nodiscard]] double fill_fraction() const noexcept {
+    return static_cast<double>(used_) / static_cast<double>(capacity_);
+  }
+  [[nodiscard]] bool contains(MemOffset off) const noexcept {
+    return off >= base_ && off < base_ + capacity_;
+  }
+
+  [[nodiscard]] nvm::Arena& arena() noexcept { return *arena_; }
+
+ private:
+  nvm::Arena* arena_;
+  MemOffset base_;
+  std::size_t capacity_;
+  std::size_t used_ = 0;
+  std::uint64_t allocations_ = 0;
+};
+
+}  // namespace efac::kv

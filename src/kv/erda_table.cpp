@@ -1,0 +1,145 @@
+#include "kv/erda_table.hpp"
+
+#include <bit>
+
+#include "common/assert.hpp"
+#include "common/bytes.hpp"
+
+namespace efac::kv {
+
+ErdaTable::ErdaTable(nvm::Arena& arena, MemOffset base, std::size_t buckets,
+                     MemOffset pool_base)
+    : arena_(&arena), base_(base), buckets_(buckets), pool_base_(pool_base) {
+  EFAC_CHECK_MSG(std::has_single_bit(buckets), "bucket count must be 2^k");
+  EFAC_CHECK_MSG(buckets >= kNeighborhood, "table smaller than neighborhood");
+  EFAC_CHECK_MSG(base % 8 == 0, "table base must be 8-aligned");
+  EFAC_CHECK_MSG(base + bytes_required(buckets) <= arena.size(),
+                 "erda table exceeds arena");
+  EFAC_CHECK_MSG(pool_base % 8 == 0, "pool base must be 8-aligned");
+}
+
+std::uint64_t ErdaTable::encode(const Versions& v) const {
+  auto pack = [&](MemOffset abs) -> std::uint64_t {
+    if (abs == 0) return 0;
+    EFAC_CHECK_MSG(abs >= pool_base_ && (abs - pool_base_) % 8 == 0,
+                   "offset not in pool space");
+    const std::uint64_t units = (abs - pool_base_) / 8 + 1;
+    EFAC_CHECK_MSG(units <= kOffsetMask, "pool offset exceeds 28-bit field");
+    return units;
+  };
+  return (static_cast<std::uint64_t>(v.tag) << (2 * kOffsetBits)) |
+         (pack(v.cur) << kOffsetBits) | pack(v.prev);
+}
+
+ErdaTable::Versions ErdaTable::decode_with_base(std::uint64_t word,
+                                                MemOffset pool_base) {
+  auto unpack = [&](std::uint64_t units) -> MemOffset {
+    return units == 0 ? 0 : pool_base + (units - 1) * 8;
+  };
+  Versions v;
+  v.tag = static_cast<std::uint8_t>(word >> (2 * kOffsetBits));
+  v.cur = unpack((word >> kOffsetBits) & kOffsetMask);
+  v.prev = unpack(word & kOffsetMask);
+  return v;
+}
+
+ErdaTable::Versions ErdaTable::decode(std::uint64_t word) const {
+  return decode_with_base(word, pool_base_);
+}
+
+Expected<std::size_t> ErdaTable::find(std::uint64_t key_hash) {
+  EFAC_CHECK(key_hash != 0);
+  const std::size_t home = ideal_slot(key_hash);
+  for (std::size_t i = 0; i < kNeighborhood; ++i) {
+    const std::size_t slot = home + i;  // spill region: no wrap needed
+    if (arena_->load_u64(bucket_offset(slot)) == key_hash) return slot;
+  }
+  return Status{StatusCode::kNotFound};
+}
+
+Expected<std::size_t> ErdaTable::find_or_claim(std::uint64_t key_hash) {
+  if (Expected<std::size_t> found = find(key_hash)) return found;
+  const std::size_t home = ideal_slot(key_hash);
+  // Nearest free physical slot at or after home.
+  std::size_t free = physical_slots();
+  for (std::size_t slot = home; slot < physical_slots(); ++slot) {
+    if (arena_->load_u64(bucket_offset(slot)) == 0) {
+      free = slot;
+      break;
+    }
+  }
+  if (free == physical_slots()) {
+    return Status{StatusCode::kOutOfSpace, "erda table full"};
+  }
+  // Hopscotch displacement: while the free slot is outside the home
+  // neighborhood, move some key whose own neighborhood covers `free`
+  // backwards into it.
+  while (free >= home + kNeighborhood) {
+    bool moved = false;
+    for (std::size_t cand = free - (kNeighborhood - 1); cand < free; ++cand) {
+      const std::uint64_t cand_hash = arena_->load_u64(bucket_offset(cand));
+      if (cand_hash == 0) continue;
+      const std::size_t cand_home = ideal_slot(cand_hash);
+      if (cand_home + kNeighborhood > free) {
+        // Candidate may legally sit at `free`: relocate its bucket.
+        const std::uint64_t region =
+            arena_->load_u64(bucket_offset(cand) + 8);
+        arena_->store_u64(bucket_offset(free), cand_hash);
+        arena_->store_u64(bucket_offset(free) + 8, region);
+        arena_->store_u64(bucket_offset(cand), 0);
+        arena_->store_u64(bucket_offset(cand) + 8, 0);
+        free = cand;
+        moved = true;
+        break;
+      }
+    }
+    if (!moved) {
+      return Status{StatusCode::kOutOfSpace, "hopscotch displacement failed"};
+    }
+  }
+  arena_->store_u64(bucket_offset(free), key_hash);
+  arena_->store_u64(bucket_offset(free) + 8, 0);
+  ++live_;
+  return free;
+}
+
+void ErdaTable::push_version(std::size_t slot, MemOffset offset) {
+  EFAC_CHECK(slot < physical_slots());
+  const Versions old = decode(arena_->load_u64(bucket_offset(slot) + 8));
+  Versions next;
+  next.prev = old.cur;
+  next.cur = offset;
+  next.tag = static_cast<std::uint8_t>(old.tag + 1);
+  // The single 8-byte store that makes Erda's metadata update atomic.
+  arena_->store_u64(bucket_offset(slot) + 8, encode(next));
+}
+
+ErdaTable::Versions ErdaTable::read_versions(std::size_t slot) {
+  EFAC_CHECK(slot < physical_slots());
+  return decode(arena_->load_u64(bucket_offset(slot) + 8));
+}
+
+std::uint64_t ErdaTable::read_hash(std::size_t slot) {
+  EFAC_CHECK(slot < physical_slots());
+  return arena_->load_u64(bucket_offset(slot));
+}
+
+void ErdaTable::persist(std::size_t slot) {
+  arena_->flush(bucket_offset(slot), kBucketSize);
+}
+
+Expected<ErdaTable::Versions> ErdaTable::scan_neighborhood(
+    BytesView raw, std::uint64_t key_hash, MemOffset pool_base) {
+  EFAC_CHECK(raw.size() >= neighborhood_bytes());
+  for (std::size_t i = 0; i < kNeighborhood; ++i) {
+    const std::uint64_t h = load_u64_le(raw.data() + i * kBucketSize);
+    if (h == key_hash) {
+      const std::uint64_t region =
+          load_u64_le(raw.data() + i * kBucketSize + 8);
+      return decode_with_base(region, pool_base);
+    }
+  }
+  return Status{StatusCode::kNotFound};
+}
+
+}  // namespace efac::kv

@@ -1,0 +1,107 @@
+// Erda's index: Hopscotch hashing with an 8-byte atomic two-version region
+// per bucket (paper §5.3.3 and the Erda design it reimplements).
+//
+// Bucket layout (16 bytes):
+//
+//   u64 key_hash        0 = empty
+//   u64 atomic_region   [ tag:8 | cur:28 | prev:28 ]
+//
+// `cur`/`prev` are the offsets of the latest two versions, stored in
+// 8-byte units relative to the data-pool base, biased by +1 so that 0
+// means "none". Packing both into one 8-byte word is what lets Erda's
+// server update the index with a single atomic store — and is exactly the
+// limitation the paper calls out: only two versions are recoverable, so
+// concurrent updates to one key can leave no intact reachable version.
+//
+// Hopscotch: a key lives within kNeighborhood slots of its home bucket, so
+// a client fetches the whole neighborhood with ONE contiguous RDMA READ of
+// kNeighborhood * 16 bytes and locates the key locally. To keep that read
+// contiguous the table carries a kNeighborhood-sized spill region past the
+// last home bucket instead of wrapping around.
+#pragma once
+
+#include <cstdint>
+
+#include "common/status.hpp"
+#include "common/types.hpp"
+#include "nvm/arena.hpp"
+
+namespace efac::kv {
+
+class ErdaTable {
+ public:
+  static constexpr std::size_t kBucketSize = 16;
+  static constexpr std::size_t kNeighborhood = 8;
+  static constexpr std::uint64_t kOffsetBits = 28;
+  static constexpr std::uint64_t kOffsetMask = (1ull << kOffsetBits) - 1;
+
+  /// Decoded atomic region.
+  struct Versions {
+    MemOffset cur = 0;   ///< absolute arena offset; 0 = none
+    MemOffset prev = 0;
+    std::uint8_t tag = 0;
+  };
+
+  /// Arena bytes for `buckets` home slots plus the spill region.
+  static constexpr std::size_t bytes_required(std::size_t buckets) noexcept {
+    return (buckets + kNeighborhood) * kBucketSize;
+  }
+
+  ErdaTable(nvm::Arena& arena, MemOffset base, std::size_t buckets,
+            MemOffset pool_base);
+
+  [[nodiscard]] std::size_t bucket_count() const noexcept { return buckets_; }
+  [[nodiscard]] std::size_t ideal_slot(std::uint64_t key_hash) const noexcept {
+    return key_hash & (buckets_ - 1);
+  }
+  [[nodiscard]] MemOffset bucket_offset(std::size_t slot) const noexcept {
+    return base_ + slot * kBucketSize;
+  }
+  /// Bytes a client reads to cover a whole neighborhood in one verb.
+  [[nodiscard]] static constexpr std::size_t neighborhood_bytes() noexcept {
+    return kNeighborhood * kBucketSize;
+  }
+
+  /// Server-side: find the slot holding key_hash (within its neighborhood).
+  [[nodiscard]] Expected<std::size_t> find(std::uint64_t key_hash);
+
+  /// Server-side insert-or-get with hopscotch displacement.
+  [[nodiscard]] Expected<std::size_t> find_or_claim(std::uint64_t key_hash);
+
+  /// Push a new head version: prev <- cur, cur <- offset, tag++.
+  /// One 8-byte atomic store, as Erda requires. Does not flush.
+  void push_version(std::size_t slot, MemOffset offset);
+
+  [[nodiscard]] Versions read_versions(std::size_t slot);
+  [[nodiscard]] std::uint64_t read_hash(std::size_t slot);
+
+  /// Flush one bucket to the media.
+  void persist(std::size_t slot);
+
+  /// Client-side: scan a fetched neighborhood (raw bytes from an RDMA READ
+  /// starting at bucket_offset(ideal_slot)) for key_hash; returns the
+  /// decoded versions.
+  [[nodiscard]] static Expected<Versions> scan_neighborhood(
+      BytesView raw, std::uint64_t key_hash, MemOffset pool_base);
+
+  [[nodiscard]] MemOffset pool_base() const noexcept { return pool_base_; }
+  [[nodiscard]] std::size_t size() const noexcept { return live_; }
+
+ private:
+  [[nodiscard]] std::uint64_t encode(const Versions& v) const;
+  [[nodiscard]] Versions decode(std::uint64_t word) const;
+  static Versions decode_with_base(std::uint64_t word, MemOffset pool_base);
+
+  /// Total physical slots including the spill region.
+  [[nodiscard]] std::size_t physical_slots() const noexcept {
+    return buckets_ + kNeighborhood;
+  }
+
+  nvm::Arena* arena_;
+  MemOffset base_;
+  std::size_t buckets_;
+  MemOffset pool_base_;
+  std::size_t live_ = 0;
+};
+
+}  // namespace efac::kv

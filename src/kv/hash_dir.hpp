@@ -1,0 +1,93 @@
+// Arena-resident hash directory used by eFactory, SAW, IMM, Forca and the
+// RPC / CA baselines.
+//
+// One 32-byte entry per bucket, linear probing:
+//
+//   u64 key_hash   0 = empty slot
+//   u64 off_old    head-version offset in the *working* data pool (0 = none)
+//   u64 off_new    head-version offset in the *new* pool during log cleaning
+//   u64 meta       bit0 = mark (which offset names the current working pool)
+//
+// Clients fetch single entries with one 32-byte RDMA READ at
+// entry_offset(ideal_slot(hash)); if the fetched key_hash does not match
+// (collision displaced the key, or the key is absent) they fall back to the
+// RPC+RDMA path, where the server probes. Entry updates by the server are
+// four 8-byte atomic stores; the (off_old | off_new, mark) pair is arranged
+// so that a reader always finds a usable head pointer mid-cleaning.
+#pragma once
+
+#include <cstdint>
+
+#include "common/status.hpp"
+#include "common/types.hpp"
+#include "nvm/arena.hpp"
+
+namespace efac::kv {
+
+class HashDir {
+ public:
+  static constexpr std::size_t kEntrySize = 32;
+
+  struct Entry {
+    std::uint64_t key_hash = 0;
+    MemOffset off_old = 0;
+    MemOffset off_new = 0;
+    bool mark = false;  ///< true: off_new names the working pool
+
+    [[nodiscard]] bool empty() const noexcept { return key_hash == 0; }
+    /// Head-version offset in the current working pool.
+    [[nodiscard]] MemOffset current() const noexcept {
+      return mark ? off_new : off_old;
+    }
+  };
+
+  /// Arena bytes needed for `buckets` (power of two) entries.
+  static constexpr std::size_t bytes_required(std::size_t buckets) noexcept {
+    return buckets * kEntrySize;
+  }
+
+  HashDir(nvm::Arena& arena, MemOffset base, std::size_t buckets);
+
+  [[nodiscard]] std::size_t bucket_count() const noexcept { return buckets_; }
+  [[nodiscard]] MemOffset base() const noexcept { return base_; }
+
+  /// Bucket a key hashes to before probing (what a client computes).
+  [[nodiscard]] std::size_t ideal_slot(std::uint64_t key_hash) const noexcept {
+    return key_hash & (buckets_ - 1);
+  }
+
+  /// Absolute arena offset of a slot's entry (for client RDMA reads).
+  [[nodiscard]] MemOffset entry_offset(std::size_t slot) const noexcept {
+    return base_ + slot * kEntrySize;
+  }
+
+  /// Server-side probe for an existing key. Returns the slot index.
+  /// `probes_out` (optional) reports the probe count for cost charging.
+  [[nodiscard]] Expected<std::size_t> find(std::uint64_t key_hash,
+                                           std::size_t* probes_out = nullptr);
+
+  /// Server-side probe-or-claim for a PUT. Claims an empty slot with the
+  /// key hash if absent (does not flush).
+  [[nodiscard]] Expected<std::size_t> find_or_claim(
+      std::uint64_t key_hash, std::size_t* probes_out = nullptr);
+
+  /// Read / write a full entry (server side; writes do not flush).
+  [[nodiscard]] Entry read(std::size_t slot);
+  void write(std::size_t slot, const Entry& entry);
+
+  /// Flush one entry's line to the media.
+  void persist(std::size_t slot);
+
+  /// Decode a raw 32-byte entry a client fetched with RDMA READ.
+  static Entry decode(BytesView raw);
+
+  [[nodiscard]] std::size_t size() const noexcept { return live_; }
+
+ private:
+  nvm::Arena* arena_;
+  MemOffset base_;
+  std::size_t buckets_;
+  std::size_t live_ = 0;
+};
+
+}  // namespace efac::kv

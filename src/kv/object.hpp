@@ -1,0 +1,136 @@
+// On-media object layout (paper Fig. 4).
+//
+// Every version of every key is one contiguous object in a data pool:
+//
+//   offset  field
+//   ------  -----------------------------------------------------------
+//   0       u32  crc          CRC-32 of the value bytes
+//   4       u32  vlen
+//   8       u32  klen
+//   12      u32  flags        bit0 = valid, bit1 = transferred (Trans)
+//   16      u64  pre_ptr      arena offset of the previous version (0 = none)
+//   24      u64  next_ptr     arena offset of the next (newer) version
+//   32      u64  write_time   server receive time, drives the timeout
+//   40      u64  key_hash
+//   48      key bytes
+//   48+klen value bytes       (written by the client via RDMA WRITE)
+//   pad to 8
+//   u64  durability flag      1 after verify+flush ("embedded in the object")
+//
+// The durability flag trails the value so that a single RDMA READ of the
+// whole object yields data + flag — the heart of the hybrid read scheme.
+// Arena offset 0 is reserved (the hash table lives there), so offset 0
+// doubles as the null version pointer.
+#pragma once
+
+#include <cstdint>
+
+#include "checksum/crc32.hpp"
+#include "common/bytes.hpp"
+#include "common/types.hpp"
+#include "nvm/arena.hpp"
+
+namespace efac::kv {
+
+/// Decoded object header fields.
+struct ObjectMeta {
+  std::uint32_t crc = 0;
+  std::uint32_t vlen = 0;
+  std::uint32_t klen = 0;
+  bool valid = true;
+  bool transferred = false;
+  bool tombstone = false;  ///< this version deletes the key
+  MemOffset pre_ptr = 0;   ///< previous (older) version; 0 = none
+  MemOffset next_ptr = 0;  ///< next (newer) version; 0 = none
+  SimTime write_time = 0;
+  std::uint64_t key_hash = 0;
+};
+
+/// Stateless layout calculator + field accessors over an arena.
+struct ObjectLayout {
+  static constexpr std::size_t kHeaderSize = 48;
+  static constexpr MemOffset kFlagsFieldOff = 12;
+  static constexpr MemOffset kPrePtrFieldOff = 16;
+  static constexpr MemOffset kNextPtrFieldOff = 24;
+
+  static constexpr std::uint32_t kFlagValid = 1u << 0;
+  static constexpr std::uint32_t kFlagTransferred = 1u << 1;
+  static constexpr std::uint32_t kFlagTombstone = 1u << 2;
+
+  /// Bytes from object start to the durability-flag word (8-aligned).
+  static constexpr std::size_t flag_offset(std::size_t klen,
+                                           std::size_t vlen) noexcept {
+    const std::size_t payload_end = kHeaderSize + klen + vlen;
+    return (payload_end + 7) / 8 * 8;
+  }
+
+  /// Total on-media footprint of one object.
+  static constexpr std::size_t total_size(std::size_t klen,
+                                          std::size_t vlen) noexcept {
+    return flag_offset(klen, vlen) + 8;
+  }
+
+  static Bytes encode_header(const ObjectMeta& meta);
+  static ObjectMeta decode_header(BytesView bytes);
+};
+
+/// A located object inside an arena: reads/writes individual fields,
+/// charging nothing — callers charge virtual-time costs themselves.
+class ObjectRef {
+ public:
+  ObjectRef(nvm::Arena& arena, MemOffset offset)
+      : arena_(&arena), offset_(offset) {}
+
+  [[nodiscard]] MemOffset offset() const noexcept { return offset_; }
+
+  /// Write the full header (not the flag word). Does not flush.
+  void write_header(const ObjectMeta& meta);
+
+  [[nodiscard]] ObjectMeta read_header() const;
+
+  /// Write the key bytes (server-side, at allocation).
+  void write_key(BytesView key);
+  [[nodiscard]] Bytes read_key(std::size_t klen) const;
+  [[nodiscard]] Bytes read_value(std::size_t klen, std::size_t vlen) const;
+
+  /// Durability flag accessors. set_durable does not flush by itself.
+  void set_durable(std::size_t klen, std::size_t vlen, bool durable);
+  [[nodiscard]] bool is_durable(std::size_t klen, std::size_t vlen) const;
+
+  /// Update individual header fields in place (8-byte atomic stores).
+  void set_valid(bool valid);
+  void set_transferred(bool transferred);
+  void set_pre_ptr(MemOffset pre);
+  void set_next_ptr(MemOffset next);
+
+  /// Recompute the value CRC from current arena contents and compare with
+  /// the recorded one. The virtual-time cost (CrcCostModel) is the
+  /// caller's to charge.
+  [[nodiscard]] bool verify_crc() const;
+
+  /// Flush the entire object (header + key + value + flag) to the media.
+  void flush_all(std::size_t klen, std::size_t vlen);
+
+ private:
+  void store_flags_word(std::uint32_t flags);
+
+  nvm::Arena* arena_;
+  MemOffset offset_;
+};
+
+/// Key hash used across all stores (never 0: 0 marks an empty hash slot).
+[[nodiscard]] std::uint64_t hash_key(BytesView key);
+
+/// The checksum stored in object headers: CRC-32 of the value, seeded with
+/// a digest of (key_hash, klen, vlen). Binding the object's identity into
+/// the seed closes a torn-header hole: a crash can drop the header word
+/// holding crc+vlen (8-byte eviction granularity) while the key_hash word
+/// survives, leaving crc=0, vlen=0 — and a plain CRC over zero value bytes
+/// is 0, which would self-validate and "recover" an empty value that was
+/// never written. With the seeded form, a mutated header cannot agree
+/// with its own checksum by accident.
+[[nodiscard]] std::uint32_t object_crc(std::uint64_t key_hash,
+                                       std::uint32_t klen,
+                                       std::uint32_t vlen, BytesView value);
+
+}  // namespace efac::kv

@@ -1,0 +1,161 @@
+// Simulated byte-addressable non-volatile memory with an explicit
+// volatility boundary.
+//
+// The arena keeps two images of its contents:
+//
+//   current_    what any reader (server CPU or NIC DMA) observes *now*;
+//   persisted_  what survives a crash.
+//
+// CPU stores and inbound RDMA-WRITE payloads (DDIO: data lands in the LLC,
+// not the media) modify only `current_` and mark the touched cache lines
+// dirty. An explicit flush (CLWB/CLFLUSH + SFENCE in real hardware) copies
+// dirty lines into `persisted_`. crash() reverts `current_` to the
+// persisted image — except that, mimicking natural cache eviction, each
+// dirty 8-byte word independently survives with a configurable probability
+// (8 bytes is the failure-atomicity unit of NVM: a word is never torn).
+//
+// Inbound DMA is modelled with *chunked arrival*: a payload delivered over
+// the virtual interval [start, end) becomes visible 64 bytes at a time, so
+// a concurrent reader — or a crash — observes exactly the partially-placed
+// objects that motivate the paper's CRC checks and version lists.
+//
+// Costs (flush per line, fence, load/store per byte) are exposed as
+// query-only helpers: the arena never advances the clock itself; actors
+// charge the returned durations with sim::delay so that CPU time is spent
+// where the actor runs.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/bytes.hpp"
+#include "common/rng.hpp"
+#include "common/types.hpp"
+#include "sim/simulator.hpp"
+
+namespace efac::nvm {
+
+/// Virtual-time costs of NVM operations (defaults follow DRAM-emulated
+/// persistent memory, as the paper's PMDK setup does: flushes pay a fixed
+/// setup (CLWB issue + emulated NVM write latency) plus a bandwidth term).
+struct CostModel {
+  SimDuration flush_base_ns = 100;  ///< per-flush setup + injected latency
+  double flush_byte_ns = 1.2;       ///< emulated NVM write bandwidth
+  SimDuration fence_ns = 700;       ///< SFENCE drain latency
+  double store_byte_ns = 0.12;      ///< CPU store path, per byte
+  double load_byte_ns = 0.06;       ///< CPU load path, per byte
+
+  [[nodiscard]] SimDuration flush_cost(std::size_t bytes) const noexcept;
+  [[nodiscard]] SimDuration store_cost(std::size_t bytes) const noexcept;
+  [[nodiscard]] SimDuration load_cost(std::size_t bytes) const noexcept;
+};
+
+/// How in-flight DMA chunks materialize over the arrival interval.
+enum class PlacementOrder {
+  kSequential,  ///< chunks land lowest-address first (PCIe-like)
+  kShuffled,    ///< chunks land in a seeded random order (adversarial)
+};
+
+/// Crash-time behaviour of dirty (unflushed) data.
+struct CrashPolicy {
+  /// Probability that a dirty 8-byte word was naturally evicted to the
+  /// media before the crash and therefore survives. 0 = nothing dirty
+  /// survives; 1 = everything dirty survives (write-through-like).
+  double eviction_probability = 0.5;
+};
+
+/// Running counters for tests and benches.
+struct ArenaStats {
+  std::uint64_t cpu_stores = 0;
+  std::uint64_t cpu_store_bytes = 0;
+  std::uint64_t cpu_loads = 0;
+  std::uint64_t cpu_load_bytes = 0;
+  std::uint64_t flushes = 0;
+  std::uint64_t flushed_lines = 0;
+  std::uint64_t dma_writes = 0;
+  std::uint64_t dma_bytes = 0;
+  std::uint64_t crashes = 0;
+};
+
+class Arena {
+ public:
+  static constexpr std::size_t kLine = sizeconst::kCacheLine;
+  static constexpr std::size_t kAtomicUnit = 8;
+
+  Arena(sim::Simulator& sim, std::size_t size, CostModel cost = {},
+        std::uint64_t seed = 0x5eed);
+
+  [[nodiscard]] std::size_t size() const noexcept { return current_.size(); }
+  [[nodiscard]] const CostModel& cost() const noexcept { return cost_; }
+  [[nodiscard]] const ArenaStats& stats() const noexcept { return stats_; }
+
+  // ------------------------------------------------------------- CPU path
+
+  /// CPU store: contents become visible immediately, durable only after
+  /// flush(). Cost must be charged by the caller (cost().store_cost()).
+  void store(MemOffset off, BytesView data);
+
+  /// 8-byte-aligned atomic store (the NVM failure-atomicity unit).
+  void store_u64(MemOffset off, std::uint64_t value);
+
+  /// CPU / NIC read of current contents. Resolves in-flight DMA first.
+  void load(MemOffset off, MutableBytesView out);
+  [[nodiscard]] Bytes load(MemOffset off, std::size_t len);
+  [[nodiscard]] std::uint64_t load_u64(MemOffset off);
+
+  /// Make [off, off+len) durable: copies the touched lines into the
+  /// persisted image and clears their dirty bits. Instantaneous; charge
+  /// cost().flush_cost(len) + cost().fence_ns at the call site. For
+  /// crash-during-flush experiments, flush line-by-line with delays.
+  void flush(MemOffset off, std::size_t len);
+
+  /// True if any byte of [off, off+len) is dirty (not yet persisted).
+  [[nodiscard]] bool is_dirty(MemOffset off, std::size_t len);
+
+  // ------------------------------------------------------------- DMA path
+
+  /// Inbound RDMA-WRITE payload: becomes visible chunk-by-chunk across
+  /// [start, end); volatile (DDIO) until flushed by the CPU.
+  void dma_write(MemOffset off, BytesView data, SimTime start, SimTime end,
+                 PlacementOrder order = PlacementOrder::kSequential);
+
+  // ------------------------------------------------------- failure model
+
+  /// Power failure at the current instant. In-flight DMA stops (chunks not
+  /// yet arrived are lost); each dirty 8-byte word survives with
+  /// policy.eviction_probability; everything else reverts to the persisted
+  /// image. After crash() the arena is clean (no dirty lines, no DMA).
+  void crash(const CrashPolicy& policy = {});
+
+  /// Direct view of the persisted image (recovery-time inspection).
+  [[nodiscard]] Bytes persisted_bytes(MemOffset off, std::size_t len) const;
+
+ private:
+  struct Placement {
+    MemOffset off;
+    Bytes data;
+    SimTime start;
+    SimTime end;
+    PlacementOrder order;
+    std::uint64_t shuffle_seed;
+    std::size_t applied_chunks = 0;  // for kSequential incremental apply
+  };
+
+  void check_range(MemOffset off, std::size_t len) const;
+  void mark_dirty(MemOffset off, std::size_t len);
+  /// Apply every DMA chunk that has arrived by `now`.
+  void resolve_dma(SimTime now);
+  void apply_chunk(Placement& p, std::size_t chunk_index);
+  static std::size_t chunk_count(const Placement& p) noexcept;
+
+  sim::Simulator& sim_;
+  CostModel cost_;
+  std::vector<std::uint8_t> current_;
+  std::vector<std::uint8_t> persisted_;
+  std::vector<bool> dirty_lines_;
+  std::vector<Placement> pending_;
+  Rng rng_;
+  ArenaStats stats_;
+};
+
+}  // namespace efac::nvm

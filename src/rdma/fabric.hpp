@@ -1,0 +1,67 @@
+// Network fabric model: latency/bandwidth constants and jitter.
+//
+// The fabric does not move bytes itself — QueuePair computes arrival and
+// completion instants analytically from these constants, and the NVM arena
+// materializes DMA payloads lazily. Constants are calibrated against the
+// paper's testbed (ConnectX-5, 100 Gb/s InfiniBand): a small one-sided READ
+// lands around 1.6–1.9 µs, a SEND-based RPC around 3.5 µs.
+#pragma once
+
+#include <cmath>
+#include <cstdint>
+
+#include "common/rng.hpp"
+#include "common/types.hpp"
+#include "nvm/arena.hpp"
+
+namespace efac::rdma {
+
+struct FabricConfig {
+  /// Client CPU cost to build a WQE and ring the doorbell.
+  SimDuration post_overhead_ns = 200;
+  /// One-way propagation (host NIC → switch → target NIC), small message.
+  SimDuration one_way_ns = 700;
+  /// Serialization cost per payload byte (~100 Gb/s ≈ 0.08 ns/B).
+  double wire_byte_ns = 0.082;
+  /// Target-NIC processing per request (address translation, PCIe issue).
+  SimDuration nic_process_ns = 150;
+  /// CQE generation plus requester poll cost.
+  SimDuration completion_ns = 180;
+  /// Lognormal sigma applied to each one-way leg (tail latency).
+  double jitter_sigma = 0.06;
+  /// How inbound WRITE payloads materialize in target memory. kSequential
+  /// models PCIe-ordered placement; kShuffled is the adversarial model
+  /// (NICs may reorder within a message).
+  nvm::PlacementOrder placement = nvm::PlacementOrder::kSequential;
+
+  [[nodiscard]] SimDuration wire_cost(std::size_t bytes) const noexcept {
+    return static_cast<SimDuration>(
+        std::llround(wire_byte_ns * static_cast<double>(bytes)));
+  }
+};
+
+/// Shared latency model + jitter stream. One Fabric per simulation.
+class Fabric {
+ public:
+  explicit Fabric(FabricConfig config = {}, std::uint64_t seed = 0xFAB)
+      : config_(config), rng_(seed) {}
+
+  [[nodiscard]] const FabricConfig& config() const noexcept { return config_; }
+
+  /// One-way small-message latency with jitter applied.
+  [[nodiscard]] SimDuration one_way() noexcept {
+    if (config_.jitter_sigma <= 0.0) return config_.one_way_ns;
+    const double v = rng_.next_lognormal(
+        static_cast<double>(config_.one_way_ns), config_.jitter_sigma);
+    return static_cast<SimDuration>(std::llround(v));
+  }
+
+  /// Fork a deterministic per-component RNG (e.g. for crash instants).
+  [[nodiscard]] Rng fork_rng() noexcept { return rng_.fork(); }
+
+ private:
+  FabricConfig config_;
+  Rng rng_;
+};
+
+}  // namespace efac::rdma

@@ -1,0 +1,119 @@
+// A host on the fabric: registered memory regions plus a receive queue.
+//
+// A Node models the RDMA-visible face of a machine. The server node wraps
+// an nvm::Arena; memory regions registered on it are windows into that
+// arena, addressed remotely by (rkey, offset). Two-sided traffic (SEND,
+// WRITE_WITH_IMM notifications) lands in the node's receive queue, from
+// which server worker coroutines pop.
+#pragma once
+
+#include <cstdint>
+#include <unordered_map>
+
+#include "common/bytes.hpp"
+#include "common/status.hpp"
+#include "common/types.hpp"
+#include "nvm/arena.hpp"
+#include "sim/sync.hpp"
+
+namespace efac::rdma {
+
+/// MR access permissions (bitmask).
+enum class Access : std::uint8_t {
+  kNone = 0,
+  kRead = 1,
+  kWrite = 2,
+  kAtomic = 4,
+  kReadWrite = 3,
+  kAll = 7,
+};
+
+constexpr Access operator|(Access a, Access b) noexcept {
+  return static_cast<Access>(static_cast<std::uint8_t>(a) |
+                             static_cast<std::uint8_t>(b));
+}
+constexpr bool has_access(Access granted, Access wanted) noexcept {
+  return (static_cast<std::uint8_t>(granted) &
+          static_cast<std::uint8_t>(wanted)) ==
+         static_cast<std::uint8_t>(wanted);
+}
+
+/// A registered memory region: a remotely addressable window of the arena.
+struct MemoryRegion {
+  std::uint32_t rkey = 0;
+  MemOffset base = 0;
+  std::size_t length = 0;
+  Access access = Access::kNone;
+};
+
+/// An inbound two-sided message (SEND payload or WRITE_WITH_IMM notice).
+struct InboundMessage {
+  Bytes payload;                 ///< SEND payload (empty for pure IMM)
+  std::uint32_t imm = 0;         ///< immediate field
+  bool has_imm = false;
+  std::uint64_t src_qp = 0;      ///< originating QP id (for replies)
+  SimTime arrived_at = 0;
+};
+
+class Node {
+ public:
+  /// `arena` may be null for client-only nodes (nothing registered).
+  Node(sim::Simulator& sim, nvm::Arena* arena)
+      : sim_(sim), arena_(arena), recv_queue_(sim) {}
+  Node(const Node&) = delete;
+  Node& operator=(const Node&) = delete;
+
+  /// Register [base, base+length) of the arena; returns the rkey remote
+  /// peers must present.
+  std::uint32_t register_mr(MemOffset base, std::size_t length,
+                            Access access) {
+    EFAC_CHECK_MSG(arena_ != nullptr, "registering MR on a memory-less node");
+    EFAC_CHECK_MSG(base + length <= arena_->size(), "MR exceeds arena");
+    const std::uint32_t rkey = next_rkey_++;
+    mrs_.emplace(rkey, MemoryRegion{rkey, base, length, access});
+    return rkey;
+  }
+
+  /// Invalidate a previously registered region (e.g. a retired data pool).
+  void deregister_mr(std::uint32_t rkey) { mrs_.erase(rkey); }
+
+  /// Validate a remote access; returns the absolute arena offset.
+  [[nodiscard]] Expected<MemOffset> translate(std::uint32_t rkey,
+                                              MemOffset offset,
+                                              std::size_t length,
+                                              Access wanted) const {
+    const auto it = mrs_.find(rkey);
+    if (it == mrs_.end()) {
+      return Status{StatusCode::kPermission, "unknown rkey"};
+    }
+    const MemoryRegion& mr = it->second;
+    if (!has_access(mr.access, wanted)) {
+      return Status{StatusCode::kPermission, "access not granted"};
+    }
+    if (offset > mr.length || length > mr.length - offset) {
+      return Status{StatusCode::kPermission, "MR bounds violation"};
+    }
+    return mr.base + offset;
+  }
+
+  [[nodiscard]] nvm::Arena& arena() {
+    EFAC_CHECK(arena_ != nullptr);
+    return *arena_;
+  }
+  [[nodiscard]] bool has_arena() const noexcept { return arena_ != nullptr; }
+
+  [[nodiscard]] sim::Channel<InboundMessage>& recv_queue() noexcept {
+    return recv_queue_;
+  }
+
+  [[nodiscard]] sim::Simulator& simulator() noexcept { return sim_; }
+
+ private:
+  sim::Simulator& sim_;
+  nvm::Arena* arena_;
+  sim::Channel<InboundMessage> recv_queue_;
+  std::unordered_map<std::uint32_t, MemoryRegion> mrs_;
+  std::uint32_t next_rkey_ = 100;
+};
+
+}  // namespace efac::rdma

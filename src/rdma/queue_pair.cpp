@@ -1,0 +1,205 @@
+#include "rdma/queue_pair.hpp"
+
+#include <algorithm>
+#include <utility>
+
+namespace efac::rdma {
+
+QueuePair::Timing QueuePair::plan(std::size_t request_payload,
+                                  std::size_t response_payload) {
+  const FabricConfig& cfg = fabric_.config();
+  const SimTime now = sim_.now();
+  const SimTime issue = now + cfg.post_overhead_ns;
+  const SimTime depart = std::max(issue, last_depart_);
+  const SimTime depart_end = depart + cfg.wire_cost(request_payload);
+  last_depart_ = depart_end;
+
+  SimTime arrive = depart_end + fabric_.one_way() + cfg.nic_process_ns;
+  arrive = std::max(arrive, last_arrive_ + 1);  // responder executes in order
+  last_arrive_ = arrive;
+
+  const SimTime done = arrive + fabric_.one_way() +
+                       cfg.wire_cost(response_payload) + cfg.completion_ns;
+  return Timing{depart, arrive, done};
+}
+
+void QueuePair::deliver_at(SimTime when, InboundMessage message) {
+  sim_.call_at(when, [node = &target_, msg = std::move(message)]() mutable {
+    node->recv_queue().push(std::move(msg));
+  });
+}
+
+sim::Task<Expected<Bytes>> QueuePair::read(std::uint32_t rkey,
+                                           MemOffset offset,
+                                           std::size_t length) {
+  ++stats_.reads;
+  stats_.read_bytes += length;
+  // READ request is a small header; the payload rides the response.
+  const Timing t = plan(/*request_payload=*/32, /*response_payload=*/length);
+
+  co_await sim::delay(sim_, t.arrive - sim_.now());
+  const Expected<MemOffset> abs =
+      target_.translate(rkey, offset, length, Access::kRead);
+  if (!abs) {
+    // NAK travels back one way.
+    co_await sim::delay(sim_, t.done - sim_.now());
+    co_return abs.status();
+  }
+  // Snapshot at execution instant: a racing WRITE that has only partially
+  // landed is observed partially — exactly the paper's read-write race.
+  Bytes data = target_.arena().load(*abs, length);
+  co_await sim::delay(sim_, t.done - sim_.now());
+  co_return data;
+}
+
+Expected<SimTime> QueuePair::post_write(std::uint32_t rkey, MemOffset offset,
+                                        BytesView data) {
+  const Expected<MemOffset> abs =
+      target_.translate(rkey, offset, data.size(), Access::kWrite);
+  if (!abs) return abs.status();
+
+  ++stats_.writes;
+  stats_.write_bytes += data.size();
+  const Timing t = plan(/*request_payload=*/data.size(),
+                        /*response_payload=*/0);
+  // First byte reaches the media interface one_way after departure; the
+  // last lands at the execution instant.
+  const SimTime place_begin = std::min<SimTime>(
+      t.arrive, t.depart + fabric_.config().one_way_ns +
+                    fabric_.config().nic_process_ns);
+  target_.arena().dma_write(*abs, data, place_begin, t.arrive,
+                            fabric_.config().placement);
+  return t.done;
+}
+
+sim::Task<Expected<Unit>> QueuePair::write(std::uint32_t rkey,
+                                           MemOffset offset, BytesView data) {
+  Expected<SimTime> done = post_write(rkey, offset, data);
+  if (!done) {
+    // Model the NAK round trip for invalid access.
+    const Timing t = plan(32, 0);
+    co_await sim::delay(sim_, t.done - sim_.now());
+    co_return done.status();
+  }
+  co_await sim::delay(sim_, *done - sim_.now());
+  co_return Unit{};
+}
+
+sim::Task<Expected<Unit>> QueuePair::write_with_imm(std::uint32_t rkey,
+                                                    MemOffset offset,
+                                                    BytesView data,
+                                                    std::uint32_t imm) {
+  const Expected<MemOffset> abs =
+      target_.translate(rkey, offset, data.size(), Access::kWrite);
+  if (!abs) {
+    const Timing t = plan(32, 0);
+    co_await sim::delay(sim_, t.done - sim_.now());
+    co_return abs.status();
+  }
+  ++stats_.writes_with_imm;
+  stats_.write_bytes += data.size();
+  const Timing t = plan(data.size(), 0);
+  const SimTime place_begin = std::min<SimTime>(
+      t.arrive, t.depart + fabric_.config().one_way_ns +
+                    fabric_.config().nic_process_ns);
+  target_.arena().dma_write(*abs, data, place_begin, t.arrive,
+                            fabric_.config().placement);
+  // The immediate notification is delivered when the message executes,
+  // strictly after the payload placement (same WR).
+  deliver_at(t.arrive, InboundMessage{Bytes{}, imm, /*has_imm=*/true, id_,
+                                      t.arrive});
+  co_await sim::delay(sim_, t.done - sim_.now());
+  co_return Unit{};
+}
+
+sim::Task<void> QueuePair::send(Bytes payload) {
+  ++stats_.sends;
+  stats_.send_bytes += payload.size();
+  const Timing t = plan(payload.size(), 0);
+  deliver_at(t.arrive, InboundMessage{std::move(payload), 0,
+                                      /*has_imm=*/false, id_, t.arrive});
+  co_await sim::delay(sim_, t.done - sim_.now());
+}
+
+void QueuePair::post_send(Bytes payload) {
+  ++stats_.sends;
+  stats_.send_bytes += payload.size();
+  const Timing t = plan(payload.size(), 0);
+  deliver_at(t.arrive, InboundMessage{std::move(payload), 0,
+                                      /*has_imm=*/false, id_, t.arrive});
+}
+
+Expected<SimTime> QueuePair::post_commit(std::uint32_t rkey,
+                                         MemOffset offset,
+                                         std::size_t length) {
+  const Expected<MemOffset> abs =
+      target_.translate(rkey, offset, length, Access::kWrite);
+  if (!abs) return abs.status();
+  ++stats_.commits;
+  const Timing t = plan(/*request_payload=*/32, /*response_payload=*/0);
+  // The NIC drains the region to the media; subsequent WRs on this QP
+  // execute only after the flush completes, and the ack follows it.
+  const nvm::CostModel& cost = target_.arena().cost();
+  const SimDuration flush_time =
+      cost.flush_cost(length) + cost.fence_ns;
+  sim_.call_at(t.arrive, [node = &target_, off = *abs, length] {
+    node->arena().flush(off, length);
+  });
+  last_arrive_ = t.arrive + flush_time;
+  return t.done + flush_time;
+}
+
+sim::Task<Expected<Unit>> QueuePair::commit(std::uint32_t rkey,
+                                            MemOffset offset,
+                                            std::size_t length) {
+  const Expected<SimTime> done = post_commit(rkey, offset, length);
+  if (!done) {
+    const Timing t = plan(32, 0);
+    co_await sim::delay(sim_, t.done - sim_.now());
+    co_return done.status();
+  }
+  co_await sim::delay(sim_, *done - sim_.now());
+  co_return Unit{};
+}
+
+sim::Task<Expected<std::uint64_t>> QueuePair::fetch_add(std::uint32_t rkey,
+                                                        MemOffset offset,
+                                                        std::uint64_t addend) {
+  ++stats_.cas_ops;  // both one-sided atomics share the counter
+  const Timing t = plan(/*request_payload=*/40, /*response_payload=*/8);
+  co_await sim::delay(sim_, t.arrive - sim_.now());
+  const Expected<MemOffset> abs =
+      target_.translate(rkey, offset, 8, Access::kAtomic);
+  if (!abs) {
+    co_await sim::delay(sim_, t.done - sim_.now());
+    co_return abs.status();
+  }
+  nvm::Arena& arena = target_.arena();
+  const std::uint64_t old = arena.load_u64(*abs);
+  arena.store_u64(*abs, old + addend);
+  co_await sim::delay(sim_, t.done - sim_.now());
+  co_return old;
+}
+
+sim::Task<Expected<std::uint64_t>> QueuePair::compare_and_swap(
+    std::uint32_t rkey, MemOffset offset, std::uint64_t expected,
+    std::uint64_t desired) {
+  ++stats_.cas_ops;
+  const Timing t = plan(/*request_payload=*/40, /*response_payload=*/8);
+  co_await sim::delay(sim_, t.arrive - sim_.now());
+  const Expected<MemOffset> abs =
+      target_.translate(rkey, offset, 8, Access::kAtomic);
+  if (!abs) {
+    co_await sim::delay(sim_, t.done - sim_.now());
+    co_return abs.status();
+  }
+  nvm::Arena& arena = target_.arena();
+  const std::uint64_t old = arena.load_u64(*abs);
+  if (old == expected) {
+    arena.store_u64(*abs, desired);
+  }
+  co_await sim::delay(sim_, t.done - sim_.now());
+  co_return old;
+}
+
+}  // namespace efac::rdma

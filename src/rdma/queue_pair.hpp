@@ -1,0 +1,133 @@
+// Reliable-connected queue pair: the client's handle for issuing verbs at a
+// target node.
+//
+// Timing is computed analytically at post time from the Fabric constants:
+//
+//   t_issue   = now + post_overhead                 (requester CPU)
+//   t_depart  = max(t_issue, previous departure)    (QP/wire is FIFO)
+//   t_on_wire = payload bytes * wire_byte_ns        (serialization)
+//   t_arrive  = t_depart + t_on_wire + one_way + nic_process
+//   t_done    = t_arrive + one_way + completion     (+ response bytes for READ)
+//
+// Per-QP ordering is enforced the way an RC QP does: execution at the
+// responder follows posting order (arrivals are monotonic). WRITE payloads
+// are handed to the target arena as a chunked DMA placement spanning the
+// wire interval, so concurrent readers and crashes see partial objects.
+//
+// post_write() is the fire-and-forget form used by SAW: it performs all
+// bookkeeping immediately and returns the completion instant without
+// suspending, so a subsequent send() on the same QP is ordered behind the
+// write exactly as ibv_post_send ordering guarantees.
+#pragma once
+
+#include <cstdint>
+
+#include "common/bytes.hpp"
+#include "common/status.hpp"
+#include "common/types.hpp"
+#include "rdma/fabric.hpp"
+#include "rdma/node.hpp"
+#include "sim/simulator.hpp"
+#include "sim/task.hpp"
+
+namespace efac::rdma {
+
+/// Per-QP verb counters (observability for tests/benches).
+struct QpStats {
+  std::uint64_t reads = 0;
+  std::uint64_t read_bytes = 0;
+  std::uint64_t writes = 0;
+  std::uint64_t write_bytes = 0;
+  std::uint64_t sends = 0;
+  std::uint64_t send_bytes = 0;
+  std::uint64_t writes_with_imm = 0;
+  std::uint64_t cas_ops = 0;
+  std::uint64_t commits = 0;
+};
+
+class QueuePair {
+ public:
+  QueuePair(sim::Simulator& sim, Fabric& fabric, Node& target,
+            std::uint64_t qp_id)
+      : sim_(sim), fabric_(fabric), target_(target), id_(qp_id) {}
+  QueuePair(const QueuePair&) = delete;
+  QueuePair& operator=(const QueuePair&) = delete;
+
+  [[nodiscard]] std::uint64_t id() const noexcept { return id_; }
+  [[nodiscard]] const QpStats& stats() const noexcept { return stats_; }
+  [[nodiscard]] Node& target() noexcept { return target_; }
+
+  /// One-sided READ: snapshot of remote memory taken at arrival instant.
+  sim::Task<Expected<Bytes>> read(std::uint32_t rkey, MemOffset offset,
+                                  std::size_t length);
+
+  /// One-sided WRITE, awaited to completion (ack received). Completion does
+  /// NOT imply durability: the payload sits in the volatile tier (DDIO).
+  sim::Task<Expected<Unit>> write(std::uint32_t rkey, MemOffset offset,
+                                  BytesView data);
+
+  /// Fire-and-forget WRITE: posts and returns the completion instant.
+  /// Subsequent verbs on this QP execute after it at the responder.
+  Expected<SimTime> post_write(std::uint32_t rkey, MemOffset offset,
+                               BytesView data);
+
+  /// WRITE_WITH_IMM: places the payload, then delivers an immediate
+  /// notification (consuming a receive) ordered after the placement.
+  sim::Task<Expected<Unit>> write_with_imm(std::uint32_t rkey,
+                                           MemOffset offset, BytesView data,
+                                           std::uint32_t imm);
+
+  /// Two-sided SEND: payload lands in the target's receive queue.
+  /// Completion means the message was delivered (RC ack), not processed.
+  sim::Task<void> send(Bytes payload);
+
+  /// Fire-and-forget SEND (used after post_write by SAW).
+  void post_send(Bytes payload);
+
+  /// 8-byte remote compare-and-swap; returns the previous value.
+  sim::Task<Expected<std::uint64_t>> compare_and_swap(std::uint32_t rkey,
+                                                      MemOffset offset,
+                                                      std::uint64_t expected,
+                                                      std::uint64_t desired);
+
+  /// 8-byte remote fetch-and-add; returns the previous value.
+  sim::Task<Expected<std::uint64_t>> fetch_add(std::uint32_t rkey,
+                                               MemOffset offset,
+                                               std::uint64_t addend);
+
+  /// RDMA Commit (the rcommit verb of the IETF "RDMA Durable Write
+  /// Commit" draft the paper's §7.1 discusses): the responder NIC flushes
+  /// [offset, offset+length) to the media with NO remote-CPU involvement.
+  /// Ordered after prior WRs on this QP; the ack implies durability.
+  /// This models proposed hardware — no shipping NIC implements it.
+  sim::Task<Expected<Unit>> commit(std::uint32_t rkey, MemOffset offset,
+                                   std::size_t length);
+
+  /// Fire-and-forget commit: returns the completion instant; subsequent
+  /// verbs on this QP execute after the flush finishes.
+  Expected<SimTime> post_commit(std::uint32_t rkey, MemOffset offset,
+                                std::size_t length);
+
+ private:
+  struct Timing {
+    SimTime depart;        ///< payload starts on the wire
+    SimTime arrive;        ///< executed at the responder
+    SimTime done;          ///< requester observes the completion
+  };
+
+  /// Compute and commit the timeline of the next WR on this QP.
+  Timing plan(std::size_t request_payload, std::size_t response_payload);
+
+  /// Deliver a message into the target's receive queue at `when`.
+  void deliver_at(SimTime when, InboundMessage message);
+
+  sim::Simulator& sim_;
+  Fabric& fabric_;
+  Node& target_;
+  std::uint64_t id_;
+  SimTime last_depart_ = 0;
+  SimTime last_arrive_ = 0;
+  QpStats stats_;
+};
+
+}  // namespace efac::rdma

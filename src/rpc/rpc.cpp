@@ -1,0 +1,70 @@
+#include "rpc/rpc.hpp"
+
+namespace efac::rpc {
+
+ParsedRequest parse_request(const rdma::InboundMessage& msg) {
+  ByteReader reader{msg.payload};
+  ParsedRequest out;
+  out.opcode = reader.get_u16();
+  out.call_id = reader.get_u64();
+  BytesView args = reader.get_blob();
+  out.args.assign(args.begin(), args.end());
+  out.src_qp = msg.src_qp;
+  out.arrived_at = msg.arrived_at;
+  return out;
+}
+
+void Replier::reply(Bytes payload) const {
+  Connection* conn = directory_->find(qp_id_);
+  // The client may have torn down (e.g. after an injected crash); dropping
+  // the response mirrors what a dead RC connection would do.
+  if (conn == nullptr) return;
+  conn->deliver_reply(call_id_, std::move(payload));
+}
+
+Connection::Connection(sim::Simulator& sim, rdma::Fabric& fabric,
+                       rdma::Node& server, Directory& directory,
+                       std::uint64_t qp_id)
+    : sim_(sim),
+      fabric_(fabric),
+      directory_(directory),
+      qp_(sim, fabric, server, qp_id) {
+  directory_.add(qp_id, this);
+}
+
+Connection::~Connection() { directory_.remove(qp_.id()); }
+
+sim::Task<Bytes> Connection::call(std::uint16_t opcode, Bytes args) {
+  const std::uint64_t call_id = next_call_id_++;
+  ByteWriter writer{args.size() + 16};
+  writer.put_u16(opcode);
+  writer.put_u64(call_id);
+  writer.put_blob(args);
+
+  sim::OneShot<Bytes> slot{sim_};
+  pending_.emplace(call_id, &slot);
+  co_await qp_.send(std::move(writer).take());
+  Bytes response = co_await slot.wait();
+  pending_.erase(call_id);
+  ++calls_completed_;
+  co_return response;
+}
+
+void Connection::deliver_reply(std::uint64_t call_id, Bytes payload) {
+  const rdma::FabricConfig& cfg = fabric_.config();
+  // Reverse path: one-way + response serialization + requester completion.
+  // The server's CPU cost of posting the SEND is charged by the server
+  // worker (it is part of the handler's service time), not here.
+  const SimDuration latency = fabric_.one_way() +
+                              cfg.wire_cost(payload.size()) +
+                              cfg.completion_ns;
+  sim_.call_after(latency, [this, call_id, p = std::move(payload)]() mutable {
+    const auto it = pending_.find(call_id);
+    // Late replies for calls that no longer exist are dropped (client gave
+    // up / crashed); mirrors a stale completion.
+    if (it == pending_.end()) return;
+    it->second->set(std::move(p));
+  });
+}
+
+}  // namespace efac::rpc

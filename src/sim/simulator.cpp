@@ -1,0 +1,123 @@
+#include "sim/simulator.hpp"
+
+#include "common/assert.hpp"
+
+namespace efac::sim {
+
+namespace {
+
+/// Eager, self-destroying coroutine used to drive a detached Task<void>.
+/// Suspends at the start so the Simulator can register the root frame
+/// before any user code runs (avoiding a register/finish race).
+struct DetachedDriver {
+  struct promise_type {
+    DetachedDriver get_return_object() noexcept {
+      return {std::coroutine_handle<promise_type>::from_promise(*this)};
+    }
+    std::suspend_always initial_suspend() noexcept { return {}; }
+    std::suspend_never final_suspend() noexcept { return {}; }
+    void return_void() noexcept {}
+    void unhandled_exception() noexcept {
+      // The driver body catches everything; anything reaching here is a
+      // bug in the driver itself.
+      std::terminate();
+    }
+  };
+  std::coroutine_handle<promise_type> handle;
+};
+
+DetachedDriver drive(Simulator& sim, Task<void> task, std::uint64_t id) {
+  try {
+    co_await std::move(task);
+  } catch (...) {
+    sim.record_detached_exception(std::current_exception());
+  }
+  sim.root_finished(id);
+}
+
+}  // namespace
+
+Simulator::~Simulator() {
+  // Destroy the queue first: its handles point into frames owned (directly
+  // or transitively) by the root frames below, and become dangling once
+  // those are destroyed.
+  while (!queue_.empty()) queue_.pop();
+  for (auto& [id, handle] : roots_) {
+    handle.destroy();  // recursively destroys children via Task destructors
+  }
+  roots_.clear();
+}
+
+void Simulator::schedule_at(SimTime t, std::coroutine_handle<> h) {
+  EFAC_CHECK_MSG(t >= now_, "scheduling into the past");
+  EFAC_CHECK(h);
+  queue_.push(Event{t, next_seq_++, h, nullptr});
+}
+
+void Simulator::call_at(SimTime t, std::function<void()> fn) {
+  EFAC_CHECK_MSG(t >= now_, "scheduling into the past");
+  EFAC_CHECK(fn != nullptr);
+  queue_.push(Event{t, next_seq_++, nullptr, std::move(fn)});
+}
+
+void Simulator::spawn(Task<void> task) {
+  EFAC_CHECK_MSG(task.valid(), "spawning an empty task");
+  const std::uint64_t id = next_root_id_++;
+  DetachedDriver driver = drive(*this, std::move(task), id);
+  roots_.emplace(id, driver.handle);
+  driver.handle.resume();  // run until first suspension (or completion)
+  maybe_rethrow();
+}
+
+void Simulator::record_detached_exception(std::exception_ptr e) noexcept {
+  if (!pending_exception_) pending_exception_ = e;
+}
+
+void Simulator::maybe_rethrow() {
+  if (pending_exception_) {
+    std::exception_ptr e = pending_exception_;
+    pending_exception_ = nullptr;
+    std::rethrow_exception(e);
+  }
+}
+
+void Simulator::dispatch(Event& e) {
+  now_ = e.t;
+  ++events_processed_;
+  if (e.handle) {
+    e.handle.resume();
+  } else {
+    e.callback();
+  }
+}
+
+bool Simulator::step() {
+  if (queue_.empty()) return false;
+  Event e = queue_.top();
+  queue_.pop();
+  dispatch(e);
+  maybe_rethrow();
+  return true;
+}
+
+std::size_t Simulator::run() {
+  std::size_t n = 0;
+  while (step()) ++n;
+  return n;
+}
+
+std::size_t Simulator::run_until(SimTime deadline) {
+  EFAC_CHECK_MSG(deadline >= now_, "run_until into the past");
+  std::size_t n = 0;
+  while (!queue_.empty() && queue_.top().t <= deadline) {
+    Event e = queue_.top();
+    queue_.pop();
+    dispatch(e);
+    maybe_rethrow();
+    ++n;
+  }
+  now_ = deadline;
+  return n;
+}
+
+}  // namespace efac::sim

@@ -1,0 +1,127 @@
+// Deterministic discrete-event simulator with a virtual nanosecond clock.
+//
+// The Simulator owns a time-ordered event queue. Events are either coroutine
+// resumptions (the common case: a delay elapsing, a verb completing) or
+// plain callbacks. Two events scheduled for the same instant fire in FIFO
+// order of scheduling, which makes every run bit-reproducible.
+//
+// Actors are coroutines returning sim::Task<>; detached root actors are
+// started with spawn(). The Simulator tracks unfinished root frames and
+// destroys them on destruction so that abandoned actors (e.g. an infinite
+// background-thread loop stopped by run_until) do not leak.
+#pragma once
+
+#include <coroutine>
+#include <cstdint>
+#include <exception>
+#include <functional>
+#include <queue>
+#include <unordered_map>
+#include <vector>
+
+#include "common/types.hpp"
+#include "sim/task.hpp"
+
+namespace efac::sim {
+
+class Simulator {
+ public:
+  Simulator() = default;
+  Simulator(const Simulator&) = delete;
+  Simulator& operator=(const Simulator&) = delete;
+  ~Simulator();
+
+  /// Current virtual time (ns).
+  [[nodiscard]] SimTime now() const noexcept { return now_; }
+
+  /// Schedule a coroutine resumption at absolute virtual time `t` (>= now).
+  void schedule_at(SimTime t, std::coroutine_handle<> h);
+
+  /// Schedule a coroutine resumption `d` ns from now.
+  void schedule_after(SimDuration d, std::coroutine_handle<> h) {
+    schedule_at(now_ + d, h);
+  }
+
+  /// Schedule a plain callback at absolute virtual time `t`.
+  void call_at(SimTime t, std::function<void()> fn);
+
+  /// Schedule a plain callback `d` ns from now.
+  void call_after(SimDuration d, std::function<void()> fn) {
+    call_at(now_ + d, std::move(fn));
+  }
+
+  /// Start a detached root actor. Runs synchronously until its first
+  /// suspension point.
+  void spawn(Task<void> task);
+
+  /// Process one event. Returns false if the queue is empty.
+  bool step();
+
+  /// Run until the event queue drains. Returns the number of events
+  /// processed. Rethrows the first exception escaping a detached task.
+  std::size_t run();
+
+  /// Process every event with timestamp <= deadline, then advance the clock
+  /// to exactly `deadline`. Events beyond the deadline stay queued.
+  std::size_t run_until(SimTime deadline);
+
+  /// Number of spawned root actors that have not yet finished.
+  [[nodiscard]] std::size_t active_root_tasks() const noexcept {
+    return roots_.size();
+  }
+
+  /// Number of events waiting in the queue.
+  [[nodiscard]] std::size_t pending_events() const noexcept {
+    return queue_.size();
+  }
+
+  /// Total events processed since construction.
+  [[nodiscard]] std::uint64_t events_processed() const noexcept {
+    return events_processed_;
+  }
+
+  /// Used by the detached-task driver; not for general use.
+  void record_detached_exception(std::exception_ptr e) noexcept;
+  void root_finished(std::uint64_t id) noexcept { roots_.erase(id); }
+
+ private:
+  struct Event {
+    SimTime t;
+    std::uint64_t seq;
+    std::coroutine_handle<> handle;   // exactly one of handle / callback set
+    std::function<void()> callback;
+  };
+  struct EventLater {
+    bool operator()(const Event& a, const Event& b) const noexcept {
+      if (a.t != b.t) return a.t > b.t;
+      return a.seq > b.seq;
+    }
+  };
+
+  void dispatch(Event& e);
+  void maybe_rethrow();
+
+  std::priority_queue<Event, std::vector<Event>, EventLater> queue_;
+  SimTime now_ = 0;
+  std::uint64_t next_seq_ = 0;
+  std::uint64_t next_root_id_ = 0;
+  std::uint64_t events_processed_ = 0;
+  std::unordered_map<std::uint64_t, std::coroutine_handle<>> roots_;
+  std::exception_ptr pending_exception_;
+};
+
+/// Awaitable that suspends the current coroutine for `d` virtual ns.
+/// `co_await delay(sim, 0)` yields to other events already due now.
+struct DelayAwaiter {
+  Simulator& sim;
+  SimDuration duration;
+  bool await_ready() const noexcept { return false; }
+  void await_suspend(std::coroutine_handle<> h) const {
+    sim.schedule_after(duration, h);
+  }
+  void await_resume() const noexcept {}
+};
+
+inline DelayAwaiter delay(Simulator& sim, SimDuration d) { return {sim, d}; }
+
+}  // namespace efac::sim

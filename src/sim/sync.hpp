@@ -1,0 +1,254 @@
+// Synchronization primitives for simulation actors.
+//
+// All primitives resume waiters *through the event queue* (at the current
+// virtual instant) rather than inline. That keeps host-stack depth bounded
+// and makes wake-up ordering deterministic and FIFO.
+//
+//   OneShot<T>  — single-producer/single-consumer future (RPC responses,
+//                 verb completions).
+//   Gate        — manual-reset broadcast event (log-cleaning start/stop,
+//                 server readiness).
+//   Semaphore   — counting semaphore with FIFO hand-off (server CPU cores).
+//   Channel<T>  — unbounded FIFO queue with awaitable pop (request queues).
+#pragma once
+
+#include <coroutine>
+#include <deque>
+#include <optional>
+#include <utility>
+
+#include "common/assert.hpp"
+#include "sim/simulator.hpp"
+
+namespace efac::sim {
+
+/// Single-value future. Exactly one set(); at most one concurrent waiter.
+template <typename T>
+class OneShot {
+ public:
+  explicit OneShot(Simulator& sim) : sim_(sim) {}
+  OneShot(const OneShot&) = delete;
+  OneShot& operator=(const OneShot&) = delete;
+
+  /// Fulfil the future. The waiter (if any) resumes at the current instant.
+  void set(T value) {
+    EFAC_CHECK_MSG(!value_.has_value(), "OneShot set twice");
+    value_.emplace(std::move(value));
+    if (waiter_) {
+      sim_.schedule_after(0, std::exchange(waiter_, {}));
+    }
+  }
+
+  [[nodiscard]] bool ready() const noexcept { return value_.has_value(); }
+
+  /// Awaitable: suspends until set(), then yields the value (moved out).
+  auto wait() {
+    struct Awaiter {
+      OneShot& self;
+      bool await_ready() const noexcept { return self.value_.has_value(); }
+      void await_suspend(std::coroutine_handle<> h) {
+        EFAC_CHECK_MSG(!self.waiter_, "OneShot already has a waiter");
+        self.waiter_ = h;
+      }
+      T await_resume() {
+        EFAC_CHECK(self.value_.has_value());
+        T out = std::move(*self.value_);
+        self.value_.reset();
+        return out;
+      }
+    };
+    return Awaiter{*this};
+  }
+
+ private:
+  Simulator& sim_;
+  std::optional<T> value_;
+  std::coroutine_handle<> waiter_;
+};
+
+/// Manual-reset broadcast event. wait() suspends while closed; set() wakes
+/// every current waiter and lets subsequent waiters pass until reset().
+class Gate {
+ public:
+  explicit Gate(Simulator& sim, bool open = false) : sim_(sim), open_(open) {}
+  Gate(const Gate&) = delete;
+  Gate& operator=(const Gate&) = delete;
+
+  void open() {
+    open_ = true;
+    for (std::coroutine_handle<> h : waiters_) sim_.schedule_after(0, h);
+    waiters_.clear();
+  }
+
+  void close() noexcept { open_ = false; }
+
+  [[nodiscard]] bool is_open() const noexcept { return open_; }
+
+  auto wait() {
+    struct Awaiter {
+      Gate& self;
+      bool await_ready() const noexcept { return self.open_; }
+      void await_suspend(std::coroutine_handle<> h) {
+        self.waiters_.push_back(h);
+      }
+      void await_resume() const noexcept {}
+    };
+    return Awaiter{*this};
+  }
+
+ private:
+  Simulator& sim_;
+  bool open_;
+  std::deque<std::coroutine_handle<>> waiters_;
+};
+
+/// Counting semaphore with FIFO ordering. release() hands the permit
+/// directly to the oldest waiter, so permits cannot be stolen by late
+/// arrivals (no barging) — important for modelling fair CPU-core queues.
+class Semaphore {
+ public:
+  Semaphore(Simulator& sim, std::size_t permits)
+      : sim_(sim), available_(permits), capacity_(permits) {}
+  Semaphore(const Semaphore&) = delete;
+  Semaphore& operator=(const Semaphore&) = delete;
+
+  auto acquire() { return AcquireAwaiter{.self = *this}; }
+
+  void release() {
+    if (!waiters_.empty()) {
+      // Direct hand-off: the permit never becomes visible to other acquirers
+      // and cannot be double-counted by the resuming waiter.
+      AcquireAwaiter* w = waiters_.front();
+      waiters_.pop_front();
+      w->handed_off = true;
+      sim_.schedule_after(0, w->handle);
+    } else {
+      EFAC_CHECK_MSG(available_ < capacity_, "Semaphore over-released");
+      ++available_;
+    }
+  }
+
+  [[nodiscard]] std::size_t available() const noexcept { return available_; }
+  [[nodiscard]] std::size_t waiting() const noexcept {
+    return waiters_.size();
+  }
+  [[nodiscard]] std::size_t capacity() const noexcept { return capacity_; }
+
+ private:
+  struct AcquireAwaiter {
+    Semaphore& self;
+    bool handed_off = false;
+    std::coroutine_handle<> handle{};
+
+    bool await_ready() const noexcept { return self.available_ > 0; }
+    void await_suspend(std::coroutine_handle<> h) {
+      handle = h;
+      self.waiters_.push_back(this);
+    }
+    void await_resume() const noexcept {
+      if (!handed_off) {
+        // Ready path: consume an available permit atomically (the DES is
+        // cooperative, so nothing interleaves between ready and resume).
+        --self.available_;
+      }
+    }
+  };
+
+  Simulator& sim_;
+  std::size_t available_;
+  std::size_t capacity_;
+  std::deque<AcquireAwaiter*> waiters_;
+};
+
+/// RAII permit holder usable from coroutines:
+///   auto permit = co_await SemaphoreLock::acquire(sem);
+class SemaphoreLock {
+ public:
+  static Task<SemaphoreLock> acquire(Semaphore& sem) {
+    co_await sem.acquire();
+    co_return SemaphoreLock{&sem};
+  }
+
+  SemaphoreLock(SemaphoreLock&& other) noexcept
+      : sem_(std::exchange(other.sem_, nullptr)) {}
+  SemaphoreLock& operator=(SemaphoreLock&& other) noexcept {
+    if (this != &other) {
+      reset();
+      sem_ = std::exchange(other.sem_, nullptr);
+    }
+    return *this;
+  }
+  SemaphoreLock(const SemaphoreLock&) = delete;
+  SemaphoreLock& operator=(const SemaphoreLock&) = delete;
+  ~SemaphoreLock() { reset(); }
+
+  void reset() noexcept {
+    if (sem_ != nullptr) {
+      sem_->release();
+      sem_ = nullptr;
+    }
+  }
+
+ private:
+  explicit SemaphoreLock(Semaphore* sem) : sem_(sem) {}
+  Semaphore* sem_;
+};
+
+/// Unbounded FIFO channel. Values pushed while consumers wait are handed
+/// directly to the oldest waiter (per-waiter slot), so a value can never be
+/// stolen between wake-up and resumption.
+template <typename T>
+class Channel {
+ public:
+  explicit Channel(Simulator& sim) : sim_(sim) {}
+  Channel(const Channel&) = delete;
+  Channel& operator=(const Channel&) = delete;
+
+  void push(T value) {
+    if (!waiters_.empty()) {
+      PopAwaiter* w = waiters_.front();
+      waiters_.pop_front();
+      w->slot.emplace(std::move(value));
+      sim_.schedule_after(0, w->handle);
+    } else {
+      items_.push_back(std::move(value));
+    }
+  }
+
+  /// Awaitable pop; FIFO among waiters.
+  auto pop() { return PopAwaiter{.self = *this}; }
+
+  [[nodiscard]] std::size_t size() const noexcept { return items_.size(); }
+  [[nodiscard]] bool empty() const noexcept { return items_.empty(); }
+  [[nodiscard]] std::size_t waiting_consumers() const noexcept {
+    return waiters_.size();
+  }
+
+ private:
+  struct PopAwaiter {
+    Channel& self;
+    std::optional<T> slot{};
+    std::coroutine_handle<> handle{};
+
+    bool await_ready() const noexcept { return !self.items_.empty(); }
+    void await_suspend(std::coroutine_handle<> h) {
+      handle = h;
+      self.waiters_.push_back(this);
+    }
+    T await_resume() {
+      if (slot.has_value()) {
+        return std::move(*slot);  // direct hand-off path
+      }
+      EFAC_CHECK(!self.items_.empty());
+      T out = std::move(self.items_.front());
+      self.items_.pop_front();
+      return out;
+    }
+  };
+
+  Simulator& sim_;
+  std::deque<T> items_;
+  std::deque<PopAwaiter*> waiters_;
+};
+
+}  // namespace efac::sim

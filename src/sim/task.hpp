@@ -1,0 +1,146 @@
+// Lazy coroutine task for simulation actors.
+//
+// Task<T> is the return type of every simulated activity (an RPC, a verb
+// completion, a whole client session). Tasks are:
+//   * lazy        — the body does not run until awaited or spawned;
+//   * move-only   — the Task object owns the coroutine frame;
+//   * chained     — completion resumes the awaiting coroutine via symmetric
+//                   transfer, so arbitrarily deep protocol stacks cost no
+//                   host-stack depth.
+//
+// Exceptions thrown inside a task propagate to the awaiter; exceptions that
+// escape a *detached* (spawned) task are captured by the Simulator and
+// rethrown from Simulator::run()/step().
+#pragma once
+
+#include <coroutine>
+#include <exception>
+#include <optional>
+#include <type_traits>
+#include <utility>
+
+#include "common/assert.hpp"
+
+namespace efac::sim {
+
+template <typename T>
+class Task;
+
+namespace detail {
+
+struct TaskFinalAwaiter {
+  bool await_ready() const noexcept { return false; }
+  template <typename Promise>
+  std::coroutine_handle<> await_suspend(
+      std::coroutine_handle<Promise> h) noexcept {
+    std::coroutine_handle<> cont = h.promise().continuation;
+    return cont ? cont : std::noop_coroutine();
+  }
+  void await_resume() const noexcept {}
+};
+
+struct TaskPromiseBase {
+  std::coroutine_handle<> continuation;
+  std::exception_ptr exception;
+
+  std::suspend_always initial_suspend() noexcept { return {}; }
+  TaskFinalAwaiter final_suspend() noexcept { return {}; }
+  void unhandled_exception() noexcept { exception = std::current_exception(); }
+};
+
+template <typename T>
+struct TaskPromise final : TaskPromiseBase {
+  std::optional<T> value;
+
+  Task<T> get_return_object() noexcept;
+  void return_value(T v) { value.emplace(std::move(v)); }
+  T&& result() {
+    if (exception) std::rethrow_exception(exception);
+    EFAC_CHECK_MSG(value.has_value(), "task finished without a value");
+    return std::move(*value);
+  }
+};
+
+template <>
+struct TaskPromise<void> final : TaskPromiseBase {
+  Task<void> get_return_object() noexcept;
+  void return_void() noexcept {}
+  void result() {
+    if (exception) std::rethrow_exception(exception);
+  }
+};
+
+}  // namespace detail
+
+template <typename T = void>
+class [[nodiscard]] Task {
+ public:
+  using promise_type = detail::TaskPromise<T>;
+  using Handle = std::coroutine_handle<promise_type>;
+
+  Task() noexcept = default;
+  explicit Task(Handle handle) noexcept : handle_(handle) {}
+  Task(Task&& other) noexcept : handle_(std::exchange(other.handle_, {})) {}
+  Task& operator=(Task&& other) noexcept {
+    if (this != &other) {
+      destroy();
+      handle_ = std::exchange(other.handle_, {});
+    }
+    return *this;
+  }
+  Task(const Task&) = delete;
+  Task& operator=(const Task&) = delete;
+  ~Task() { destroy(); }
+
+  [[nodiscard]] bool valid() const noexcept {
+    return static_cast<bool>(handle_);
+  }
+  [[nodiscard]] bool done() const noexcept { return handle_ && handle_.done(); }
+
+  /// Awaiting a task starts it and suspends the awaiter until completion.
+  auto operator co_await() & noexcept { return Awaiter{handle_}; }
+  auto operator co_await() && noexcept { return Awaiter{handle_}; }
+
+  /// Release ownership of the frame (used by Simulator::spawn's driver).
+  Handle release() noexcept { return std::exchange(handle_, {}); }
+
+ private:
+  struct Awaiter {
+    Handle handle;
+    bool await_ready() const noexcept {
+      EFAC_CHECK_MSG(handle, "awaiting an empty Task");
+      return handle.done();
+    }
+    std::coroutine_handle<> await_suspend(
+        std::coroutine_handle<> cont) noexcept {
+      handle.promise().continuation = cont;
+      return handle;  // symmetric transfer: start/resume the child
+    }
+    T await_resume() { return handle.promise().result(); }
+  };
+
+  void destroy() noexcept {
+    if (handle_) {
+      handle_.destroy();
+      handle_ = {};
+    }
+  }
+
+  Handle handle_{};
+};
+
+namespace detail {
+
+template <typename T>
+Task<T> TaskPromise<T>::get_return_object() noexcept {
+  return Task<T>{std::coroutine_handle<TaskPromise<T>>::from_promise(*this)};
+}
+
+inline Task<void> TaskPromise<void>::get_return_object() noexcept {
+  return Task<void>{
+      std::coroutine_handle<TaskPromise<void>>::from_promise(*this)};
+}
+
+}  // namespace detail
+
+}  // namespace efac::sim

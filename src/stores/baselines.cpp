@@ -1,0 +1,982 @@
+#include "stores/baselines.hpp"
+
+#include <algorithm>
+#include <array>
+#include <vector>
+
+namespace efac::stores {
+
+namespace {
+
+constexpr int kMaxChain = 32;
+
+/// All plausible versions reachable from a HashDir entry, newest first.
+std::vector<MemOffset> dir_versions(nvm::Arena& arena, const StoreBase& store,
+                                    const kv::HashDir::Entry& entry) {
+  std::vector<MemOffset> out;
+  auto walk = [&](MemOffset head) {
+    int depth = 0;
+    MemOffset off = head;
+    while (off != 0 && depth++ < kMaxChain) {
+      if (!store.header_readable(off)) break;  // garbage pointer
+      if (std::find(out.begin(), out.end(), off) != out.end()) break;
+      const kv::ObjectMeta meta = kv::ObjectRef{arena, off}.read_header();
+      if (!store.object_span_ok(off, meta)) break;
+      out.push_back(off);
+      off = meta.pre_ptr;
+    }
+  };
+  walk(entry.off_old);
+  walk(entry.off_new);
+  std::sort(out.begin(), out.end(), [&](MemOffset a, MemOffset b) {
+    return kv::ObjectRef{arena, a}.read_header().write_time >
+           kv::ObjectRef{arena, b}.read_header().write_time;
+  });
+  return out;
+}
+
+/// Extract the value from a raw one-sided object read, validating identity.
+Expected<Bytes> value_from_raw(const Bytes& raw, std::size_t klen,
+                               std::size_t vlen, std::uint64_t expect_hash) {
+  const kv::ObjectMeta meta = kv::ObjectLayout::decode_header(raw);
+  if (meta.key_hash != expect_hash || !meta.valid || meta.klen != klen ||
+      meta.vlen != vlen) {
+    return Status{StatusCode::kNotFound, "object does not match"};
+  }
+  return Bytes(raw.begin() + kv::ObjectLayout::kHeaderSize + klen,
+               raw.begin() + kv::ObjectLayout::kHeaderSize + klen + vlen);
+}
+
+}  // namespace
+
+Expected<Bytes> recover_via_dir(nvm::Arena& arena, kv::HashDir& dir,
+                                const StoreBase& store, BytesView key) {
+  const std::uint64_t key_hash = kv::hash_key(key);
+  const Expected<std::size_t> slot = dir.find(key_hash);
+  if (!slot) return Status{StatusCode::kNotFound};
+  const kv::HashDir::Entry entry = dir.read(*slot);
+  for (const MemOffset off : dir_versions(arena, store, entry)) {
+    kv::ObjectRef obj{arena, off};
+    const kv::ObjectMeta meta = obj.read_header();
+    if (!meta.valid || meta.key_hash != key_hash) continue;
+    if (obj.verify_crc()) return obj.read_value(meta.klen, meta.vlen);
+  }
+  return Status{StatusCode::kCorrupt, "no intact version survives"};
+}
+
+// ===================================================================== SAW
+
+SawStore::SawStore(sim::Simulator& sim, StoreConfig config)
+    : StoreBase(sim, config, kv::HashDir::bytes_required(config.hash_buckets)),
+      dir_(*arena_, 0, config_.hash_buckets) {}
+
+sim::Task<void> SawStore::handle(rdma::InboundMessage msg) {
+  co_await charge(config_.recv_cost());
+  rpc::ParsedRequest req = rpc::parse_request(msg);
+  if (req.opcode == kAlloc) {
+    const AllocRequest alloc = AllocRequest::decode(req.args);
+    const std::uint64_t key_hash = kv::hash_key(alloc.key);
+    std::size_t probes = 0;
+    AllocResponse resp;
+    const Expected<std::size_t> slot = dir_.find_or_claim(key_hash, &probes);
+    SimDuration cost = probes * config_.cpu.hash_probe_ns;
+    if (!slot) {
+      resp.status = slot.status().code();
+    } else {
+      const kv::HashDir::Entry entry = dir_.read(*slot);
+      const Expected<MemOffset> off = pool_a().allocate(
+          kv::ObjectLayout::total_size(alloc.klen, alloc.vlen));
+      if (!off) {
+        resp.status = StatusCode::kOutOfSpace;
+      } else {
+        // SAW updates metadata only at the durability point: the header is
+        // staged, but the hash entry is NOT indexed yet.
+        cost += place_object_metadata(*off, alloc, entry.current(),
+                                      /*persist=*/false);
+        resp.object_off = *off;
+      }
+    }
+    co_await charge(cost + config_.cpu.send_post_ns);
+    rpc::Replier{directory_, req.src_qp, req.call_id}.reply(resp.encode());
+  } else if (req.opcode == kPersist) {
+    const PersistRequest persist = PersistRequest::decode(req.args);
+    // Validate before trusting a client-supplied offset: a buggy (or
+    // malicious) client must get an error back, not crash the server.
+    kv::ObjectMeta meta;
+    if (header_readable(persist.object_off)) {
+      meta = kv::ObjectRef{*arena_, persist.object_off}.read_header();
+    }
+    if (meta.key_hash == 0 || !object_span_ok(persist.object_off, meta) ||
+        meta.klen != persist.klen || meta.vlen != persist.vlen) {
+      co_await charge(config_.cpu.send_post_ns);
+      rpc::Replier{directory_, req.src_qp, req.call_id}.reply(
+          encode_status(StatusCode::kInvalidArgument));
+      co_return;
+    }
+    const std::size_t total =
+        kv::ObjectLayout::total_size(persist.klen, persist.vlen);
+    arena_->flush(persist.object_off, total);
+    ++stats_.persists;
+    SimDuration cost =
+        arena_->cost().flush_cost(total) + arena_->cost().fence_ns;
+    // Now — and only now — expose the version through the index.
+    std::size_t probes = 0;
+    const Expected<std::size_t> slot = dir_.find(meta.key_hash, &probes);
+    cost += probes * config_.cpu.hash_probe_ns;
+    StatusCode status = StatusCode::kOk;
+    if (slot) {
+      kv::HashDir::Entry entry = dir_.read(*slot);
+      entry.off_old = persist.object_off;
+      entry.mark = false;
+      dir_.write(*slot, entry);
+      dir_.persist(*slot);
+      cost += arena_->cost().flush_cost(kv::HashDir::kEntrySize) +
+              arena_->cost().fence_ns;
+    } else {
+      status = StatusCode::kInternal;
+    }
+    co_await charge(cost + config_.cpu.send_post_ns);
+    rpc::Replier{directory_, req.src_qp, req.call_id}.reply(
+        encode_status(status));
+  } else {
+    EFAC_UNREACHABLE("SAW: unexpected opcode");
+  }
+}
+
+Expected<Bytes> SawStore::recover_get(BytesView key) {
+  return recover_via_dir(*arena_, dir_, *this, key);
+}
+
+namespace {
+
+/// Shared "entry read + object read" GET used by SAW, IMM, and CA. These
+/// systems trust the index (or, for CA, simply hope), so no verification
+/// happens client-side.
+class TwoReadClient : public KvClient {
+ public:
+  TwoReadClient(StoreBase& store, kv::HashDir& dir)
+      : store_(store),
+        dir_(dir),
+        conn_(store.simulator(), store.fabric(), store.node(),
+              store.directory(), store.next_qp_id()) {}
+
+  sim::Task<Expected<Bytes>> get(Bytes key) override {
+    ++stats_.gets;
+    const std::uint64_t key_hash = kv::hash_key(key);
+    // Client-side linear probing: a displaced key costs extra one-sided
+    // entry reads, exactly as open-addressed RDMA-KV clients pay.
+    constexpr std::size_t kClientProbeLimit = 16;
+    kv::HashDir::Entry entry;
+    bool found = false;
+    std::size_t slot = dir_.ideal_slot(key_hash);
+    for (std::size_t probe = 0; probe < kClientProbeLimit; ++probe) {
+      const Expected<Bytes> raw_entry =
+          co_await conn_.qp().read(store_.index_rkey(),
+                                   dir_.entry_offset(slot),
+                                   kv::HashDir::kEntrySize);
+      if (!raw_entry) co_return raw_entry.status();
+      entry = kv::HashDir::decode(*raw_entry);
+      if (entry.key_hash == key_hash) {
+        found = true;
+        break;
+      }
+      if (entry.empty()) break;
+      slot = (slot + 1) & (dir_.bucket_count() - 1);
+    }
+    if (!found || entry.current() == 0) {
+      co_return Status{StatusCode::kNotFound};
+    }
+    const std::size_t total =
+        kv::ObjectLayout::total_size(klen_hint_, vlen_hint_);
+    const Expected<Bytes> raw_obj = co_await conn_.qp().read(
+        store_.pool_rkey(), entry.current() - store_.pool_a().base(), total);
+    if (!raw_obj) co_return raw_obj.status();
+    ++stats_.gets_pure_rdma;
+    co_return value_from_raw(*raw_obj, klen_hint_, vlen_hint_, key_hash);
+  }
+
+ protected:
+  StoreBase& store_;
+  kv::HashDir& dir_;
+  rpc::Connection conn_;
+};
+
+class SawClient final : public TwoReadClient {
+ public:
+  explicit SawClient(SawStore& store) : TwoReadClient(store, store.dir()) {}
+
+  sim::Task<Status> put(Bytes key, Bytes value) override {
+    ++stats_.puts;
+    AllocRequest req;
+    req.klen = static_cast<std::uint32_t>(key.size());
+    req.vlen = static_cast<std::uint32_t>(value.size());
+    // SAW does not rely on checksums; the field is filled (free of virtual
+    // time) so that recovery inspection can validate data in tests.
+    req.crc = kv::object_crc(kv::hash_key(key), req.klen, req.vlen, value);
+    req.key = key;
+    const Bytes raw = co_await conn_.call(kAlloc, req.encode());
+    const AllocResponse resp = AllocResponse::decode(raw);
+    if (resp.status != StatusCode::kOk) co_return Status{resp.status};
+
+    // WRITE posted fire-and-forget, then the persist SEND on the same QP:
+    // RC ordering delivers the SEND only after the payload has landed.
+    const MemOffset value_off = resp.object_off +
+                                kv::ObjectLayout::kHeaderSize + key.size() -
+                                store_.pool_a().base();
+    const Expected<SimTime> posted =
+        conn_.qp().post_write(store_.pool_rkey(), value_off, value);
+    if (!posted) co_return posted.status();
+    PersistRequest persist;
+    persist.object_off = resp.object_off;
+    persist.klen = req.klen;
+    persist.vlen = req.vlen;
+    const Bytes ack = co_await conn_.call(kPersist, persist.encode());
+    co_return Status{decode_status(ack)};
+  }
+};
+
+}  // namespace
+
+std::unique_ptr<KvClient> SawStore::make_client() {
+  return std::make_unique<SawClient>(*this);
+}
+
+// ===================================================================== IMM
+
+void ImmAckHub::complete(std::uint32_t token, StatusCode status) {
+  const auto it = waiting_.find(token);
+  if (it == waiting_.end()) return;  // client gave up / crashed
+  sim::OneShot<StatusCode>* slot = it->second;
+  waiting_.erase(it);
+  const SimDuration ack_latency =
+      fabric_.one_way() + fabric_.config().completion_ns;
+  sim_.call_after(ack_latency, [slot, status] { slot->set(status); });
+}
+
+ImmStore::ImmStore(sim::Simulator& sim, StoreConfig config)
+    : StoreBase(sim, config, kv::HashDir::bytes_required(config.hash_buckets)),
+      dir_(*arena_, 0, config_.hash_buckets),
+      ack_hub_(sim_, fabric_) {}
+
+sim::Task<void> ImmStore::handle(rdma::InboundMessage msg) {
+  // Consuming a write_with_imm completion is lighter than parsing a full
+  // request: no payload to stage, just a CQE with a 32-bit immediate.
+  co_await charge(msg.has_imm ? config_.cpu.recv_handling_batched_ns
+                              : config_.recv_cost());
+  if (msg.has_imm) {
+    // Completion of a client's write_with_imm: flush, index, ack.
+    const auto it = pending_.find(msg.imm);
+    if (it == pending_.end()) co_return;  // stale token
+    const PendingWrite pw = it->second;
+    pending_.erase(it);
+    const std::size_t total = kv::ObjectLayout::total_size(pw.klen, pw.vlen);
+    arena_->flush(pw.object_off, total);
+    ++stats_.persists;
+    SimDuration cost =
+        arena_->cost().flush_cost(total) + arena_->cost().fence_ns;
+    const kv::ObjectMeta meta =
+        kv::ObjectRef{*arena_, pw.object_off}.read_header();
+    std::size_t probes = 0;
+    StatusCode status = StatusCode::kOk;
+    if (const Expected<std::size_t> slot = dir_.find(meta.key_hash, &probes)) {
+      kv::HashDir::Entry entry = dir_.read(*slot);
+      entry.off_old = pw.object_off;
+      entry.mark = false;
+      dir_.write(*slot, entry);
+      dir_.persist(*slot);
+      cost += probes * config_.cpu.hash_probe_ns +
+              arena_->cost().flush_cost(kv::HashDir::kEntrySize) +
+              arena_->cost().fence_ns;
+    } else {
+      status = StatusCode::kInternal;
+    }
+    co_await charge(cost + config_.cpu.send_post_ns);
+    ack_hub_.complete(msg.imm, status);
+    co_return;
+  }
+
+  rpc::ParsedRequest req = rpc::parse_request(msg);
+  EFAC_CHECK_MSG(req.opcode == kAlloc, "IMM: unexpected opcode");
+  const AllocRequest alloc = AllocRequest::decode(req.args);
+  const std::uint64_t key_hash = kv::hash_key(alloc.key);
+  std::size_t probes = 0;
+  AllocResponse resp;
+  const Expected<std::size_t> slot = dir_.find_or_claim(key_hash, &probes);
+  SimDuration cost = probes * config_.cpu.hash_probe_ns;
+  if (!slot) {
+    resp.status = slot.status().code();
+  } else {
+    const kv::HashDir::Entry entry = dir_.read(*slot);
+    const Expected<MemOffset> off = pool_a().allocate(
+        kv::ObjectLayout::total_size(alloc.klen, alloc.vlen));
+    if (!off) {
+      resp.status = StatusCode::kOutOfSpace;
+    } else {
+      cost += place_object_metadata(*off, alloc, entry.current(),
+                                    /*persist=*/false);
+      resp.object_off = *off;
+      resp.token = next_token_++;
+      pending_.emplace(resp.token,
+                       PendingWrite{*off, alloc.klen, alloc.vlen});
+    }
+  }
+  co_await charge(cost + config_.cpu.send_post_ns);
+  rpc::Replier{directory_, req.src_qp, req.call_id}.reply(resp.encode());
+}
+
+Expected<Bytes> ImmStore::recover_get(BytesView key) {
+  return recover_via_dir(*arena_, dir_, *this, key);
+}
+
+namespace {
+
+class ImmClient final : public TwoReadClient {
+ public:
+  explicit ImmClient(ImmStore& store)
+      : TwoReadClient(store, store.dir()), imm_store_(store) {}
+
+  sim::Task<Status> put(Bytes key, Bytes value) override {
+    ++stats_.puts;
+    AllocRequest req;
+    req.klen = static_cast<std::uint32_t>(key.size());
+    req.vlen = static_cast<std::uint32_t>(value.size());
+    req.crc = kv::object_crc(kv::hash_key(key), req.klen, req.vlen,
+                             value);  // bookkeeping only, no time charged
+    req.key = key;
+    const Bytes raw = co_await conn_.call(kAlloc, req.encode());
+    const AllocResponse resp = AllocResponse::decode(raw);
+    if (resp.status != StatusCode::kOk) co_return Status{resp.status};
+
+    sim::OneShot<StatusCode> ack{store_.simulator()};
+    imm_store_.ack_hub().arm(resp.token, &ack);
+    const MemOffset value_off = resp.object_off +
+                                kv::ObjectLayout::kHeaderSize + key.size() -
+                                store_.pool_a().base();
+    const Expected<Unit> wr = co_await conn_.qp().write_with_imm(
+        store_.pool_rkey(), value_off, value, resp.token);
+    if (!wr) {
+      imm_store_.ack_hub().disarm(resp.token);
+      co_return wr.status();
+    }
+    // Durability point: the server flushed and acked.
+    const StatusCode status = co_await ack.wait();
+    co_return Status{status};
+  }
+
+ private:
+  ImmStore& imm_store_;
+};
+
+}  // namespace
+
+std::unique_ptr<KvClient> ImmStore::make_client() {
+  return std::make_unique<ImmClient>(*this);
+}
+
+// ==================================================================== Erda
+
+ErdaStore::ErdaStore(sim::Simulator& sim, StoreConfig config)
+    : StoreBase(sim, config,
+                kv::ErdaTable::bytes_required(config.hash_buckets)),
+      table_(*arena_, 0, config_.hash_buckets, pool_a_->base()) {}
+
+sim::Task<void> ErdaStore::handle(rdma::InboundMessage msg) {
+  co_await charge(config_.recv_cost());
+  rpc::ParsedRequest req = rpc::parse_request(msg);
+  EFAC_CHECK_MSG(req.opcode == kAlloc, "Erda: unexpected opcode");
+  const AllocRequest alloc = AllocRequest::decode(req.args);
+  const std::uint64_t key_hash = kv::hash_key(alloc.key);
+  AllocResponse resp;
+  const Expected<std::size_t> slot = table_.find_or_claim(key_hash);
+  // Neighborhood scan plus hopscotch/atomic-region maintenance.
+  SimDuration cost = 2 * config_.cpu.hash_probe_ns + config_.cpu.erda_index_ns;
+  if (!slot) {
+    resp.status = slot.status().code();
+  } else {
+    const kv::ErdaTable::Versions versions = table_.read_versions(*slot);
+    const Expected<MemOffset> off = pool_a().allocate(
+        kv::ObjectLayout::total_size(alloc.klen, alloc.vlen));
+    if (!off) {
+      resp.status = StatusCode::kOutOfSpace;
+    } else {
+      // No explicit persistence anywhere on Erda's write path.
+      cost += place_object_metadata(*off, alloc, versions.cur,
+                                    /*persist=*/false);
+      table_.push_version(*slot, *off);  // the single atomic index store
+      resp.object_off = *off;
+    }
+  }
+  co_await charge(cost + config_.cpu.send_post_ns);
+  rpc::Replier{directory_, req.src_qp, req.call_id}.reply(resp.encode());
+}
+
+Expected<Bytes> ErdaStore::recover_get(BytesView key) {
+  const std::uint64_t key_hash = kv::hash_key(key);
+  const Expected<std::size_t> slot = table_.find(key_hash);
+  if (!slot) return Status{StatusCode::kNotFound};
+  const kv::ErdaTable::Versions versions = table_.read_versions(*slot);
+  // Only the latest two versions are recoverable — the 8-byte region holds
+  // no more (the limitation eFactory's version list removes).
+  for (const MemOffset off : {versions.cur, versions.prev}) {
+    if (off == 0 || !header_readable(off)) continue;
+    kv::ObjectRef obj{*arena_, off};
+    const kv::ObjectMeta meta = obj.read_header();
+    if (!object_span_ok(off, meta)) continue;
+    if (!meta.valid || meta.key_hash != key_hash) continue;
+    if (obj.verify_crc()) return obj.read_value(meta.klen, meta.vlen);
+  }
+  return Status{StatusCode::kCorrupt, "no intact version in atomic region"};
+}
+
+namespace {
+
+class ErdaClient final : public KvClient {
+ public:
+  explicit ErdaClient(ErdaStore& store)
+      : store_(store),
+        conn_(store.simulator(), store.fabric(), store.node(),
+              store.directory(), store.next_qp_id()) {}
+
+  sim::Task<Status> put(Bytes key, Bytes value) override {
+    ++stats_.puts;
+    // The client computes the CRC it embeds in the object.
+    co_await sim::delay(store_.simulator(),
+                        store_.config().crc.cost(value.size()));
+    AllocRequest req;
+    req.klen = static_cast<std::uint32_t>(key.size());
+    req.vlen = static_cast<std::uint32_t>(value.size());
+    req.crc = kv::object_crc(kv::hash_key(key), req.klen, req.vlen, value);
+    req.key = key;
+    const Bytes raw = co_await conn_.call(kAlloc, req.encode());
+    const AllocResponse resp = AllocResponse::decode(raw);
+    if (resp.status != StatusCode::kOk) co_return Status{resp.status};
+    const MemOffset value_off = resp.object_off +
+                                kv::ObjectLayout::kHeaderSize + key.size() -
+                                store_.pool_a().base();
+    const Expected<Unit> wr =
+        co_await conn_.qp().write(store_.pool_rkey(), value_off, value);
+    co_return wr.status();
+  }
+
+  sim::Task<Expected<Bytes>> get(Bytes key) override {
+    ++stats_.gets;
+    const std::uint64_t key_hash = kv::hash_key(key);
+    kv::ErdaTable& table = store_.table();
+    const std::size_t home = table.ideal_slot(key_hash);
+    const Expected<Bytes> raw_hood = co_await conn_.qp().read(
+        store_.index_rkey(), table.bucket_offset(home),
+        kv::ErdaTable::neighborhood_bytes());
+    if (!raw_hood) co_return raw_hood.status();
+    const Expected<kv::ErdaTable::Versions> versions =
+        kv::ErdaTable::scan_neighborhood(*raw_hood, key_hash,
+                                         table.pool_base());
+    if (!versions) co_return versions.status();
+    ++stats_.gets_pure_rdma;
+
+    bool first = true;
+    const std::array<MemOffset, 2> candidates{versions->cur, versions->prev};
+    for (const MemOffset off : candidates) {
+      if (off == 0) continue;
+      if (!first) ++stats_.version_rereads;
+      first = false;
+      const std::size_t total =
+          kv::ObjectLayout::total_size(klen_hint_, vlen_hint_);
+      const Expected<Bytes> raw = co_await conn_.qp().read(
+          store_.pool_rkey(), off - store_.pool_a().base(), total);
+      if (!raw) continue;
+      const kv::ObjectMeta meta = kv::ObjectLayout::decode_header(*raw);
+      if (meta.key_hash != key_hash || !meta.valid ||
+          meta.klen != klen_hint_ || meta.vlen != vlen_hint_) {
+        continue;
+      }
+      // Erda's client verifies integrity by CRC on EVERY read — the
+      // critical-path cost Fig. 2 quantifies.
+      ++stats_.client_crc_checks;
+      co_await sim::delay(store_.simulator(),
+                          store_.config().crc.cost(meta.vlen));
+      const BytesView value{raw->data() + kv::ObjectLayout::kHeaderSize +
+                                klen_hint_,
+                            vlen_hint_};
+      if (kv::object_crc(key_hash, meta.klen, meta.vlen, value) ==
+          meta.crc) {
+        co_return Bytes(value.begin(), value.end());
+      }
+    }
+    co_return Status{StatusCode::kCorrupt, "both versions incomplete"};
+  }
+
+ private:
+  ErdaStore& store_;
+  rpc::Connection conn_;
+};
+
+}  // namespace
+
+std::unique_ptr<KvClient> ErdaStore::make_client() {
+  return std::make_unique<ErdaClient>(*this);
+}
+
+// =================================================================== Forca
+
+ForcaStore::ForcaStore(sim::Simulator& sim, StoreConfig config)
+    : StoreBase(sim, config, kv::HashDir::bytes_required(config.hash_buckets)),
+      dir_(*arena_, 0, config_.hash_buckets) {}
+
+sim::Task<void> ForcaStore::handle(rdma::InboundMessage msg) {
+  co_await charge(config_.recv_cost());
+  rpc::ParsedRequest req = rpc::parse_request(msg);
+  if (req.opcode == kGetLoc) {
+    co_await handle_get_loc(std::move(req));
+    co_return;
+  }
+  EFAC_CHECK_MSG(req.opcode == kAlloc, "Forca: unexpected opcode");
+  const AllocRequest alloc = AllocRequest::decode(req.args);
+  const std::uint64_t key_hash = kv::hash_key(alloc.key);
+  std::size_t probes = 0;
+  AllocResponse resp;
+  const Expected<std::size_t> slot = dir_.find_or_claim(key_hash, &probes);
+  // Forca's extra object-metadata indirection taxes every request.
+  SimDuration cost = probes * config_.cpu.hash_probe_ns +
+                     config_.cpu.metadata_indirection_ns;
+  if (!slot) {
+    resp.status = slot.status().code();
+  } else {
+    kv::HashDir::Entry entry = dir_.read(*slot);
+    const Expected<MemOffset> off = pool_a().allocate(
+        kv::ObjectLayout::total_size(alloc.klen, alloc.vlen));
+    if (!off) {
+      resp.status = StatusCode::kOutOfSpace;
+    } else {
+      cost += place_object_metadata(*off, alloc, entry.current(),
+                                    /*persist=*/false);
+      entry.key_hash = key_hash;
+      entry.off_old = *off;
+      entry.mark = false;
+      dir_.write(*slot, entry);  // exposed immediately, not persisted
+      resp.object_off = *off;
+    }
+  }
+  co_await charge(cost + config_.cpu.send_post_ns);
+  rpc::Replier{directory_, req.src_qp, req.call_id}.reply(resp.encode());
+}
+
+sim::Task<void> ForcaStore::handle_get_loc(rpc::ParsedRequest req) {
+  const GetLocRequest get = GetLocRequest::decode(req.args);
+  const std::uint64_t key_hash = kv::hash_key(get.key);
+  std::size_t probes = 0;
+  co_await charge(config_.cpu.metadata_indirection_ns);
+  const Expected<std::size_t> slot = dir_.find(key_hash, &probes);
+  co_await charge(probes * config_.cpu.hash_probe_ns);
+
+  LocResponse resp;
+  resp.status = StatusCode::kNotFound;
+  if (slot) {
+    const kv::HashDir::Entry entry = dir_.read(*slot);
+    int depth = 0;
+    MemOffset off = entry.current();
+    while (off != 0 && depth++ < kMaxChain) {
+      if (!header_readable(off)) break;
+      kv::ObjectRef obj{*arena_, off};
+      const kv::ObjectMeta meta = obj.read_header();
+      if (!object_span_ok(off, meta) || !meta.valid ||
+          meta.key_hash != key_hash) {
+        break;
+      }
+      // Forca has no durability flag: it must CRC-verify on EVERY read,
+      // then persist, before returning the offset.
+      ++stats_.crc_checks;
+      co_await charge(config_.crc.cost(meta.vlen));
+      if (obj.verify_crc()) {
+        const std::size_t total =
+            kv::ObjectLayout::total_size(meta.klen, meta.vlen);
+        // Persist only if a previous read has not already done so (the
+        // object is clean after the first read-path flush).
+        if (arena_->is_dirty(off, total)) {
+          arena_->flush(off, total);
+          dir_.persist(*slot);
+          ++stats_.persists;
+          co_await charge(arena_->cost().flush_cost(total) +
+                          arena_->cost().flush_cost(kv::HashDir::kEntrySize) +
+                          arena_->cost().fence_ns);
+        }
+        resp.status = StatusCode::kOk;
+        resp.object_off = off;
+        resp.klen = meta.klen;
+        resp.vlen = meta.vlen;
+        break;
+      }
+      resp.status = StatusCode::kCorrupt;
+      off = meta.pre_ptr;  // torn: fall back to the previous version
+    }
+  }
+  co_await charge(config_.cpu.send_post_ns);
+  rpc::Replier{directory_, req.src_qp, req.call_id}.reply(resp.encode());
+}
+
+Expected<Bytes> ForcaStore::recover_get(BytesView key) {
+  return recover_via_dir(*arena_, dir_, *this, key);
+}
+
+namespace {
+
+class ForcaClient final : public KvClient {
+ public:
+  explicit ForcaClient(ForcaStore& store)
+      : store_(store),
+        conn_(store.simulator(), store.fabric(), store.node(),
+              store.directory(), store.next_qp_id()) {}
+
+  sim::Task<Status> put(Bytes key, Bytes value) override {
+    ++stats_.puts;
+    co_await sim::delay(store_.simulator(),
+                        store_.config().crc.cost(value.size()));
+    AllocRequest req;
+    req.klen = static_cast<std::uint32_t>(key.size());
+    req.vlen = static_cast<std::uint32_t>(value.size());
+    req.crc = kv::object_crc(kv::hash_key(key), req.klen, req.vlen, value);
+    req.key = key;
+    const Bytes raw = co_await conn_.call(kAlloc, req.encode());
+    const AllocResponse resp = AllocResponse::decode(raw);
+    if (resp.status != StatusCode::kOk) co_return Status{resp.status};
+    const MemOffset value_off = resp.object_off +
+                                kv::ObjectLayout::kHeaderSize + key.size() -
+                                store_.pool_a().base();
+    const Expected<Unit> wr =
+        co_await conn_.qp().write(store_.pool_rkey(), value_off, value);
+    co_return wr.status();
+  }
+
+  sim::Task<Expected<Bytes>> get(Bytes key) override {
+    ++stats_.gets;
+    ++stats_.gets_rpc_path;  // Forca reads always involve the server
+    const std::uint64_t key_hash = kv::hash_key(key);
+    GetLocRequest req;
+    req.key = key;
+    const Bytes raw = co_await conn_.call(kGetLoc, req.encode());
+    const LocResponse resp = LocResponse::decode(raw);
+    if (resp.status != StatusCode::kOk) co_return Status{resp.status};
+    const std::size_t total =
+        kv::ObjectLayout::total_size(resp.klen, resp.vlen);
+    const Expected<Bytes> raw_obj = co_await conn_.qp().read(
+        store_.pool_rkey(), resp.object_off - store_.pool_a().base(), total);
+    if (!raw_obj) co_return raw_obj.status();
+    co_return value_from_raw(*raw_obj, resp.klen, resp.vlen, key_hash);
+  }
+
+ private:
+  ForcaStore& store_;
+  rpc::Connection conn_;
+};
+
+}  // namespace
+
+std::unique_ptr<KvClient> ForcaStore::make_client() {
+  return std::make_unique<ForcaClient>(*this);
+}
+
+// ===================================================================== RPC
+
+RpcStore::RpcStore(sim::Simulator& sim, StoreConfig config)
+    : StoreBase(sim, config, kv::HashDir::bytes_required(config.hash_buckets)),
+      dir_(*arena_, 0, config_.hash_buckets) {}
+
+sim::Task<void> RpcStore::handle(rdma::InboundMessage msg) {
+  co_await charge(config_.recv_cost());
+  rpc::ParsedRequest req = rpc::parse_request(msg);
+  if (req.opcode == kPutInline) {
+    const PutInlineRequest put = PutInlineRequest::decode(req.args);
+    const std::uint64_t key_hash = kv::hash_key(put.key);
+    std::size_t probes = 0;
+    StatusCode status = StatusCode::kOk;
+    const Expected<std::size_t> slot = dir_.find_or_claim(key_hash, &probes);
+    SimDuration cost =
+        probes * config_.cpu.hash_probe_ns + config_.cpu.rpc_inline_extra_ns;
+    if (!slot) {
+      status = slot.status().code();
+    } else {
+      kv::HashDir::Entry entry = dir_.read(*slot);
+      const std::size_t total =
+          kv::ObjectLayout::total_size(put.key.size(), put.value.size());
+      const Expected<MemOffset> off = pool_a().allocate(total);
+      if (!off) {
+        status = StatusCode::kOutOfSpace;
+      } else {
+        AllocRequest alloc;
+        alloc.klen = static_cast<std::uint32_t>(put.key.size());
+        alloc.vlen = static_cast<std::uint32_t>(put.value.size());
+        alloc.crc = kv::object_crc(key_hash,
+                                   static_cast<std::uint32_t>(put.key.size()),
+                                   static_cast<std::uint32_t>(put.value.size()),
+                                   put.value);  // kept for recovery checks
+        alloc.key = put.key;
+        cost += place_object_metadata(*off, alloc, entry.current(),
+                                      /*persist=*/false);
+        // The server copies the payload from network buffers into NVM and
+        // persists everything before replying — the classic RPC path.
+        arena_->store(
+            *off + kv::ObjectLayout::kHeaderSize + put.key.size(), put.value);
+        arena_->flush(*off, total);
+        ++stats_.persists;
+        entry.key_hash = key_hash;
+        entry.off_old = *off;
+        entry.mark = false;
+        dir_.write(*slot, entry);
+        dir_.persist(*slot);
+        cost += config_.cpu.memcpy_cost(put.value.size()) +
+                arena_->cost().store_cost(put.value.size()) +
+                arena_->cost().flush_cost(total) +
+                arena_->cost().flush_cost(kv::HashDir::kEntrySize) +
+                arena_->cost().fence_ns;
+      }
+    }
+    co_await charge(cost + config_.cpu.send_post_ns);
+    rpc::Replier{directory_, req.src_qp, req.call_id}.reply(
+        encode_status(status));
+  } else if (req.opcode == kGetInline) {
+    const GetLocRequest get = GetLocRequest::decode(req.args);
+    const std::uint64_t key_hash = kv::hash_key(get.key);
+    std::size_t probes = 0;
+    ValueResponse resp;
+    resp.status = StatusCode::kNotFound;
+    const Expected<std::size_t> slot = dir_.find(key_hash, &probes);
+    SimDuration cost = probes * config_.cpu.hash_probe_ns;
+    if (slot) {
+      const kv::HashDir::Entry entry = dir_.read(*slot);
+      if (entry.current() != 0) {
+        kv::ObjectRef obj{*arena_, entry.current()};
+        const kv::ObjectMeta meta = obj.read_header();
+        if (object_span_ok(entry.current(), meta) && meta.valid &&
+            meta.key_hash == key_hash) {
+          resp.status = StatusCode::kOk;
+          resp.value = obj.read_value(meta.klen, meta.vlen);
+          cost += arena_->cost().load_cost(meta.vlen) +
+                  config_.cpu.memcpy_cost(meta.vlen);
+        }
+      }
+    }
+    co_await charge(cost + config_.cpu.send_post_ns);
+    rpc::Replier{directory_, req.src_qp, req.call_id}.reply(resp.encode());
+  } else {
+    EFAC_UNREACHABLE("RPC store: unexpected opcode");
+  }
+}
+
+Expected<Bytes> RpcStore::recover_get(BytesView key) {
+  return recover_via_dir(*arena_, dir_, *this, key);
+}
+
+namespace {
+
+class RpcStoreClient final : public KvClient {
+ public:
+  explicit RpcStoreClient(RpcStore& store)
+      : store_(store),
+        conn_(store.simulator(), store.fabric(), store.node(),
+              store.directory(), store.next_qp_id()) {}
+
+  sim::Task<Status> put(Bytes key, Bytes value) override {
+    ++stats_.puts;
+    PutInlineRequest req;
+    req.key = std::move(key);
+    req.value = std::move(value);
+    const Bytes raw = co_await conn_.call(kPutInline, req.encode());
+    co_return Status{decode_status(raw)};
+  }
+
+  sim::Task<Expected<Bytes>> get(Bytes key) override {
+    ++stats_.gets;
+    ++stats_.gets_rpc_path;
+    GetLocRequest req;
+    req.key = std::move(key);
+    const Bytes raw = co_await conn_.call(kGetInline, req.encode());
+    ValueResponse resp = ValueResponse::decode(raw);
+    if (resp.status != StatusCode::kOk) co_return Status{resp.status};
+    co_return std::move(resp.value);
+  }
+
+ private:
+  RpcStore& store_;
+  rpc::Connection conn_;
+};
+
+}  // namespace
+
+std::unique_ptr<KvClient> RpcStore::make_client() {
+  return std::make_unique<RpcStoreClient>(*this);
+}
+
+// ================================================================= InPlace
+
+InPlaceStore::InPlaceStore(sim::Simulator& sim, StoreConfig config)
+    : StoreBase(sim, config, kv::HashDir::bytes_required(config.hash_buckets)),
+      dir_(*arena_, 0, config_.hash_buckets) {}
+
+sim::Task<void> InPlaceStore::handle(rdma::InboundMessage msg) {
+  co_await charge(config_.recv_cost());
+  rpc::ParsedRequest req = rpc::parse_request(msg);
+  EFAC_CHECK_MSG(req.opcode == kAlloc, "InPlace: unexpected opcode");
+  const AllocRequest alloc = AllocRequest::decode(req.args);
+  const std::uint64_t key_hash = kv::hash_key(alloc.key);
+  std::size_t probes = 0;
+  AllocResponse resp;
+  const Expected<std::size_t> slot = dir_.find_or_claim(key_hash, &probes);
+  SimDuration cost = probes * config_.cpu.hash_probe_ns;
+  if (!slot) {
+    resp.status = slot.status().code();
+  } else {
+    kv::HashDir::Entry entry = dir_.read(*slot);
+    const MemOffset existing = entry.current();
+    bool reuse = false;
+    if (existing != 0) {
+      const kv::ObjectMeta meta =
+          kv::ObjectRef{*arena_, existing}.read_header();
+      reuse = meta.klen == alloc.klen && meta.vlen == alloc.vlen;
+    }
+    if (reuse) {
+      // In-place overwrite: hand back the SAME region. Refresh the
+      // header's CRC/timestamp (unflushed, like everything else here).
+      kv::ObjectRef obj{*arena_, existing};
+      kv::ObjectMeta meta = obj.read_header();
+      meta.crc = alloc.crc;
+      meta.write_time = sim_.now();
+      obj.write_header(meta);
+      cost += arena_->cost().store_cost(kv::ObjectLayout::kHeaderSize);
+      resp.object_off = existing;
+    } else {
+      const Expected<MemOffset> off = pool_a().allocate(
+          kv::ObjectLayout::total_size(alloc.klen, alloc.vlen));
+      if (!off) {
+        resp.status = StatusCode::kOutOfSpace;
+      } else {
+        cost += place_object_metadata(*off, alloc, /*pre_ptr=*/0,
+                                      /*persist=*/false);
+        entry.key_hash = key_hash;
+        entry.off_old = *off;
+        entry.mark = false;
+        dir_.write(*slot, entry);
+        resp.object_off = *off;
+      }
+    }
+  }
+  co_await charge(cost + config_.cpu.send_post_ns);
+  rpc::Replier{directory_, req.src_qp, req.call_id}.reply(resp.encode());
+}
+
+Expected<Bytes> InPlaceStore::recover_get(BytesView key) {
+  // No version list to walk: the single slot either verifies or is junk.
+  return recover_via_dir(*arena_, dir_, *this, key);
+}
+
+namespace {
+
+class InPlaceClient final : public TwoReadClient {
+ public:
+  explicit InPlaceClient(InPlaceStore& store)
+      : TwoReadClient(store, store.dir()) {}
+
+  sim::Task<Status> put(Bytes key, Bytes value) override {
+    ++stats_.puts;
+    AllocRequest req;
+    req.klen = static_cast<std::uint32_t>(key.size());
+    req.vlen = static_cast<std::uint32_t>(value.size());
+    req.crc = kv::object_crc(kv::hash_key(key), req.klen, req.vlen,
+                             value);  // recovery bookkeeping only
+    req.key = key;
+    const Bytes raw = co_await conn_.call(kAlloc, req.encode());
+    const AllocResponse resp = AllocResponse::decode(raw);
+    if (resp.status != StatusCode::kOk) co_return Status{resp.status};
+    // The overwrite lands on the LIVE bytes: a crash mid-flight tears the
+    // only copy of this value.
+    const MemOffset value_off = resp.object_off +
+                                kv::ObjectLayout::kHeaderSize + key.size() -
+                                store_.pool_a().base();
+    const Expected<Unit> wr =
+        co_await conn_.qp().write(store_.pool_rkey(), value_off, value);
+    co_return wr.status();
+  }
+};
+
+}  // namespace
+
+std::unique_ptr<KvClient> InPlaceStore::make_client() {
+  return std::make_unique<InPlaceClient>(*this);
+}
+
+// ====================================================================== CA
+
+CaStore::CaStore(sim::Simulator& sim, StoreConfig config)
+    : StoreBase(sim, config, kv::HashDir::bytes_required(config.hash_buckets)),
+      dir_(*arena_, 0, config_.hash_buckets) {}
+
+sim::Task<void> CaStore::handle(rdma::InboundMessage msg) {
+  co_await charge(config_.recv_cost());
+  rpc::ParsedRequest req = rpc::parse_request(msg);
+  EFAC_CHECK_MSG(req.opcode == kAlloc, "CA: unexpected opcode");
+  const AllocRequest alloc = AllocRequest::decode(req.args);
+  const std::uint64_t key_hash = kv::hash_key(alloc.key);
+  std::size_t probes = 0;
+  AllocResponse resp;
+  const Expected<std::size_t> slot = dir_.find_or_claim(key_hash, &probes);
+  SimDuration cost = probes * config_.cpu.hash_probe_ns;
+  if (!slot) {
+    resp.status = slot.status().code();
+  } else {
+    kv::HashDir::Entry entry = dir_.read(*slot);
+    const Expected<MemOffset> off = pool_a().allocate(
+        kv::ObjectLayout::total_size(alloc.klen, alloc.vlen));
+    if (!off) {
+      resp.status = StatusCode::kOutOfSpace;
+    } else {
+      // No persistence, no ordering: metadata exposed before data lands.
+      cost += place_object_metadata(*off, alloc, entry.current(),
+                                    /*persist=*/false);
+      entry.key_hash = key_hash;
+      entry.off_old = *off;
+      entry.mark = false;
+      dir_.write(*slot, entry);
+      resp.object_off = *off;
+    }
+  }
+  co_await charge(cost + config_.cpu.send_post_ns);
+  rpc::Replier{directory_, req.src_qp, req.call_id}.reply(resp.encode());
+}
+
+Expected<Bytes> CaStore::recover_get(BytesView key) {
+  // CA gives no guarantee; this is best-effort inspection for the tests
+  // that demonstrate the inconsistency the paper motivates with.
+  return recover_via_dir(*arena_, dir_, *this, key);
+}
+
+namespace {
+
+class CaClient final : public TwoReadClient {
+ public:
+  explicit CaClient(CaStore& store) : TwoReadClient(store, store.dir()) {}
+
+  sim::Task<Status> put(Bytes key, Bytes value) override {
+    ++stats_.puts;
+    AllocRequest req;
+    req.klen = static_cast<std::uint32_t>(key.size());
+    req.vlen = static_cast<std::uint32_t>(value.size());
+    req.crc = kv::object_crc(kv::hash_key(key), req.klen, req.vlen,
+                             value);  // bookkeeping only
+    req.key = key;
+    const Bytes raw = co_await conn_.call(kAlloc, req.encode());
+    const AllocResponse resp = AllocResponse::decode(raw);
+    if (resp.status != StatusCode::kOk) co_return Status{resp.status};
+    const MemOffset value_off = resp.object_off +
+                                kv::ObjectLayout::kHeaderSize + key.size() -
+                                store_.pool_a().base();
+    const Expected<Unit> wr =
+        co_await conn_.qp().write(store_.pool_rkey(), value_off, value);
+    co_return wr.status();
+  }
+};
+
+}  // namespace
+
+std::unique_ptr<KvClient> CaStore::make_client() {
+  return std::make_unique<CaClient>(*this);
+}
+
+}  // namespace efac::stores

@@ -1,0 +1,196 @@
+// The compared systems (paper §5.3), re-implemented on the same code base:
+//
+//   SawStore   "send-after-write" (SAW): client-active write followed by a
+//              SEND that tells the server to flush + index. Durable at ack;
+//              pays an extra round trip and a critical-path flush.
+//   ImmStore   write_with_imm (IMM / Orion-style): the server learns of
+//              write completion from the immediate, flushes, indexes, and
+//              acks. Durable at ack; server CPU on the critical path.
+//   ErdaStore  client-active, no explicit persistence; Hopscotch index
+//              with the 8-byte atomic two-version region; client-side CRC
+//              verification on every read.
+//   ForcaStore client-active, no explicit persistence; server-side CRC
+//              verification + persisting on every read (RPC read path);
+//              an extra object-metadata indirection on each request.
+//   RpcStore   plain RPC store: the server copies inline payloads into
+//              NVM, flushes, indexes (the "RPC" bar of Fig. 1).
+//   CaStore    client-active with NO persistence guarantee (the
+//              "CA w/o persistence" bar of Fig. 1).
+#pragma once
+
+#include <memory>
+#include <unordered_map>
+
+#include "kv/erda_table.hpp"
+#include "kv/hash_dir.hpp"
+#include "stores/kv_client.hpp"
+#include "stores/store_base.hpp"
+
+namespace efac::stores {
+
+/// Post-crash lookup shared by the HashDir-based systems: walk every
+/// plausible version reachable from the entry, newest first, and return
+/// the first CRC-intact valid one.
+[[nodiscard]] Expected<Bytes> recover_via_dir(nvm::Arena& arena,
+                                              kv::HashDir& dir,
+                                              const StoreBase& store,
+                                              BytesView key);
+
+// ---------------------------------------------------------------- SAW
+
+class SawStore final : public StoreBase {
+ public:
+  explicit SawStore(sim::Simulator& sim, StoreConfig config = {});
+  [[nodiscard]] std::unique_ptr<KvClient> make_client();
+  [[nodiscard]] Expected<Bytes> recover_get(BytesView key) override;
+  [[nodiscard]] kv::HashDir& dir() noexcept { return dir_; }
+
+ protected:
+  sim::Task<void> handle(rdma::InboundMessage msg) override;
+
+ private:
+  friend class SawClient;
+  kv::HashDir dir_;
+};
+
+// ---------------------------------------------------------------- IMM
+
+/// Models the durability-ack half of the write_with_imm exchange: the
+/// client arms a slot keyed by the 32-bit immediate; the server completes
+/// it after flushing, which models its ack SEND reaching the client.
+class ImmAckHub {
+ public:
+  ImmAckHub(sim::Simulator& sim, rdma::Fabric& fabric)
+      : sim_(sim), fabric_(fabric) {}
+
+  void arm(std::uint32_t token, sim::OneShot<StatusCode>* slot) {
+    EFAC_CHECK(waiting_.emplace(token, slot).second);
+  }
+  void disarm(std::uint32_t token) { waiting_.erase(token); }
+
+  /// Called by the server at its durability point; the ack lands at the
+  /// client one network hop later.
+  void complete(std::uint32_t token, StatusCode status);
+
+ private:
+  sim::Simulator& sim_;
+  rdma::Fabric& fabric_;
+  std::unordered_map<std::uint32_t, sim::OneShot<StatusCode>*> waiting_;
+};
+
+class ImmStore final : public StoreBase {
+ public:
+  explicit ImmStore(sim::Simulator& sim, StoreConfig config = {});
+  [[nodiscard]] std::unique_ptr<KvClient> make_client();
+  [[nodiscard]] Expected<Bytes> recover_get(BytesView key) override;
+  [[nodiscard]] kv::HashDir& dir() noexcept { return dir_; }
+  [[nodiscard]] ImmAckHub& ack_hub() noexcept { return ack_hub_; }
+
+ protected:
+  sim::Task<void> handle(rdma::InboundMessage msg) override;
+
+ private:
+  friend class ImmClient;
+  struct PendingWrite {
+    MemOffset object_off = 0;
+    std::uint32_t klen = 0;
+    std::uint32_t vlen = 0;
+  };
+  kv::HashDir dir_;
+  ImmAckHub ack_hub_;
+  std::unordered_map<std::uint32_t, PendingWrite> pending_;
+  std::uint32_t next_token_ = 1;
+};
+
+// --------------------------------------------------------------- Erda
+
+class ErdaStore final : public StoreBase {
+ public:
+  explicit ErdaStore(sim::Simulator& sim, StoreConfig config = {});
+  [[nodiscard]] std::unique_ptr<KvClient> make_client();
+  [[nodiscard]] Expected<Bytes> recover_get(BytesView key) override;
+  [[nodiscard]] kv::ErdaTable& table() noexcept { return table_; }
+
+ protected:
+  sim::Task<void> handle(rdma::InboundMessage msg) override;
+
+ private:
+  friend class ErdaClient;
+  kv::ErdaTable table_;
+};
+
+// -------------------------------------------------------------- Forca
+
+class ForcaStore final : public StoreBase {
+ public:
+  explicit ForcaStore(sim::Simulator& sim, StoreConfig config = {});
+  [[nodiscard]] std::unique_ptr<KvClient> make_client();
+  [[nodiscard]] Expected<Bytes> recover_get(BytesView key) override;
+  [[nodiscard]] kv::HashDir& dir() noexcept { return dir_; }
+
+ protected:
+  sim::Task<void> handle(rdma::InboundMessage msg) override;
+
+ private:
+  friend class ForcaClient;
+  sim::Task<void> handle_get_loc(rpc::ParsedRequest req);
+  kv::HashDir dir_;
+};
+
+// ---------------------------------------------------------------- RPC
+
+class RpcStore final : public StoreBase {
+ public:
+  explicit RpcStore(sim::Simulator& sim, StoreConfig config = {});
+  [[nodiscard]] std::unique_ptr<KvClient> make_client();
+  [[nodiscard]] Expected<Bytes> recover_get(BytesView key) override;
+  [[nodiscard]] kv::HashDir& dir() noexcept { return dir_; }
+
+ protected:
+  sim::Task<void> handle(rdma::InboundMessage msg) override;
+
+ private:
+  friend class RpcStoreClient;
+  kv::HashDir dir_;
+};
+
+// ------------------------------------------------------------- InPlace
+
+/// Octopus-style in-place updates (paper §7.2): overwrites re-use the
+/// existing object's bytes instead of appending a version. A crash during
+/// an overwrite leaves the value "neither old nor new" — the failure mode
+/// log structuring exists to prevent. Motivation-suite system, not part
+/// of the paper's throughput comparison.
+class InPlaceStore final : public StoreBase {
+ public:
+  explicit InPlaceStore(sim::Simulator& sim, StoreConfig config = {});
+  [[nodiscard]] std::unique_ptr<KvClient> make_client();
+  [[nodiscard]] Expected<Bytes> recover_get(BytesView key) override;
+  [[nodiscard]] kv::HashDir& dir() noexcept { return dir_; }
+
+ protected:
+  sim::Task<void> handle(rdma::InboundMessage msg) override;
+
+ private:
+  friend class InPlaceClient;
+  kv::HashDir dir_;
+};
+
+// ----------------------------------------------------------------- CA
+
+class CaStore final : public StoreBase {
+ public:
+  explicit CaStore(sim::Simulator& sim, StoreConfig config = {});
+  [[nodiscard]] std::unique_ptr<KvClient> make_client();
+  [[nodiscard]] Expected<Bytes> recover_get(BytesView key) override;
+  [[nodiscard]] kv::HashDir& dir() noexcept { return dir_; }
+
+ protected:
+  sim::Task<void> handle(rdma::InboundMessage msg) override;
+
+ private:
+  friend class CaClient;
+  kv::HashDir dir_;
+};
+
+}  // namespace efac::stores

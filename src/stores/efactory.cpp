@@ -1,0 +1,756 @@
+#include "stores/efactory.hpp"
+
+#include <algorithm>
+
+namespace efac::stores {
+
+namespace {
+
+/// Version-chain walk bound: guards against cycles from torn pointers.
+constexpr int kMaxChain = 32;
+
+StoreConfig with_efactory_defaults(StoreConfig config) {
+  config.second_pool = true;                 // log cleaning needs a sibling
+  config.recv_mode = RecvMode::kBatched;     // multiple receiving regions
+  return config;
+}
+
+}  // namespace
+
+EFactoryStore::EFactoryStore(sim::Simulator& sim, StoreConfig config)
+    : StoreBase(sim, with_efactory_defaults(config),
+                kv::HashDir::bytes_required(config.hash_buckets)),
+      dir_(*arena_, 0, config_.hash_buckets) {}
+
+std::unique_ptr<KvClient> EFactoryStore::make_client(bool hybrid_read) {
+  return std::make_unique<EFactoryClient>(*this, hybrid_read);
+}
+
+void EFactoryStore::start_extras() {
+  sim_.spawn(background_loop());
+}
+
+// --------------------------------------------------------------- dispatch
+
+sim::Task<void> EFactoryStore::handle(rdma::InboundMessage msg) {
+  co_await charge(config_.recv_cost());
+  rpc::ParsedRequest req = rpc::parse_request(msg);
+  switch (req.opcode) {
+    case kAlloc:
+      co_await handle_alloc(std::move(req));
+      break;
+    case kGetLoc:
+      co_await handle_get_loc(std::move(req));
+      break;
+    case kDelete:
+      co_await handle_delete(std::move(req));
+      break;
+    default:
+      EFAC_UNREACHABLE("eFactory: unexpected opcode");
+  }
+}
+
+sim::Task<void> EFactoryStore::handle_alloc(rpc::ParsedRequest req) {
+  const AllocRequest alloc = AllocRequest::decode(req.args);
+  const std::uint64_t key_hash = kv::hash_key(alloc.key);
+
+  std::size_t probes = 0;
+  AllocResponse resp;
+  const Expected<std::size_t> slot = dir_.find_or_claim(key_hash, &probes);
+  SimDuration cost = probes * config_.cpu.hash_probe_ns;
+  if (stage_ != CleanStage::kIdle) cost += config_.clean_interference_ns;
+
+  if (!slot) {
+    resp.status = slot.status().code();
+  } else {
+    kv::HashDir::Entry entry = dir_.read(*slot);
+    entry.key_hash = key_hash;
+    // During merge, new writes go straight to the new (shadow) pool and
+    // join its chain; otherwise they append to the working pool.
+    const bool to_shadow = stage_ == CleanStage::kMerge;
+    kv::DataPool& pool = to_shadow ? shadow_pool() : working_pool();
+    const MemOffset pre = to_shadow ? shadow_of(entry) : working_of(entry);
+    const std::size_t total =
+        kv::ObjectLayout::total_size(alloc.klen, alloc.vlen);
+    const Expected<MemOffset> off = pool.allocate(total);
+    if (!off) {
+      resp.status = StatusCode::kOutOfSpace;
+    } else {
+      // Object metadata is written and persisted *before* the offset is
+      // returned (paper Fig. 5 steps 2–4).
+      cost += place_object_metadata(*off, alloc, pre, /*persist=*/true);
+      if (to_shadow) {
+        set_shadow(entry, *off);
+      } else {
+        set_working(entry, *off);
+      }
+      dir_.write(*slot, entry);
+      dir_.persist(*slot);
+      // Object metadata and hash entry drain under one SFENCE.
+      cost += arena_->cost().flush_cost(kv::HashDir::kEntrySize) +
+              arena_->cost().fence_ns;
+      verify_queue_.push_back(*off);
+      resp.status = StatusCode::kOk;
+      resp.object_off = *off;
+    }
+  }
+
+  co_await charge(cost + config_.cpu.send_post_ns);
+  rpc::Replier{directory_, req.src_qp, req.call_id}.reply(resp.encode());
+  maybe_trigger_cleaning();
+}
+
+sim::Task<void> EFactoryStore::handle_delete(rpc::ParsedRequest req) {
+  const GetLocRequest del = GetLocRequest::decode(req.args);
+  const std::uint64_t key_hash = kv::hash_key(del.key);
+  std::size_t probes = 0;
+  StatusCode status = StatusCode::kOk;
+  const Expected<std::size_t> slot = dir_.find(key_hash, &probes);
+  SimDuration cost = probes * config_.cpu.hash_probe_ns;
+  if (!slot) {
+    status = StatusCode::kNotFound;
+  } else {
+    kv::HashDir::Entry entry = dir_.read(*slot);
+    const bool to_shadow = stage_ == CleanStage::kMerge;
+    kv::DataPool& pool = to_shadow ? shadow_pool() : working_pool();
+    const MemOffset pre = to_shadow ? shadow_of(entry) : working_of(entry);
+    const std::size_t klen = del.key.size();
+    const Expected<MemOffset> off =
+        pool.allocate(kv::ObjectLayout::total_size(klen, 0));
+    if (!off) {
+      status = StatusCode::kOutOfSpace;
+    } else {
+      // A delete is an appended tombstone version: out-of-place like any
+      // update, so it is crash-atomic and reclaimable by log cleaning.
+      kv::ObjectMeta meta;
+      meta.crc = kv::object_crc(key_hash, static_cast<std::uint32_t>(klen), 0, BytesView{});
+      meta.klen = static_cast<std::uint32_t>(klen);
+      meta.vlen = 0;
+      meta.valid = true;
+      meta.tombstone = true;
+      meta.pre_ptr = pre;
+      meta.write_time = sim_.now();
+      meta.key_hash = key_hash;
+      kv::ObjectRef obj{*arena_, *off};
+      obj.write_header(meta);
+      obj.write_key(del.key);
+      obj.set_durable(klen, 0, false);
+      if (pre != 0) kv::ObjectRef{*arena_, pre}.set_next_ptr(*off);
+      const std::size_t meta_bytes = kv::ObjectLayout::kHeaderSize + klen;
+      arena_->flush(*off, meta_bytes);
+      ++stats_.allocs;
+      ++stats_.persists;
+      if (to_shadow) {
+        set_shadow(entry, *off);
+      } else {
+        set_working(entry, *off);
+      }
+      dir_.write(*slot, entry);
+      dir_.persist(*slot);
+      verify_queue_.push_back(*off);  // bg will flag the (empty) tombstone
+      cost += config_.cpu.alloc_ns +
+              arena_->cost().store_cost(meta_bytes) +
+              arena_->cost().flush_cost(meta_bytes) +
+              arena_->cost().flush_cost(kv::HashDir::kEntrySize) +
+              arena_->cost().fence_ns;
+    }
+  }
+  co_await charge(cost + config_.cpu.send_post_ns);
+  rpc::Replier{directory_, req.src_qp, req.call_id}.reply(
+      encode_status(status));
+}
+
+// ------------------------------------------------------------------- GET
+
+std::vector<MemOffset> EFactoryStore::collect_versions(
+    const kv::HashDir::Entry& entry) const {
+  std::vector<MemOffset> out;
+  auto walk = [&](MemOffset head) {
+    int depth = 0;
+    MemOffset off = head;
+    while (off != 0 && depth++ < kMaxChain) {
+      if (!header_readable(off)) break;  // garbage pointer: stop the walk
+      if (std::find(out.begin(), out.end(), off) != out.end()) break;
+      const kv::ObjectMeta meta =
+          kv::ObjectRef{*arena_, off}.read_header();
+      if (!object_span_ok(off, meta)) break;
+      out.push_back(off);
+      off = meta.pre_ptr;
+    }
+  };
+  walk(working_of(entry));
+  walk(shadow_of(entry));
+  // Newest first: chains may interleave across pools during cleaning.
+  std::sort(out.begin(), out.end(), [&](MemOffset a, MemOffset b) {
+    return kv::ObjectRef{*arena_, a}.read_header().write_time >
+           kv::ObjectRef{*arena_, b}.read_header().write_time;
+  });
+  return out;
+}
+
+sim::Task<Expected<LocResponse>> EFactoryStore::locate_verified(
+    std::uint64_t key_hash) {
+  std::size_t probes = 0;
+  const Expected<std::size_t> slot = dir_.find(key_hash, &probes);
+  co_await charge(probes * config_.cpu.hash_probe_ns);
+  if (!slot) co_return Status{StatusCode::kNotFound};
+
+  const kv::HashDir::Entry entry = dir_.read(*slot);
+  const std::vector<MemOffset> versions = collect_versions(entry);
+  bool saw_torn = false;
+  for (const MemOffset off : versions) {
+    kv::ObjectRef obj{*arena_, off};
+    const kv::ObjectMeta meta = obj.read_header();
+    if (!meta.valid || meta.key_hash != key_hash) continue;
+    // Tombstones are server-written and persisted synchronously: the
+    // newest valid version being a tombstone means the key is deleted.
+    if (meta.tombstone) co_return Status{StatusCode::kNotFound, "deleted"};
+    LocResponse resp;
+    resp.object_off = off;
+    resp.klen = meta.klen;
+    resp.vlen = meta.vlen;
+    // Durability check first: if the background thread (or an earlier
+    // read) already persisted it, answer without touching the data.
+    if (obj.is_durable(meta.klen, meta.vlen)) {
+      ++stats_.get_durability_hits;
+      co_return resp;
+    }
+    // Selective durability guarantee: verify + persist + flag.
+    if (co_await verify_and_persist(off)) {
+      co_return resp;
+    }
+    saw_torn = true;
+  }
+  co_return Status{saw_torn ? StatusCode::kCorrupt : StatusCode::kNotFound};
+}
+
+sim::Task<void> EFactoryStore::handle_get_loc(rpc::ParsedRequest req) {
+  const GetLocRequest get = GetLocRequest::decode(req.args);
+  Expected<LocResponse> located =
+      co_await locate_verified(kv::hash_key(get.key));
+  LocResponse resp;
+  if (located) {
+    resp = *located;
+  } else {
+    resp.status = located.status().code();
+  }
+  co_await charge(config_.cpu.send_post_ns);
+  rpc::Replier{directory_, req.src_qp, req.call_id}.reply(resp.encode());
+}
+
+// ------------------------------------------------------------ background
+
+sim::Task<bool> EFactoryStore::verify_and_persist(MemOffset off) {
+  kv::ObjectRef obj{*arena_, off};
+  const kv::ObjectMeta meta = obj.read_header();
+  if (!object_span_ok(off, meta) || !meta.valid) co_return false;
+  if (obj.is_durable(meta.klen, meta.vlen)) co_return true;
+
+  ++stats_.crc_checks;
+  co_await charge(config_.crc.cost(meta.vlen));
+  if (!obj.verify_crc()) co_return false;
+
+  const std::size_t total = kv::ObjectLayout::total_size(meta.klen, meta.vlen);
+  obj.flush_all(meta.klen, meta.vlen);
+  co_await charge(arena_->cost().flush_cost(total) + arena_->cost().fence_ns);
+  // The flag is set only after the payload is persisted. The flag itself
+  // stays volatile: flag==1 promises "bytes are durable", and recovery
+  // never trusts flags (it re-verifies by CRC), so losing a set flag in a
+  // crash is harmless — and skipping its flush+fence doubles the single
+  // background thread's verification rate.
+  obj.set_durable(meta.klen, meta.vlen, true);
+  ++stats_.persists;
+  co_return true;
+}
+
+sim::Task<void> EFactoryStore::background_loop() {
+  const std::uint64_t epoch = epoch_;
+  for (;;) {
+    if (epoch != epoch_) co_return;  // superseded by a restart
+    if (verify_queue_.empty()) {
+      co_await charge(config_.bg_idle_ns);
+      continue;
+    }
+    const MemOffset off = verify_queue_.front();
+    verify_queue_.pop_front();
+
+    kv::ObjectRef obj{*arena_, off};
+    const kv::ObjectMeta meta = obj.read_header();
+    co_await charge(arena_->cost().load_cost(kv::ObjectLayout::kHeaderSize));
+    if (!object_span_ok(off, meta) || !meta.valid) continue;
+    if (obj.is_durable(meta.klen, meta.vlen)) continue;  // GET got here first
+    // Superseded versions are skipped: the head is what reads target, and
+    // stale space is reclaimed by log cleaning anyway. One cheap probe
+    // against the index answers it (the durability flag plays the same
+    // fast-skip role the paper describes for already-persisted objects).
+    if (const Expected<std::size_t> slot = dir_.find(meta.key_hash)) {
+      const kv::HashDir::Entry entry = dir_.read(*slot);
+      co_await charge(config_.cpu.hash_probe_ns);
+      if (working_of(entry) != off && shadow_of(entry) != off) continue;
+    }
+
+    if (co_await verify_and_persist(off)) {
+      ++stats_.bg_verified;
+      continue;
+    }
+    // Incomplete: either the RDMA WRITE is still in flight, or it died.
+    if (sim_.now() >= meta.write_time + config_.object_timeout_ns) {
+      // Identity re-check: the CRC attempt suspended, and a recovery /
+      // cleaning round may have recycled this offset for a new object in
+      // the meantime — never invalidate somebody else's version.
+      const kv::ObjectMeta now_meta = obj.read_header();
+      if (now_meta.key_hash == meta.key_hash &&
+          now_meta.write_time == meta.write_time) {
+        obj.set_valid(false);
+        arena_->flush(off, kv::ObjectLayout::kHeaderSize);
+        co_await charge(arena_->cost().flush_cost(
+                            kv::ObjectLayout::kHeaderSize) +
+                        arena_->cost().fence_ns);
+        ++stats_.bg_timeouts;
+      }
+    } else {
+      verify_queue_.push_back(off);
+      co_await charge(config_.bg_retry_ns);
+    }
+  }
+}
+
+// ---------------------------------------------------------- log cleaning
+
+void EFactoryStore::maybe_trigger_cleaning() {
+  if (stage_ != CleanStage::kIdle) return;
+  if (working_pool().fill_fraction() < config_.clean_threshold) return;
+  force_log_cleaning();
+}
+
+void EFactoryStore::force_log_cleaning() {
+  if (stage_ != CleanStage::kIdle || crashed_) return;
+  stage_ = CleanStage::kCompress;  // claims the role before the task runs
+  sim_.spawn(cleaning_task());
+}
+
+sim::Task<MemOffset> EFactoryStore::copy_object(MemOffset src,
+                                                MemOffset link) {
+  kv::ObjectRef source{*arena_, src};
+  const kv::ObjectMeta meta = source.read_header();
+  if (!object_span_ok(src, meta)) co_return 0;
+  const std::size_t total = kv::ObjectLayout::total_size(meta.klen, meta.vlen);
+  const Expected<MemOffset> dst = shadow_pool().allocate(total);
+  if (!dst) co_return 0;
+
+  const bool source_flagged = source.is_durable(meta.klen, meta.vlen);
+  const Bytes bytes = arena_->load(src, total);
+  arena_->store(*dst, bytes);
+  kv::ObjectRef copy{*arena_, *dst};
+  copy.set_durable(meta.klen, meta.vlen, false);  // never inherit the flag
+  copy.set_pre_ptr(link);
+  copy.set_next_ptr(0);
+  // Mark the source as transferred so version-list traversal during
+  // cleaning can tell a migrated version from a live one (paper Fig. 7).
+  source.set_transferred(true);
+  arena_->flush(*dst, total);
+  co_await charge(config_.cpu.memcpy_cost(total) +
+                  arena_->cost().flush_cost(total) +
+                  arena_->cost().fence_ns);
+  if (source_flagged) {
+    // The source was already verified + persisted; an atomic CPU copy of
+    // intact bytes is intact, so re-verification would be wasted work.
+    copy.set_durable(meta.klen, meta.vlen, true);
+  } else {
+    // Unverified source: only a CRC-valid copy earns the durability flag.
+    ++stats_.crc_checks;
+    co_await charge(config_.crc.cost(meta.vlen));
+    if (copy.verify_crc()) {
+      copy.set_durable(meta.klen, meta.vlen, true);  // volatile, like verify
+    } else {
+      verify_queue_.push_back(*dst);
+    }
+  }
+  ++stats_.cleaned_objects;
+  co_return *dst;
+}
+
+sim::Task<bool> EFactoryStore::await_verifiable(MemOffset off) {
+  kv::ObjectRef obj{*arena_, off};
+  for (;;) {
+    const kv::ObjectMeta meta = obj.read_header();
+    if (!object_span_ok(off, meta) || !meta.valid) co_return false;
+    if (obj.is_durable(meta.klen, meta.vlen)) co_return true;
+    ++stats_.crc_checks;
+    co_await charge(config_.crc.cost(meta.vlen));
+    if (obj.verify_crc()) co_return true;
+    if (sim_.now() >= meta.write_time + config_.object_timeout_ns) {
+      obj.set_valid(false);
+      co_return false;
+    }
+    co_await charge(config_.bg_retry_ns);
+  }
+}
+
+sim::Task<void> EFactoryStore::cleaning_task() {
+  const std::uint64_t epoch = epoch_;
+  // ---- Stage 1: log compressing -------------------------------------
+  clients_use_rpc_ = true;
+  co_await charge(config_.clean_notify_ns);  // notification reaches clients
+  if (epoch != epoch_) co_return;  // a restart killed this round
+  compress_start_ = sim_.now();
+  shadow_pool().reset();
+
+  for (std::size_t slot = 0; slot < dir_.bucket_count(); ++slot) {
+    if (epoch != epoch_) co_return;
+    kv::HashDir::Entry entry = dir_.read(slot);
+    if (entry.empty()) continue;
+    const MemOffset head = working_of(entry);
+    if (head == 0) continue;
+    const MemOffset copy = co_await copy_object(head, /*link=*/0);
+    if (copy == 0) continue;  // shadow pool full: entry keeps old data
+    entry = dir_.read(slot);  // re-read: PUTs may have run meanwhile
+    set_shadow(entry, copy);
+    dir_.write(slot, entry);
+    dir_.persist(slot);
+    co_await charge(arena_->cost().flush_cost(kv::HashDir::kEntrySize));
+  }
+
+  // ---- Stage 2: log merging -----------------------------------------
+  stage_ = CleanStage::kMerge;
+  for (std::size_t slot = 0; slot < dir_.bucket_count(); ++slot) {
+    if (epoch != epoch_) co_return;
+    kv::HashDir::Entry entry = dir_.read(slot);
+    if (entry.empty()) continue;
+    const MemOffset old_head = working_of(entry);
+    if (old_head == 0) continue;
+    kv::ObjectRef obj{*arena_, old_head};
+    const kv::ObjectMeta meta = obj.read_header();
+    if (!object_span_ok(old_head, meta)) continue;
+    if (meta.write_time < compress_start_) continue;  // compress got it
+
+    // Skip rule (paper Fig. 7b): if a newer version already lives in the
+    // new pool and is durable (or can be made durable), the old one is
+    // stale and need not move.
+    const MemOffset shadow_head = shadow_of(entry);
+    if (shadow_head != 0) {
+      const kv::ObjectMeta shadow_meta =
+          kv::ObjectRef{*arena_, shadow_head}.read_header();
+      if (object_span_ok(shadow_head, shadow_meta) &&
+          shadow_meta.write_time > meta.write_time &&
+          co_await await_verifiable(shadow_head)) {
+        continue;
+      }
+    }
+    // Wait out an in-flight RDMA WRITE before copying, else we would
+    // immortalize a torn object.
+    if (!co_await await_verifiable(old_head)) continue;
+    const MemOffset snapshot_shadow = shadow_of(dir_.read(slot));
+    const MemOffset copy = co_await copy_object(old_head, snapshot_shadow);
+    if (copy == 0) continue;
+    entry = dir_.read(slot);
+    if (shadow_of(entry) != snapshot_shadow) {
+      // A merge-era PUT spliced in while we copied; our copy is stale.
+      kv::ObjectRef{*arena_, copy}.set_valid(false);
+      continue;
+    }
+    set_shadow(entry, copy);
+    dir_.write(slot, entry);
+    dir_.persist(slot);
+    co_await charge(arena_->cost().flush_cost(kv::HashDir::kEntrySize));
+  }
+
+  // ---- Finish: flip the mark bit, retire the old pool ----------------
+  for (std::size_t slot = 0; slot < dir_.bucket_count(); ++slot) {
+    if (epoch != epoch_) co_return;
+    kv::HashDir::Entry entry = dir_.read(slot);
+    if (entry.empty()) continue;
+    MemOffset new_head = shadow_of(entry);
+    if (new_head == 0) {
+      // Live key that never reached the new pool (e.g. shadow pool filled
+      // up): last-chance migration so the pool reset cannot orphan it.
+      const MemOffset head = working_of(entry);
+      if (head != 0 && co_await await_verifiable(head)) {
+        new_head = co_await copy_object(head, 0);
+      }
+      if (new_head == 0) {
+        // Nothing valid survives for this key; drop the entry offsets.
+        entry.off_old = entry.off_new = 0;
+      }
+    }
+    if (new_head != 0) {
+      // Reclaim deleted keys outright: a tombstone head means nothing of
+      // this key needs to survive the round ("the memory of deleted and
+      // stale objects", paper §4.4).
+      const kv::ObjectMeta head_meta =
+          kv::ObjectRef{*arena_, new_head}.read_header();
+      if (object_span_ok(new_head, head_meta) && head_meta.valid &&
+          head_meta.tombstone) {
+        entry.off_old = entry.off_new = 0;
+        entry.mark = !pool_flip_;
+      } else {
+        entry.off_old = pool_flip_ ? new_head : 0;
+        entry.off_new = pool_flip_ ? 0 : new_head;
+        entry.mark = !pool_flip_;
+      }
+    }
+    dir_.write(slot, entry);
+    dir_.persist(slot);
+  }
+  co_await charge(config_.clean_notify_ns);
+  if (epoch != epoch_) co_return;
+
+  // Retire: drop pending verifications that point into the retired pool.
+  kv::DataPool& retired = working_pool();
+  std::erase_if(verify_queue_,
+                [&](MemOffset off) { return retired.contains(off); });
+  retired.reset();
+  pool_flip_ = !pool_flip_;
+  ++stats_.cleanings;
+  stage_ = CleanStage::kIdle;
+  clients_use_rpc_ = false;
+}
+
+// --------------------------------------------------------------- recovery
+
+Expected<Bytes> EFactoryStore::recover_get(BytesView key) {
+  const std::uint64_t key_hash = kv::hash_key(key);
+  const Expected<std::size_t> slot = dir_.find(key_hash);
+  if (!slot) return Status{StatusCode::kNotFound};
+  const kv::HashDir::Entry entry = dir_.read(*slot);
+  for (const MemOffset off : collect_versions(entry)) {
+    kv::ObjectRef obj{*arena_, off};
+    const kv::ObjectMeta meta = obj.read_header();
+    if (!meta.valid || meta.key_hash != key_hash) continue;
+    if (meta.tombstone) return Status{StatusCode::kNotFound, "deleted"};
+    if (obj.verify_crc()) {
+      return obj.read_value(meta.klen, meta.vlen);
+    }
+  }
+  return Status{StatusCode::kCorrupt, "no intact version survives"};
+}
+
+EFactoryStore::RecoveryReport EFactoryStore::recover() {
+  RecoveryReport report;
+
+  // 1. Harvest: newest intact version per key from the surviving state.
+  struct Survivor {
+    std::size_t slot;
+    kv::ObjectMeta meta;
+    Bytes key;
+    Bytes value;
+  };
+  std::vector<Survivor> survivors;
+  for (std::size_t slot = 0; slot < dir_.bucket_count(); ++slot) {
+    const kv::HashDir::Entry entry = dir_.read(slot);
+    if (entry.empty()) continue;
+    ++report.entries_scanned;
+    if (entry.off_old == 0 && entry.off_new == 0) {
+      // A claimed slot with no versions: the key was deleted and its
+      // tombstone already reclaimed by cleaning. Nothing to lose.
+      ++report.tombstones_dropped;
+      continue;
+    }
+    bool kept = false;
+    bool deleted = false;
+    for (const MemOffset off : collect_versions(entry)) {
+      kv::ObjectRef obj{*arena_, off};
+      const kv::ObjectMeta meta = obj.read_header();
+      if (!meta.valid || meta.key_hash != entry.key_hash) {
+        ++report.versions_discarded;
+        continue;
+      }
+      if (meta.tombstone) {
+        deleted = true;
+        break;
+      }
+      if (!obj.verify_crc()) {
+        ++report.versions_discarded;
+        continue;
+      }
+      survivors.push_back(Survivor{slot, meta, obj.read_key(meta.klen),
+                                   obj.read_value(meta.klen, meta.vlen)});
+      kept = true;
+      break;
+    }
+    if (deleted) {
+      ++report.tombstones_dropped;
+    } else if (kept) {
+      ++report.keys_recovered;
+    } else {
+      ++report.keys_lost;
+    }
+  }
+
+  // 2. Rebuild: compact every survivor into pool A from a clean slate.
+  //    (Bytes were copied out above, so overwriting the pools is safe.)
+  pool_a().reset();
+  if (config_.second_pool) pool_b().reset();
+  pool_flip_ = false;
+  stage_ = CleanStage::kIdle;
+  clients_use_rpc_ = false;
+  verify_queue_.clear();
+
+  for (Survivor& s : survivors) {
+    const std::size_t total =
+        kv::ObjectLayout::total_size(s.meta.klen, s.meta.vlen);
+    const Expected<MemOffset> off = pool_a().allocate(total);
+    EFAC_CHECK_MSG(off.has_value(), "recovery compaction cannot overflow");
+    kv::ObjectMeta meta = s.meta;
+    meta.pre_ptr = 0;  // history was compacted away
+    meta.next_ptr = 0;
+    meta.transferred = false;
+    kv::ObjectRef obj{*arena_, *off};
+    obj.write_header(meta);
+    obj.write_key(s.key);
+    arena_->store(*off + kv::ObjectLayout::kHeaderSize + s.meta.klen,
+                  s.value);
+    arena_->flush(*off, total);
+    obj.set_durable(s.meta.klen, s.meta.vlen, true);  // verified above
+
+    kv::HashDir::Entry entry{};
+    entry.key_hash = s.meta.key_hash;
+    entry.off_old = *off;
+    entry.off_new = 0;
+    entry.mark = false;
+    dir_.write(s.slot, entry);
+    dir_.persist(s.slot);
+  }
+  // Lost / deleted keys: clear their entries so probing stays correct
+  // (key_hash kept, offsets zeroed — the slot still terminates probes).
+  for (std::size_t slot = 0; slot < dir_.bucket_count(); ++slot) {
+    kv::HashDir::Entry entry = dir_.read(slot);
+    if (entry.empty()) continue;
+    const bool rebuilt =
+        std::any_of(survivors.begin(), survivors.end(),
+                    [&](const Survivor& s) { return s.slot == slot; });
+    if (!rebuilt) {
+      entry.off_old = entry.off_new = 0;
+      entry.mark = false;
+      dir_.write(slot, entry);
+      dir_.persist(slot);
+    }
+  }
+
+  // Old long-running actors (background verifier, a cleaning round caught
+  // mid-flight by the crash) terminate at their next resumption; the
+  // restarted server gets a fresh verifier.
+  ++epoch_;
+  sim_.spawn(background_loop());
+
+  crashed_ = false;
+  return report;
+}
+
+// ----------------------------------------------------------------- client
+
+EFactoryClient::EFactoryClient(EFactoryStore& store, bool hybrid_read)
+    : store_(store),
+      conn_(store.simulator(), store.fabric(), store.node(),
+            store.directory(), store.next_qp_id()),
+      hybrid_(hybrid_read) {}
+
+sim::Task<Status> EFactoryClient::put(Bytes key, Bytes value) {
+  ++stats_.puts;
+  // Client computes the CRC that rides in the alloc request.
+  co_await sim::delay(store_.simulator(),
+                      store_.config().crc.cost(value.size()));
+  AllocRequest req;
+  req.klen = static_cast<std::uint32_t>(key.size());
+  req.vlen = static_cast<std::uint32_t>(value.size());
+  req.crc = kv::object_crc(kv::hash_key(key), req.klen, req.vlen, value);
+  req.key = key;
+
+  const Bytes raw = co_await conn_.call(kAlloc, req.encode());
+  const AllocResponse resp = AllocResponse::decode(raw);
+  if (resp.status != StatusCode::kOk) co_return Status{resp.status};
+
+  // One-sided transfer of the value into the returned region.
+  const MemOffset value_off = resp.object_off +
+                              kv::ObjectLayout::kHeaderSize + key.size() -
+                              store_.pool_a().base();
+  const Expected<Unit> wr =
+      co_await conn_.qp().write(store_.pool_rkey(), value_off, value);
+  co_return wr.status();
+}
+
+sim::Task<Expected<Bytes>> EFactoryClient::read_object_at(
+    MemOffset off, std::size_t klen, std::size_t vlen,
+    std::uint64_t expect_hash, bool require_flag, bool* tombstoned) {
+  const std::size_t total = kv::ObjectLayout::total_size(klen, vlen);
+  const Expected<Bytes> raw = co_await conn_.qp().read(
+      store_.pool_rkey(), off - store_.pool_a().base(), total);
+  if (!raw) co_return raw.status();
+  const kv::ObjectMeta meta = kv::ObjectLayout::decode_header(*raw);
+  if (meta.key_hash == expect_hash && meta.valid && meta.tombstone) {
+    // Tombstones are server-written and persisted before being indexed,
+    // so observing one is conclusive even without the durability flag.
+    if (tombstoned != nullptr) *tombstoned = true;
+    co_return Status{StatusCode::kNotFound, "deleted"};
+  }
+  if (meta.key_hash != expect_hash || !meta.valid || meta.klen != klen ||
+      meta.vlen != vlen) {
+    co_return Status{StatusCode::kNotFound, "object does not match"};
+  }
+  if (require_flag) {
+    const std::uint64_t flag =
+        load_u64_le(raw->data() + kv::ObjectLayout::flag_offset(klen, vlen));
+    if (flag != 1) {
+      co_return Status{StatusCode::kUnavailable, "not yet durable"};
+    }
+  }
+  co_return Bytes(raw->begin() + kv::ObjectLayout::kHeaderSize + klen,
+                  raw->begin() + kv::ObjectLayout::kHeaderSize + klen + vlen);
+}
+
+sim::Task<Status> EFactoryClient::del(Bytes key) {
+  GetLocRequest req;
+  req.key = std::move(key);
+  const Bytes raw = co_await conn_.call(kDelete, req.encode());
+  co_return Status{decode_status(raw)};
+}
+
+sim::Task<Expected<Bytes>> EFactoryClient::get(Bytes key) {
+  ++stats_.gets;
+  const std::uint64_t key_hash = kv::hash_key(key);
+
+  // ---- optimistic pure-RDMA path -------------------------------------
+  if (hybrid_ && !store_.clients_use_rpc() && vlen_hint_ > 0) {
+    // Client-side linear probing for displaced keys, then the object read.
+    constexpr std::size_t kClientProbeLimit = 16;
+    std::size_t slot = store_.dir().ideal_slot(key_hash);
+    for (std::size_t probe = 0; probe < kClientProbeLimit; ++probe) {
+      const Expected<Bytes> raw = co_await conn_.qp().read(
+          store_.index_rkey(), store_.dir().entry_offset(slot),
+          kv::HashDir::kEntrySize);
+      if (!raw) break;
+      const kv::HashDir::Entry entry = kv::HashDir::decode(*raw);
+      if (entry.empty()) break;
+      if (entry.key_hash == key_hash) {
+        if (entry.current() != 0) {
+          bool tombstoned = false;
+          Expected<Bytes> value = co_await read_object_at(
+              entry.current(), klen_hint_, vlen_hint_, key_hash,
+              /*require_flag=*/true, &tombstoned);
+          if (value) {
+            ++stats_.gets_pure_rdma;
+            co_return std::move(value).take();
+          }
+          if (tombstoned) {
+            ++stats_.gets_pure_rdma;
+            co_return Status{StatusCode::kNotFound, "deleted"};
+          }
+        }
+        break;  // found but not yet durable (or empty): RPC fallback
+      }
+      slot = (slot + 1) & (store_.dir().bucket_count() - 1);
+    }
+  }
+
+  // ---- RPC+RDMA read fallback ----------------------------------------
+  ++stats_.gets_rpc_path;
+  GetLocRequest req;
+  req.key = key;
+  const Bytes raw = co_await conn_.call(kGetLoc, req.encode());
+  const LocResponse resp = LocResponse::decode(raw);
+  if (resp.status != StatusCode::kOk) co_return Status{resp.status};
+  co_return co_await read_object_at(resp.object_off, resp.klen, resp.vlen,
+                                    key_hash, /*require_flag=*/false);
+}
+
+}  // namespace efac::stores

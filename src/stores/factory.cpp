@@ -1,0 +1,109 @@
+#include "stores/factory.hpp"
+
+#include <vector>
+
+#include "stores/baselines.hpp"
+#include "stores/efactory.hpp"
+#include "stores/rcommit.hpp"
+
+namespace efac::stores {
+
+std::string_view to_string(SystemKind kind) {
+  switch (kind) {
+    case SystemKind::kEFactory: return "eFactory";
+    case SystemKind::kEFactoryNoHr: return "eFactory w/o hr";
+    case SystemKind::kSaw: return "SAW";
+    case SystemKind::kImm: return "IMM";
+    case SystemKind::kErda: return "Erda";
+    case SystemKind::kForca: return "Forca";
+    case SystemKind::kRpc: return "RPC";
+    case SystemKind::kCaNoPersist: return "CA w/o persistence";
+    case SystemKind::kRcommit: return "Rcommit (future hw)";
+    case SystemKind::kInPlace: return "InPlace (Octopus-like)";
+  }
+  return "unknown";
+}
+
+const std::vector<SystemKind>& throughput_systems() {
+  static const std::vector<SystemKind> kSystems{
+      SystemKind::kEFactory, SystemKind::kEFactoryNoHr, SystemKind::kImm,
+      SystemKind::kSaw,      SystemKind::kErda,         SystemKind::kForca,
+  };
+  return kSystems;
+}
+
+Cluster make_cluster(sim::Simulator& sim, SystemKind kind,
+                     StoreConfig config) {
+  Cluster cluster;
+  switch (kind) {
+    case SystemKind::kEFactory:
+    case SystemKind::kEFactoryNoHr: {
+      auto store = std::make_unique<EFactoryStore>(sim, config);
+      EFactoryStore* raw = store.get();
+      const bool hybrid = kind == SystemKind::kEFactory;
+      cluster.store = std::move(store);
+      cluster.make_client = [raw, hybrid] { return raw->make_client(hybrid); };
+      break;
+    }
+    case SystemKind::kSaw: {
+      auto store = std::make_unique<SawStore>(sim, config);
+      SawStore* raw = store.get();
+      cluster.store = std::move(store);
+      cluster.make_client = [raw] { return raw->make_client(); };
+      break;
+    }
+    case SystemKind::kImm: {
+      auto store = std::make_unique<ImmStore>(sim, config);
+      ImmStore* raw = store.get();
+      cluster.store = std::move(store);
+      cluster.make_client = [raw] { return raw->make_client(); };
+      break;
+    }
+    case SystemKind::kErda: {
+      auto store = std::make_unique<ErdaStore>(sim, config);
+      ErdaStore* raw = store.get();
+      cluster.store = std::move(store);
+      cluster.make_client = [raw] { return raw->make_client(); };
+      break;
+    }
+    case SystemKind::kForca: {
+      auto store = std::make_unique<ForcaStore>(sim, config);
+      ForcaStore* raw = store.get();
+      cluster.store = std::move(store);
+      cluster.make_client = [raw] { return raw->make_client(); };
+      break;
+    }
+    case SystemKind::kRpc: {
+      auto store = std::make_unique<RpcStore>(sim, config);
+      RpcStore* raw = store.get();
+      cluster.store = std::move(store);
+      cluster.make_client = [raw] { return raw->make_client(); };
+      break;
+    }
+    case SystemKind::kCaNoPersist: {
+      auto store = std::make_unique<CaStore>(sim, config);
+      CaStore* raw = store.get();
+      cluster.store = std::move(store);
+      cluster.make_client = [raw] { return raw->make_client(); };
+      break;
+    }
+    case SystemKind::kRcommit: {
+      auto store = std::make_unique<RcommitStore>(sim, config);
+      RcommitStore* raw = store.get();
+      cluster.store = std::move(store);
+      cluster.make_client = [raw] { return raw->make_client(); };
+      break;
+    }
+    case SystemKind::kInPlace: {
+      auto store = std::make_unique<InPlaceStore>(sim, config);
+      InPlaceStore* raw = store.get();
+      cluster.store = std::move(store);
+      cluster.make_client = [raw] { return raw->make_client(); };
+      break;
+    }
+  }
+  EFAC_CHECK(cluster.store != nullptr);
+  return cluster;
+}
+
+}  // namespace efac::stores

@@ -1,0 +1,48 @@
+// System factory: build any of the compared clusters by name.
+//
+// Used by the benchmark harness, the examples, and the integration tests
+// to sweep over systems uniformly.
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <string_view>
+
+#include "stores/kv_client.hpp"
+#include "stores/store_base.hpp"
+
+namespace efac::stores {
+
+enum class SystemKind {
+  kEFactory,      ///< the paper's system (hybrid read on)
+  kEFactoryNoHr,  ///< eFactory w/o hybrid read (factor analysis)
+  kSaw,
+  kImm,
+  kErda,
+  kForca,
+  kRpc,
+  kCaNoPersist,
+  kRcommit,  ///< future-work: proposed RDMA Commit verb (paper §7.1)
+  kInPlace,  ///< Octopus-style in-place updates (paper §7.2 motivation)
+};
+
+/// Display name matching the paper's legends.
+[[nodiscard]] std::string_view to_string(SystemKind kind);
+
+/// All systems that appear in the throughput figures (9 and 10).
+[[nodiscard]] const std::vector<SystemKind>& throughput_systems();
+
+/// A type-erased cluster: the store plus a client factory bound to it.
+struct Cluster {
+  std::unique_ptr<StoreBase> store;
+  std::function<std::unique_ptr<KvClient>()> make_client;
+
+  /// Convenience: start the server actors.
+  void start() { store->start(); }
+};
+
+/// Build (but do not start) a cluster of the given kind.
+[[nodiscard]] Cluster make_cluster(sim::Simulator& sim, SystemKind kind,
+                                   StoreConfig config);
+
+}  // namespace efac::stores

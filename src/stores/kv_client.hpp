@@ -1,0 +1,64 @@
+// Abstract client interface every system implements.
+//
+// Clients are simulation actors: put()/get() are coroutines whose elapsed
+// virtual time is the operation latency. Size hints mirror what published
+// RDMA-KV prototypes do — clients know the (fixed) object geometry of the
+// workload, which lets one-sided GETs read exactly the right span.
+#pragma once
+
+#include <cstdint>
+
+#include "common/bytes.hpp"
+#include "common/status.hpp"
+#include "sim/task.hpp"
+
+namespace efac::stores {
+
+/// Per-client operation counters (observability for tests and benches).
+struct ClientStats {
+  std::uint64_t puts = 0;
+  std::uint64_t gets = 0;
+  /// GETs resolved purely with one-sided reads (no server involvement).
+  std::uint64_t gets_pure_rdma = 0;
+  /// GETs that needed the RPC+RDMA fallback (flag unset, entry miss,
+  /// log cleaning in progress, or the system always uses RPC reads).
+  std::uint64_t gets_rpc_path = 0;
+  /// Client-side re-reads of an older version (Erda CRC failure path).
+  std::uint64_t version_rereads = 0;
+  /// Client-side CRC verifications performed (Erda read path).
+  std::uint64_t client_crc_checks = 0;
+};
+
+class KvClient {
+ public:
+  virtual ~KvClient() = default;
+
+  /// Durable-or-consistent PUT per the semantics of the concrete system.
+  virtual sim::Task<Status> put(Bytes key, Bytes value) = 0;
+
+  /// GET; returns the value bytes.
+  virtual sim::Task<Expected<Bytes>> get(Bytes key) = 0;
+
+  /// DELETE. Log-structured systems append a tombstone version whose
+  /// space is reclaimed by log cleaning. Default: not supported.
+  virtual sim::Task<Status> del(Bytes key) {
+    static_cast<void>(key);
+    co_return Status{StatusCode::kUnimplemented,
+                     "delete not supported by this system"};
+  }
+
+  /// Object geometry of the workload (for one-sided reads).
+  void set_size_hint(std::size_t klen, std::size_t vlen) {
+    klen_hint_ = klen;
+    vlen_hint_ = vlen;
+  }
+
+  [[nodiscard]] const ClientStats& stats() const noexcept { return stats_; }
+
+ protected:
+  std::size_t klen_hint_ = 0;
+  std::size_t vlen_hint_ = 0;
+  ClientStats stats_;
+};
+
+}  // namespace efac::stores

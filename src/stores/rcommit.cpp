@@ -1,0 +1,159 @@
+#include "stores/rcommit.hpp"
+
+#include "stores/baselines.hpp"  // recover_via_dir
+
+namespace efac::stores {
+
+RcommitStore::RcommitStore(sim::Simulator& sim, StoreConfig config)
+    : StoreBase(sim, config, kv::HashDir::bytes_required(config.hash_buckets)),
+      dir_(*arena_, 0, config_.hash_buckets) {
+  // The index MR from StoreBase is read-only; clients updating entry head
+  // words one-sided need a writable window over the same region.
+  entry_rkey_ = node_->register_mr(
+      0, kv::HashDir::bytes_required(config_.hash_buckets),
+      rdma::Access::kReadWrite);
+}
+
+sim::Task<void> RcommitStore::handle(rdma::InboundMessage msg) {
+  co_await charge(config_.recv_cost());
+  rpc::ParsedRequest req = rpc::parse_request(msg);
+  EFAC_CHECK_MSG(req.opcode == kAlloc, "Rcommit: unexpected opcode");
+  const AllocRequest alloc = AllocRequest::decode(req.args);
+  const std::uint64_t key_hash = kv::hash_key(alloc.key);
+  std::size_t probes = 0;
+  AllocResponse resp;
+  const bool already_known = dir_.find(key_hash, &probes).has_value();
+  const Expected<std::size_t> slot = dir_.find_or_claim(key_hash, &probes);
+  SimDuration cost = probes * config_.cpu.hash_probe_ns;
+  if (!slot) {
+    resp.status = slot.status().code();
+  } else {
+    const kv::HashDir::Entry entry = dir_.read(*slot);
+    const Expected<MemOffset> off = pool_a().allocate(
+        kv::ObjectLayout::total_size(alloc.klen, alloc.vlen));
+    if (!off) {
+      resp.status = StatusCode::kOutOfSpace;
+    } else {
+      // Header staged (unflushed — the client's COMMIT covers the whole
+      // object range). A *newly claimed* key_hash word is persisted so
+      // recovery probing works even if the client dies before its first
+      // commit; overwrites skip it (the hash word is already durable).
+      cost += place_object_metadata(*off, alloc, entry.current(),
+                                    /*persist=*/false);
+      if (!already_known) {
+        dir_.persist(*slot);
+        cost += arena_->cost().flush_cost(kv::HashDir::kEntrySize) +
+                arena_->cost().fence_ns;
+      }
+      resp.object_off = *off;
+      resp.entry_off = dir_.entry_offset(*slot);
+    }
+  }
+  co_await charge(cost + config_.cpu.send_post_ns);
+  rpc::Replier{directory_, req.src_qp, req.call_id}.reply(resp.encode());
+}
+
+Expected<Bytes> RcommitStore::recover_get(BytesView key) {
+  return recover_via_dir(*arena_, dir_, *this, key);
+}
+
+namespace {
+
+class RcommitClient final : public KvClient {
+ public:
+  explicit RcommitClient(RcommitStore& store)
+      : store_(store),
+        conn_(store.simulator(), store.fabric(), store.node(),
+              store.directory(), store.next_qp_id()) {}
+
+  sim::Task<Status> put(Bytes key, Bytes value) override {
+    ++stats_.puts;
+    AllocRequest req;
+    req.klen = static_cast<std::uint32_t>(key.size());
+    req.vlen = static_cast<std::uint32_t>(value.size());
+    req.crc = kv::object_crc(kv::hash_key(key), req.klen, req.vlen,
+                             value);  // recovery bookkeeping, no time
+    req.key = key;
+    const Bytes raw = co_await conn_.call(kAlloc, req.encode());
+    const AllocResponse resp = AllocResponse::decode(raw);
+    if (resp.status != StatusCode::kOk) co_return Status{resp.status};
+
+    // Pipelined one-sided chain; RC ordering serializes the four WRs.
+    rdma::QueuePair& qp = conn_.qp();
+    const std::size_t total =
+        kv::ObjectLayout::total_size(key.size(), value.size());
+    const MemOffset value_off = resp.object_off +
+                                kv::ObjectLayout::kHeaderSize + key.size() -
+                                store_.pool_a().base();
+    const Expected<SimTime> w1 =
+        qp.post_write(store_.pool_rkey(), value_off, value);
+    if (!w1) co_return w1.status();
+    const Expected<SimTime> c1 = qp.post_commit(
+        store_.pool_rkey(), resp.object_off - store_.pool_a().base(), total);
+    if (!c1) co_return c1.status();
+    // Metadata: flip the entry's head-offset word (off_old, +8 into the
+    // entry) and commit it — durable, ordered after the data commit.
+    std::uint8_t head_word[8];
+    store_u64_le(head_word, resp.object_off);
+    const MemOffset word_off = resp.entry_off + 8;
+    const Expected<SimTime> w2 = qp.post_write(
+        store_.entry_rkey(), word_off, BytesView{head_word, 8});
+    if (!w2) co_return w2.status();
+    const Expected<Unit> c2 =
+        co_await qp.commit(store_.entry_rkey(), word_off, 8);
+    co_return c2.status();
+  }
+
+  sim::Task<Expected<Bytes>> get(Bytes key) override {
+    ++stats_.gets;
+    const std::uint64_t key_hash = kv::hash_key(key);
+    kv::HashDir& dir = store_.dir();
+    constexpr std::size_t kClientProbeLimit = 16;
+    std::size_t slot = dir.ideal_slot(key_hash);
+    kv::HashDir::Entry entry;
+    bool found = false;
+    for (std::size_t probe = 0; probe < kClientProbeLimit; ++probe) {
+      const Expected<Bytes> raw = co_await conn_.qp().read(
+          store_.index_rkey(), dir.entry_offset(slot),
+          kv::HashDir::kEntrySize);
+      if (!raw) co_return raw.status();
+      entry = kv::HashDir::decode(*raw);
+      if (entry.key_hash == key_hash) {
+        found = true;
+        break;
+      }
+      if (entry.empty()) break;
+      slot = (slot + 1) & (dir.bucket_count() - 1);
+    }
+    if (!found || entry.current() == 0) {
+      co_return Status{StatusCode::kNotFound};
+    }
+    const std::size_t total =
+        kv::ObjectLayout::total_size(klen_hint_, vlen_hint_);
+    const Expected<Bytes> raw_obj = co_await conn_.qp().read(
+        store_.pool_rkey(), entry.current() - store_.pool_a().base(), total);
+    if (!raw_obj) co_return raw_obj.status();
+    const kv::ObjectMeta meta = kv::ObjectLayout::decode_header(*raw_obj);
+    if (meta.key_hash != key_hash || !meta.valid ||
+        meta.klen != klen_hint_ || meta.vlen != vlen_hint_) {
+      co_return Status{StatusCode::kNotFound, "object does not match"};
+    }
+    ++stats_.gets_pure_rdma;
+    co_return Bytes(
+        raw_obj->begin() + kv::ObjectLayout::kHeaderSize + klen_hint_,
+        raw_obj->begin() + kv::ObjectLayout::kHeaderSize + klen_hint_ +
+            vlen_hint_);
+  }
+
+ private:
+  RcommitStore& store_;
+  rpc::Connection conn_;
+};
+
+}  // namespace
+
+std::unique_ptr<KvClient> RcommitStore::make_client() {
+  return std::make_unique<RcommitClient>(*this);
+}
+
+}  // namespace efac::stores

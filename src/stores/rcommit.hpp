@@ -1,0 +1,46 @@
+// Rcommit store — a future-work variant using the proposed RDMA Commit
+// verb (paper §7.1: rcommit / "RDMA Durable Write Commit", Talpey &
+// Pinkerton; also the rdma_pwrite / rofence line of work). Requires NIC
+// support that does not exist in shipping hardware, which is why the
+// paper's eFactory deliberately avoids it; this implementation quantifies
+// what that hardware would buy.
+//
+//   PUT — alloc RPC, then an entirely one-sided, pipelined chain on one
+//         QP: WRITE(object) → COMMIT(object) → WRITE(entry head word) →
+//         COMMIT(entry word). The final ack implies durability of data
+//         AND metadata, with zero server-CPU involvement after alloc and
+//         no extra round trips (QP ordering serializes the chain).
+//   GET — two one-sided reads, like SAW/IMM (metadata only changes after
+//         durability, so no verification is needed).
+#pragma once
+
+#include <memory>
+
+#include "kv/hash_dir.hpp"
+#include "stores/kv_client.hpp"
+#include "stores/store_base.hpp"
+
+namespace efac::stores {
+
+class RcommitStore final : public StoreBase {
+ public:
+  explicit RcommitStore(sim::Simulator& sim, StoreConfig config = {});
+  [[nodiscard]] std::unique_ptr<KvClient> make_client();
+  [[nodiscard]] Expected<Bytes> recover_get(BytesView key) override;
+  [[nodiscard]] kv::HashDir& dir() noexcept { return dir_; }
+  /// Clients write the entry's head-offset word directly; that word is
+  /// inside this MR.
+  [[nodiscard]] std::uint32_t entry_rkey() const noexcept {
+    return entry_rkey_;
+  }
+
+ protected:
+  sim::Task<void> handle(rdma::InboundMessage msg) override;
+
+ private:
+  friend class RcommitClient;
+  kv::HashDir dir_;
+  std::uint32_t entry_rkey_ = 0;
+};
+
+}  // namespace efac::stores

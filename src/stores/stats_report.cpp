@@ -1,0 +1,73 @@
+#include "stores/stats_report.hpp"
+
+#include <ostream>
+
+namespace efac::stores {
+
+namespace {
+
+void line(std::ostream& os, const char* label, std::uint64_t value) {
+  os << "  " << label;
+  for (std::size_t pad = 0; pad + std::string_view{label}.size() < 34;
+       ++pad) {
+    os << ' ';
+  }
+  os << value << '\n';
+}
+
+double pct(std::uint64_t part, std::uint64_t whole) {
+  return whole == 0 ? 0.0
+                    : 100.0 * static_cast<double>(part) /
+                          static_cast<double>(whole);
+}
+
+}  // namespace
+
+void print_server_stats(std::ostream& os, const ServerStats& stats) {
+  os << "server:\n";
+  line(os, "requests handled", stats.requests);
+  line(os, "allocations", stats.allocs);
+  line(os, "persist operations", stats.persists);
+  line(os, "CRC verifications", stats.crc_checks);
+  line(os, "bg-verified objects", stats.bg_verified);
+  line(os, "bg timeouts (invalidated)", stats.bg_timeouts);
+  line(os, "GET durability-flag hits", stats.get_durability_hits);
+  line(os, "log-cleaning rounds", stats.cleanings);
+  line(os, "objects migrated by cleaning", stats.cleaned_objects);
+}
+
+void print_client_stats(std::ostream& os, const ClientStats& stats) {
+  os << "clients:\n";
+  line(os, "PUTs", stats.puts);
+  line(os, "GETs", stats.gets);
+  line(os, "  pure one-sided", stats.gets_pure_rdma);
+  line(os, "  via RPC path", stats.gets_rpc_path);
+  line(os, "version re-reads", stats.version_rereads);
+  line(os, "client CRC checks", stats.client_crc_checks);
+  if (stats.gets > 0) {
+    os << "  pure-read rate                  "
+       << static_cast<int>(pct(stats.gets_pure_rdma, stats.gets) + 0.5)
+       << "%\n";
+  }
+}
+
+void print_arena_stats(std::ostream& os, const nvm::ArenaStats& stats) {
+  os << "nvm arena:\n";
+  line(os, "CPU stores / bytes", stats.cpu_stores);
+  line(os, "  store bytes", stats.cpu_store_bytes);
+  line(os, "CPU loads", stats.cpu_loads);
+  line(os, "flush calls / lines", stats.flushes);
+  line(os, "  flushed lines", stats.flushed_lines);
+  line(os, "inbound DMA writes", stats.dma_writes);
+  line(os, "  DMA bytes", stats.dma_bytes);
+  line(os, "crashes injected", stats.crashes);
+}
+
+void print_cluster_report(std::ostream& os, StoreBase& store,
+                          const ClientStats& clients) {
+  print_server_stats(os, store.server_stats());
+  print_client_stats(os, clients);
+  print_arena_stats(os, store.arena().stats());
+}
+
+}  // namespace efac::stores

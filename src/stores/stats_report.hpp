@@ -1,0 +1,30 @@
+// Human-readable reports over the library's counter structs.
+//
+// Every layer keeps cheap counters (ServerStats, ClientStats, ArenaStats,
+// QpStats); this module renders them uniformly for examples, debugging
+// sessions, and bench footers.
+#pragma once
+
+#include <iosfwd>
+
+#include "nvm/arena.hpp"
+#include "rdma/queue_pair.hpp"
+#include "stores/kv_client.hpp"
+#include "stores/store_base.hpp"
+
+namespace efac::stores {
+
+/// Multi-line dump of a store's server-side counters.
+void print_server_stats(std::ostream& os, const ServerStats& stats);
+
+/// Multi-line dump of one client's protocol counters.
+void print_client_stats(std::ostream& os, const ClientStats& stats);
+
+/// Multi-line dump of the NVM arena counters.
+void print_arena_stats(std::ostream& os, const nvm::ArenaStats& stats);
+
+/// One combined report for a cluster + one (aggregated) client view.
+void print_cluster_report(std::ostream& os, StoreBase& store,
+                          const ClientStats& clients);
+
+}  // namespace efac::stores

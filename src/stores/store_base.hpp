@@ -1,0 +1,135 @@
+// Common chassis for every simulated store cluster.
+//
+// A Store owns the whole single-server "cluster": the NVM arena, the
+// fabric, the server node, the RPC directory, the data pool(s), and the
+// server worker coroutines. Concrete systems subclass it with their
+// request handlers and read/write protocols, exactly mirroring the paper's
+// "all implementations on the same code base" methodology.
+//
+// Arena layout:
+//
+//   [0, hash_bytes)                   index region (HashDir / ErdaTable)
+//   [pool_a_base, +pool_bytes)        data pool A (working pool)
+//   [pool_b_base, +pool_bytes)        data pool B (eFactory log cleaning)
+//
+// Arena offset 0 is inside the index region, so 0 serves as the null
+// object pointer throughout.
+#pragma once
+
+#include <memory>
+
+#include "common/status.hpp"
+#include "kv/data_pool.hpp"
+#include "kv/object.hpp"
+#include "nvm/arena.hpp"
+#include "rdma/fabric.hpp"
+#include "rdma/node.hpp"
+#include "rpc/rpc.hpp"
+#include "sim/simulator.hpp"
+#include "sim/task.hpp"
+#include "stores/config.hpp"
+#include "stores/wire.hpp"
+
+namespace efac::stores {
+
+/// Server-side operation counters.
+struct ServerStats {
+  std::uint64_t requests = 0;
+  std::uint64_t allocs = 0;
+  std::uint64_t persists = 0;          ///< explicit flush operations
+  std::uint64_t crc_checks = 0;        ///< server-side verifications
+  std::uint64_t bg_verified = 0;       ///< background thread: objects flagged
+  std::uint64_t bg_timeouts = 0;       ///< background thread: invalidated
+  std::uint64_t get_durability_hits = 0;  ///< RPC GET found flag already set
+  std::uint64_t cleanings = 0;         ///< completed log-cleaning rounds
+  std::uint64_t cleaned_objects = 0;   ///< objects migrated by cleaning
+};
+
+class StoreBase {
+ public:
+  StoreBase(sim::Simulator& sim, StoreConfig config,
+            std::size_t hash_region_bytes);
+  virtual ~StoreBase() = default;
+  StoreBase(const StoreBase&) = delete;
+  StoreBase& operator=(const StoreBase&) = delete;
+
+  /// Spawn the server worker coroutines (and any system-specific actors).
+  void start();
+
+  /// Inject a power failure: volatile state is lost per the crash policy.
+  /// After crash() the cluster must not be run further; inspect recovery
+  /// with recover_get().
+  void crash();
+
+  /// Post-crash lookup against the surviving (persisted) state, following
+  /// the system's recovery procedure. No virtual time is charged: recovery
+  /// correctness, not speed, is what the paper argues about.
+  [[nodiscard]] virtual Expected<Bytes> recover_get(BytesView key) = 0;
+
+  // ------------------------------------------------------------ plumbing
+  [[nodiscard]] sim::Simulator& simulator() noexcept { return sim_; }
+  [[nodiscard]] nvm::Arena& arena() noexcept { return *arena_; }
+  [[nodiscard]] rdma::Fabric& fabric() noexcept { return fabric_; }
+  [[nodiscard]] rdma::Node& node() noexcept { return *node_; }
+  [[nodiscard]] rpc::Directory& directory() noexcept { return directory_; }
+  [[nodiscard]] const StoreConfig& config() const noexcept { return config_; }
+  [[nodiscard]] const ServerStats& server_stats() const noexcept {
+    return stats_;
+  }
+  [[nodiscard]] std::uint32_t index_rkey() const noexcept {
+    return index_rkey_;
+  }
+  [[nodiscard]] std::uint32_t pool_rkey() const noexcept { return pool_rkey_; }
+  [[nodiscard]] kv::DataPool& pool_a() noexcept { return *pool_a_; }
+  [[nodiscard]] kv::DataPool& pool_b() noexcept {
+    EFAC_CHECK(pool_b_ != nullptr);
+    return *pool_b_;
+  }
+  [[nodiscard]] bool crashed() const noexcept { return crashed_; }
+
+  /// Allocate a unique QP id for a new client connection.
+  [[nodiscard]] std::uint64_t next_qp_id() noexcept { return next_qp_id_++; }
+
+  /// True if `off` plausibly begins an object whose span fits the arena.
+  [[nodiscard]] bool object_span_ok(MemOffset off,
+                                    const kv::ObjectMeta& meta) const;
+
+  /// True if a header can even be read at `off` (aligned, in range) —
+  /// guards version-chain walks against garbage pointers before the
+  /// span check can run.
+  [[nodiscard]] bool header_readable(MemOffset off) const;
+
+ protected:
+  /// Dispatch one inbound message (request or IMM notification).
+  virtual sim::Task<void> handle(rdma::InboundMessage msg) = 0;
+
+  /// Hook for system-specific actors (eFactory's background thread).
+  virtual void start_extras() {}
+
+  /// Charge `d` ns of this worker's CPU.
+  [[nodiscard]] sim::DelayAwaiter charge(SimDuration d) {
+    return sim::delay(sim_, d);
+  }
+
+  /// Write (and optionally persist) an object's header + key at `off` on
+  /// behalf of an alloc request; initializes the durability flag to 0.
+  /// Returns the CPU+flush cost the caller should charge.
+  SimDuration place_object_metadata(MemOffset off, const AllocRequest& req,
+                                    MemOffset pre_ptr, bool persist);
+
+  sim::Simulator& sim_;
+  StoreConfig config_;
+  std::unique_ptr<nvm::Arena> arena_;
+  rdma::Fabric fabric_;
+  std::unique_ptr<rdma::Node> node_;
+  rpc::Directory directory_;
+  std::unique_ptr<kv::DataPool> pool_a_;
+  std::unique_ptr<kv::DataPool> pool_b_;
+  std::uint32_t index_rkey_ = 0;
+  std::uint32_t pool_rkey_ = 0;
+  ServerStats stats_;
+  bool crashed_ = false;
+  std::uint64_t next_qp_id_ = 1;
+};
+
+}  // namespace efac::stores

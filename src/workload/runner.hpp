@@ -1,0 +1,61 @@
+// Closed-loop multi-client run harness.
+//
+// Mirrors the paper's measurement setup: N concurrent clients issue
+// operations "as fast as possible" (closed loop — the next op is issued
+// when the previous completes); throughput is completed operations over
+// the virtual time span, latency comes from per-op virtual timestamps.
+//
+// A run has three phases:
+//   1. load    — every key is inserted once (so GETs always hit);
+//   2. settle  — the simulation idles long enough for background work
+//                (eFactory's verifier) to drain;
+//   3. measure — the configured mix runs for ops_per_client per client.
+#pragma once
+
+#include <cstdint>
+
+#include "common/histogram.hpp"
+#include "sim/simulator.hpp"
+#include "stores/factory.hpp"
+#include "workload/ycsb.hpp"
+
+namespace efac::workload {
+
+struct RunOptions {
+  WorkloadConfig workload;
+  std::size_t clients = 8;
+  std::size_t ops_per_client = 1500;
+  /// Extra settle time after the load phase (on top of a heuristic based
+  /// on key count) before measurement starts.
+  SimDuration extra_settle_ns = 200 * timeconst::kMicrosecond;
+};
+
+struct RunResult {
+  double mops = 0.0;            ///< measured throughput, million ops/s
+  SimDuration span_ns = 0;      ///< virtual time the measured phase took
+  std::uint64_t ops = 0;
+  std::uint64_t puts = 0;
+  std::uint64_t gets = 0;
+  std::uint64_t get_failures = 0;  ///< reads that returned an error
+  std::uint64_t put_failures = 0;  ///< writes that returned an error
+  Histogram put_latency;        ///< ns
+  Histogram get_latency;        ///< ns
+  Histogram op_latency;         ///< ns, both op types
+  stores::ClientStats client_stats;  ///< summed over clients
+
+  [[nodiscard]] double mean_latency_us() const {
+    return op_latency.mean() / 1000.0;
+  }
+};
+
+/// Run `options` against a fresh `cluster` (cluster must not be started
+/// yet). Uses — and advances — the cluster's simulator.
+RunResult run_workload(sim::Simulator& sim, stores::Cluster& cluster,
+                       const RunOptions& options);
+
+/// Build a StoreConfig sized for a run (pool large enough for the load
+/// plus the measured writes with headroom).
+[[nodiscard]] stores::StoreConfig sized_store_config(
+    const RunOptions& options, bool for_cleaning = false);
+
+}  // namespace efac::workload

@@ -1,0 +1,136 @@
+#include "workload/trace.hpp"
+
+#include <istream>
+#include <ostream>
+#include <sstream>
+#include <string>
+
+namespace efac::workload {
+
+Trace Trace::from_workload(const Workload& workload, std::size_t ops,
+                           std::uint64_t seed, double delete_fraction) {
+  Trace trace;
+  Rng rng{seed};
+  std::uint64_t version = 1;
+  for (std::size_t i = 0; i < ops; ++i) {
+    const Workload::Op op = workload.next(rng);
+    if (op.is_put) {
+      if (delete_fraction > 0 && rng.next_bool(delete_fraction)) {
+        trace.add_delete(op.key_index);
+      } else {
+        trace.add_put(op.key_index, version++);
+      }
+    } else {
+      trace.add_get(op.key_index);
+    }
+  }
+  return trace;
+}
+
+void Trace::save(std::ostream& os) const {
+  os << "efactrace v1\n";
+  os << "# ops: " << ops_.size() << "\n";
+  for (const TraceOp& op : ops_) {
+    switch (op.kind) {
+      case TraceOp::Kind::kPut:
+        os << "P " << op.key_index << ' ' << op.version << "\n";
+        break;
+      case TraceOp::Kind::kGet:
+        os << "G " << op.key_index << "\n";
+        break;
+      case TraceOp::Kind::kDelete:
+        os << "D " << op.key_index << "\n";
+        break;
+    }
+  }
+}
+
+Expected<Trace> Trace::load(std::istream& is) {
+  std::string line;
+  if (!std::getline(is, line) || line != "efactrace v1") {
+    return Status{StatusCode::kInvalidArgument, "bad trace header"};
+  }
+  Trace trace;
+  std::size_t line_no = 1;
+  while (std::getline(is, line)) {
+    ++line_no;
+    if (line.empty() || line[0] == '#') continue;
+    std::istringstream fields{line};
+    char kind = 0;
+    std::uint64_t key = 0;
+    fields >> kind >> key;
+    if (fields.fail()) {
+      return Status{StatusCode::kInvalidArgument,
+                    "malformed trace line " + std::to_string(line_no)};
+    }
+    switch (kind) {
+      case 'P': {
+        std::uint64_t version = 0;
+        fields >> version;
+        if (fields.fail()) {
+          return Status{StatusCode::kInvalidArgument,
+                        "PUT missing version at line " +
+                            std::to_string(line_no)};
+        }
+        trace.add_put(key, version);
+        break;
+      }
+      case 'G':
+        trace.add_get(key);
+        break;
+      case 'D':
+        trace.add_delete(key);
+        break;
+      default:
+        return Status{StatusCode::kInvalidArgument,
+                      "unknown op at line " + std::to_string(line_no)};
+    }
+  }
+  return trace;
+}
+
+sim::Task<ReplayResult> replay_trace(sim::Simulator& sim,
+                                     stores::KvClient& client,
+                                     const Workload& workload,
+                                     const Trace& trace) {
+  ReplayResult result;
+  const SimTime start = sim.now();
+  for (const TraceOp& op : trace.ops()) {
+    switch (op.kind) {
+      case TraceOp::Kind::kPut: {
+        const Status status =
+            co_await client.put(workload.key_at(op.key_index),
+                                workload.value_for(op.key_index, op.version));
+        ++result.puts;
+        if (!status.is_ok()) ++result.failures;
+        break;
+      }
+      case TraceOp::Kind::kGet: {
+        const Expected<Bytes> got =
+            co_await client.get(workload.key_at(op.key_index));
+        ++result.gets;
+        if (!got.has_value() && got.code() != StatusCode::kNotFound) {
+          ++result.failures;
+        }
+        break;
+      }
+      case TraceOp::Kind::kDelete: {
+        const Status status =
+            co_await client.del(workload.key_at(op.key_index));
+        ++result.deletes;
+        if (status.code() == StatusCode::kUnimplemented) {
+          ++result.unsupported;  // replaying a delete-bearing trace against
+                                 // a system without DELETE is not an error
+        } else if (!status.is_ok() &&
+                   status.code() != StatusCode::kNotFound) {
+          ++result.failures;
+        }
+        break;
+      }
+    }
+  }
+  result.span_ns = sim.now() - start;
+  co_return result;
+}
+
+}  // namespace efac::workload

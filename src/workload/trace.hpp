@@ -1,0 +1,91 @@
+// Operation-trace capture and replay.
+//
+// A Trace is a flat, deterministic list of operations (PUT/GET/DEL with
+// key index and value version) that can be saved to a portable text
+// format and replayed against any system. Useful for:
+//   * replaying the exact op stream that exposed a bug,
+//   * comparing systems on byte-identical workloads,
+//   * shipping regression workloads with the repository.
+//
+// Format (one op per line, '#' comments):
+//
+//   efactrace v1
+//   # ops: 3
+//   P <key_index> <version>
+//   G <key_index>
+//   D <key_index>
+#pragma once
+
+#include <iosfwd>
+#include <vector>
+
+#include "common/status.hpp"
+#include "sim/simulator.hpp"
+#include "stores/kv_client.hpp"
+#include "workload/ycsb.hpp"
+
+namespace efac::workload {
+
+struct TraceOp {
+  enum class Kind : std::uint8_t { kPut, kGet, kDelete };
+  Kind kind = Kind::kGet;
+  std::uint64_t key_index = 0;
+  std::uint64_t version = 0;  ///< PUT only
+
+  friend bool operator==(const TraceOp&, const TraceOp&) = default;
+};
+
+class Trace {
+ public:
+  Trace() = default;
+
+  void add_put(std::uint64_t key, std::uint64_t version) {
+    ops_.push_back({TraceOp::Kind::kPut, key, version});
+  }
+  void add_get(std::uint64_t key) {
+    ops_.push_back({TraceOp::Kind::kGet, key, 0});
+  }
+  void add_delete(std::uint64_t key) {
+    ops_.push_back({TraceOp::Kind::kDelete, key, 0});
+  }
+
+  [[nodiscard]] const std::vector<TraceOp>& ops() const noexcept {
+    return ops_;
+  }
+  [[nodiscard]] std::size_t size() const noexcept { return ops_.size(); }
+  [[nodiscard]] bool empty() const noexcept { return ops_.empty(); }
+
+  /// Generate a trace from a YCSB workload definition (deterministic).
+  static Trace from_workload(const Workload& workload, std::size_t ops,
+                             std::uint64_t seed,
+                             double delete_fraction = 0.0);
+
+  /// Serialize / parse the portable text format.
+  void save(std::ostream& os) const;
+  static Expected<Trace> load(std::istream& is);
+
+  friend bool operator==(const Trace&, const Trace&) = default;
+
+ private:
+  std::vector<TraceOp> ops_;
+};
+
+/// Replay outcome counters.
+struct ReplayResult {
+  std::uint64_t puts = 0;
+  std::uint64_t gets = 0;
+  std::uint64_t deletes = 0;
+  std::uint64_t unsupported = 0;  ///< deletes on systems without DELETE
+  std::uint64_t failures = 0;   ///< ops that returned an unexpected error
+  SimDuration span_ns = 0;
+};
+
+/// Replay a trace against a client, sequentially, in virtual time.
+/// GET misses on keys that were deleted (or never written) do not count
+/// as failures; any other error does.
+sim::Task<ReplayResult> replay_trace(sim::Simulator& sim,
+                                     stores::KvClient& client,
+                                     const Workload& workload,
+                                     const Trace& trace);
+
+}  // namespace efac::workload

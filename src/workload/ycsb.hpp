@@ -1,0 +1,96 @@
+// YCSB-style workload generation (paper §5.2).
+//
+// Four mixes over a long-tailed Zipfian key popularity distribution:
+//   YCSB-C        100 % GET   (read-only)
+//   YCSB-B         95 % GET   (read-intensive)
+//   YCSB-A         50 % GET   (write-intensive)
+//   update-only   100 % PUT
+//
+// The Zipfian generator is the standard YCSB one (Gray et al.'s
+// "Quickly generating billion-record synthetic databases" rejection-free
+// method), with the usual hash-scrambling option so that popular keys are
+// spread across the key space instead of clustered at its start.
+#pragma once
+
+#include <cstdint>
+
+#include "common/bytes.hpp"
+#include "common/rng.hpp"
+
+namespace efac::workload {
+
+/// Standard YCSB Zipfian distribution over [0, n).
+class ZipfianGenerator {
+ public:
+  ZipfianGenerator(std::uint64_t n, double theta = 0.99);
+
+  /// Draw the next rank (0 = most popular) using `rng`.
+  [[nodiscard]] std::uint64_t next(Rng& rng) const;
+
+  [[nodiscard]] std::uint64_t item_count() const noexcept { return n_; }
+  [[nodiscard]] double theta() const noexcept { return theta_; }
+
+ private:
+  static double zeta(std::uint64_t n, double theta);
+
+  std::uint64_t n_;
+  double theta_;
+  double alpha_;
+  double zetan_;
+  double eta_;
+};
+
+/// The four paper mixes.
+enum class Mix {
+  kReadOnly,       ///< YCSB-C
+  kReadIntensive,  ///< YCSB-B
+  kWriteIntensive, ///< YCSB-A
+  kUpdateOnly,
+};
+
+[[nodiscard]] const char* to_string(Mix mix);
+[[nodiscard]] double put_fraction(Mix mix);
+
+/// All four mixes in the paper's figure order (a)–(d).
+[[nodiscard]] const std::vector<Mix>& all_mixes();
+
+struct WorkloadConfig {
+  Mix mix = Mix::kWriteIntensive;
+  std::uint64_t key_count = 1000;
+  std::size_t key_len = 32;    ///< paper uses 32-byte keys
+  std::size_t value_len = 2048;
+  double zipf_theta = 0.99;
+  bool scramble = true;        ///< hash-spread the popularity ranks
+  std::uint64_t seed = 0x4C5B;
+};
+
+/// A deterministic op stream plus key/value materialization.
+class Workload {
+ public:
+  explicit Workload(WorkloadConfig config);
+
+  struct Op {
+    bool is_put = false;
+    std::uint64_t key_index = 0;
+  };
+
+  /// Draw the next operation for a client-private stream.
+  [[nodiscard]] Op next(Rng& rng) const;
+
+  /// Fixed-width key bytes for an index ("user…" zero-padded).
+  [[nodiscard]] Bytes key_at(std::uint64_t index) const;
+
+  /// Deterministic value bytes for (key, version): verifiable in tests.
+  [[nodiscard]] Bytes value_for(std::uint64_t key_index,
+                                std::uint64_t version) const;
+
+  [[nodiscard]] const WorkloadConfig& config() const noexcept {
+    return config_;
+  }
+
+ private:
+  WorkloadConfig config_;
+  ZipfianGenerator zipf_;
+};
+
+}  // namespace efac::workload

@@ -1,0 +1,114 @@
+// Unit tests for CRC-32: known vectors, incremental use, torn-data
+// detection, and the virtual-time cost model.
+#include <gtest/gtest.h>
+
+#include "checksum/crc32.hpp"
+#include "common/rng.hpp"
+
+namespace efac::checksum {
+namespace {
+
+// ---------------------------------------------------------- known vectors
+
+TEST(Crc32, EmptyIsZero) { EXPECT_EQ(crc32(BytesView{}), 0u); }
+
+TEST(Crc32, KnownVector123456789) {
+  // The classic CRC-32/ISO-HDLC check value.
+  const Bytes data = to_bytes("123456789");
+  EXPECT_EQ(crc32(data), 0xCBF43926u);
+}
+
+TEST(Crc32, KnownVectorSingleByte) {
+  const Bytes a = to_bytes("a");
+  EXPECT_EQ(crc32(a), 0xE8B7BE43u);
+}
+
+TEST(Crc32, KnownVectorLongerString) {
+  const Bytes data = to_bytes("The quick brown fox jumps over the lazy dog");
+  EXPECT_EQ(crc32(data), 0x414FA339u);
+}
+
+TEST(Crc32, AllZeros32Bytes) {
+  const Bytes data(32, 0);
+  EXPECT_EQ(crc32(data), 0x190A55ADu);
+}
+
+// ----------------------------------------------------------- properties
+
+TEST(Crc32, IncrementalMatchesOneShot) {
+  Rng rng{41};
+  Bytes data(1000);
+  for (auto& b : data) b = static_cast<std::uint8_t>(rng());
+  const std::uint32_t whole = crc32(data);
+  for (std::size_t split : {1u, 7u, 64u, 500u, 999u}) {
+    const std::uint32_t part1 = crc32(BytesView{data.data(), split});
+    const std::uint32_t part2 =
+        crc32(BytesView{data.data() + split, data.size() - split}, part1);
+    EXPECT_EQ(part2, whole) << "split at " << split;
+  }
+}
+
+TEST(Crc32, DetectsSingleBitFlips) {
+  Rng rng{43};
+  Bytes data(256);
+  for (auto& b : data) b = static_cast<std::uint8_t>(rng());
+  const std::uint32_t good = crc32(data);
+  for (int trial = 0; trial < 100; ++trial) {
+    Bytes copy = data;
+    const std::size_t byte = rng.next_below(copy.size());
+    const int bit = static_cast<int>(rng.next_below(8));
+    copy[byte] ^= static_cast<std::uint8_t>(1u << bit);
+    EXPECT_NE(crc32(copy), good);
+  }
+}
+
+TEST(Crc32, DetectsTornSuffix) {
+  // A payload whose tail chunks never arrived (zeros) must fail the check —
+  // the exact situation the paper's background verifier and Erda's
+  // client-side check face.
+  Rng rng{47};
+  Bytes data(4096);
+  for (auto& b : data) b = static_cast<std::uint8_t>(rng());
+  const std::uint32_t good = crc32(data);
+  Bytes torn = data;
+  std::fill(torn.begin() + 2048, torn.end(), 0);
+  EXPECT_NE(crc32(torn), good);
+}
+
+TEST(Crc32, SliceBoundaryLengths) {
+  // Exercise every residue of the 8-byte slicing loop.
+  Rng rng{53};
+  for (std::size_t len = 0; len <= 24; ++len) {
+    Bytes data(len);
+    for (auto& b : data) b = static_cast<std::uint8_t>(rng());
+    // Byte-at-a-time reference.
+    std::uint32_t ref = 0;
+    for (std::size_t i = 0; i < len; ++i) {
+      ref = crc32(BytesView{data.data() + i, 1}, ref);
+    }
+    EXPECT_EQ(crc32(data), ref) << "len=" << len;
+  }
+}
+
+// ------------------------------------------------------------- cost model
+
+TEST(CrcCost, FourKikibyteCostMatchesPaper) {
+  // The paper measures ≈4.4 µs to verify a 4 KB object (Fig. 2).
+  const CrcCostModel model;
+  const double us = static_cast<double>(model.cost(4096)) / 1000.0;
+  EXPECT_NEAR(us, 4.4, 0.5);
+}
+
+TEST(CrcCost, CostIsMonotonic) {
+  const CrcCostModel model;
+  EXPECT_LT(model.cost(64), model.cost(1024));
+  EXPECT_LT(model.cost(1024), model.cost(4096));
+}
+
+TEST(CrcCost, FixedOverheadDominatesTinyInputs) {
+  const CrcCostModel model;
+  EXPECT_GE(model.cost(0), model.fixed_ns);
+}
+
+}  // namespace
+}  // namespace efac::checksum

@@ -1,0 +1,384 @@
+// Unit tests for src/common: assertions, status/expected, RNG, histogram,
+// byte serialization, table printing.
+#include <gtest/gtest.h>
+
+#include <map>
+#include <set>
+#include <sstream>
+
+#include "common/assert.hpp"
+#include "common/bytes.hpp"
+#include "common/histogram.hpp"
+#include "common/rng.hpp"
+#include "common/status.hpp"
+#include "common/table.hpp"
+
+namespace efac {
+namespace {
+
+// ---------------------------------------------------------------- assert
+
+TEST(Assert, CheckPassesOnTrue) { EXPECT_NO_THROW(EFAC_CHECK(1 + 1 == 2)); }
+
+TEST(Assert, CheckThrowsOnFalse) {
+  EXPECT_THROW(EFAC_CHECK(1 + 1 == 3), CheckFailure);
+}
+
+TEST(Assert, CheckMessageIncludesExpressionAndLocation) {
+  try {
+    EFAC_CHECK_MSG(false, "context " << 42);
+    FAIL() << "expected throw";
+  } catch (const CheckFailure& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("false"), std::string::npos);
+    EXPECT_NE(what.find("common_test.cpp"), std::string::npos);
+    EXPECT_NE(what.find("context 42"), std::string::npos);
+  }
+}
+
+TEST(Assert, UnreachableThrows) {
+  EXPECT_THROW(EFAC_UNREACHABLE("should not happen"), CheckFailure);
+}
+
+// ---------------------------------------------------------------- status
+
+TEST(Status, DefaultIsOk) {
+  Status s;
+  EXPECT_TRUE(s.is_ok());
+  EXPECT_EQ(s.code(), StatusCode::kOk);
+}
+
+TEST(Status, CarriesCodeAndMessage) {
+  Status s{StatusCode::kNotFound, "key 7"};
+  EXPECT_FALSE(s.is_ok());
+  EXPECT_EQ(s.code(), StatusCode::kNotFound);
+  EXPECT_EQ(s.to_string(), "NOT_FOUND: key 7");
+}
+
+TEST(Status, CodeNamesAreDistinct) {
+  std::set<std::string> names;
+  for (auto code :
+       {StatusCode::kOk, StatusCode::kNotFound, StatusCode::kCorrupt,
+        StatusCode::kOutOfSpace, StatusCode::kInvalidArgument,
+        StatusCode::kPermission, StatusCode::kUnavailable,
+        StatusCode::kTimeout, StatusCode::kCrashed,
+        StatusCode::kUnimplemented, StatusCode::kInternal}) {
+    names.insert(to_string(code));
+  }
+  EXPECT_EQ(names.size(), 11u);
+}
+
+TEST(Expected, HoldsValue) {
+  Expected<int> e = 42;
+  ASSERT_TRUE(e.has_value());
+  EXPECT_EQ(*e, 42);
+  EXPECT_EQ(e.code(), StatusCode::kOk);
+}
+
+TEST(Expected, HoldsError) {
+  Expected<int> e{Status{StatusCode::kCorrupt, "crc mismatch"}};
+  EXPECT_FALSE(e);
+  EXPECT_EQ(e.code(), StatusCode::kCorrupt);
+  EXPECT_EQ(e.status().message(), "crc mismatch");
+}
+
+TEST(Expected, ValueOnErrorThrowsCheckFailure) {
+  Expected<int> e{StatusCode::kNotFound};
+  EXPECT_THROW(static_cast<void>(e.value()), CheckFailure);
+}
+
+TEST(Expected, ConstructingFromOkStatusIsAnError) {
+  EXPECT_THROW((Expected<int>{Status::ok()}), CheckFailure);
+}
+
+TEST(Expected, TakeMovesValueOut) {
+  Expected<std::string> e{std::string("payload")};
+  std::string s = std::move(e).take();
+  EXPECT_EQ(s, "payload");
+}
+
+// ------------------------------------------------------------------- rng
+
+TEST(Rng, DeterministicFromSeed) {
+  Rng a{123}, b{123};
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a(), b());
+}
+
+TEST(Rng, DifferentSeedsDiffer) {
+  Rng a{1}, b{2};
+  int equal = 0;
+  for (int i = 0; i < 64; ++i) equal += (a() == b());
+  EXPECT_LT(equal, 2);
+}
+
+TEST(Rng, NextBelowIsInRange) {
+  Rng rng{7};
+  for (int i = 0; i < 10000; ++i) {
+    EXPECT_LT(rng.next_below(17), 17u);
+  }
+}
+
+TEST(Rng, NextBelowCoversAllResidues) {
+  Rng rng{11};
+  std::set<std::uint64_t> seen;
+  for (int i = 0; i < 1000; ++i) seen.insert(rng.next_below(8));
+  EXPECT_EQ(seen.size(), 8u);
+}
+
+TEST(Rng, NextRangeInclusive) {
+  Rng rng{3};
+  std::set<std::uint64_t> seen;
+  for (int i = 0; i < 500; ++i) {
+    auto v = rng.next_range(5, 8);
+    EXPECT_GE(v, 5u);
+    EXPECT_LE(v, 8u);
+    seen.insert(v);
+  }
+  EXPECT_EQ(seen.size(), 4u);
+}
+
+TEST(Rng, DoubleInUnitInterval) {
+  Rng rng{99};
+  for (int i = 0; i < 10000; ++i) {
+    double d = rng.next_double();
+    EXPECT_GE(d, 0.0);
+    EXPECT_LT(d, 1.0);
+  }
+}
+
+TEST(Rng, BernoulliRoughlyCalibrated) {
+  Rng rng{5};
+  int hits = 0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) hits += rng.next_bool(0.3);
+  EXPECT_NEAR(static_cast<double>(hits) / n, 0.3, 0.02);
+}
+
+TEST(Rng, GaussianMomentsRoughlyStandard) {
+  Rng rng{17};
+  double sum = 0, sumsq = 0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) {
+    double g = rng.next_gaussian();
+    sum += g;
+    sumsq += g * g;
+  }
+  EXPECT_NEAR(sum / n, 0.0, 0.05);
+  EXPECT_NEAR(sumsq / n, 1.0, 0.1);
+}
+
+TEST(Rng, LognormalMedianRoughlyCorrect) {
+  Rng rng{23};
+  std::vector<double> vals;
+  const int n = 10001;
+  vals.reserve(n);
+  for (int i = 0; i < n; ++i) vals.push_back(rng.next_lognormal(100.0, 0.2));
+  std::nth_element(vals.begin(), vals.begin() + n / 2, vals.end());
+  EXPECT_NEAR(vals[n / 2], 100.0, 5.0);
+}
+
+TEST(Rng, ForkProducesIndependentStream) {
+  Rng a{42};
+  Rng child = a.fork();
+  // Parent and child should not track each other.
+  int equal = 0;
+  for (int i = 0; i < 64; ++i) equal += (a() == child());
+  EXPECT_LT(equal, 2);
+}
+
+TEST(Rng, Mix64IsDeterministicAndSpreads) {
+  EXPECT_EQ(mix64(1), mix64(1));
+  EXPECT_NE(mix64(1), mix64(2));
+  // Avalanche sanity: flipping one input bit changes many output bits.
+  const std::uint64_t d = mix64(0x1234) ^ mix64(0x1235);
+  EXPECT_GT(std::popcount(d), 16);
+}
+
+// -------------------------------------------------------------- histogram
+
+TEST(Histogram, EmptyReportsZeros) {
+  Histogram h;
+  EXPECT_EQ(h.count(), 0u);
+  EXPECT_EQ(h.mean(), 0.0);
+  EXPECT_EQ(h.percentile(0.5), 0u);
+  EXPECT_EQ(h.min(), 0u);
+  EXPECT_EQ(h.max(), 0u);
+}
+
+TEST(Histogram, SingleValue) {
+  Histogram h;
+  h.record(1000);
+  EXPECT_EQ(h.count(), 1u);
+  EXPECT_EQ(h.min(), 1000u);
+  EXPECT_EQ(h.max(), 1000u);
+  EXPECT_EQ(h.mean(), 1000.0);
+  EXPECT_EQ(h.percentile(0.5), 1000u);
+}
+
+TEST(Histogram, SmallValuesAreExact) {
+  Histogram h;
+  for (std::uint64_t v = 0; v < 60; ++v) h.record(v);
+  EXPECT_EQ(h.percentile(0.0), 0u);
+  EXPECT_EQ(h.percentile(1.0), 59u);
+  EXPECT_EQ(h.min(), 0u);
+  EXPECT_EQ(h.max(), 59u);
+}
+
+TEST(Histogram, PercentileWithinRelativeError) {
+  Histogram h;
+  for (std::uint64_t v = 1; v <= 100000; ++v) h.record(v);
+  // Median of 1..100000 is ~50000; buckets introduce <= ~3 % error.
+  const double p50 = static_cast<double>(h.percentile(0.5));
+  EXPECT_NEAR(p50, 50000.0, 50000.0 * 0.04);
+  const double p99 = static_cast<double>(h.percentile(0.99));
+  EXPECT_NEAR(p99, 99000.0, 99000.0 * 0.04);
+}
+
+TEST(Histogram, MeanAndSumAreExact) {
+  Histogram h;
+  h.record(10);
+  h.record(20);
+  h.record(60);
+  EXPECT_EQ(h.sum(), 90u);
+  EXPECT_EQ(h.mean(), 30.0);
+}
+
+TEST(Histogram, MergeCombines) {
+  Histogram a, b;
+  a.record(100);
+  b.record(300);
+  b.record(500);
+  a.merge(b);
+  EXPECT_EQ(a.count(), 3u);
+  EXPECT_EQ(a.min(), 100u);
+  EXPECT_EQ(a.max(), 500u);
+  EXPECT_EQ(a.sum(), 900u);
+}
+
+TEST(Histogram, MergeIntoEmpty) {
+  Histogram a, b;
+  b.record(42);
+  a.merge(b);
+  EXPECT_EQ(a.count(), 1u);
+  EXPECT_EQ(a.min(), 42u);
+}
+
+TEST(Histogram, ResetClears) {
+  Histogram h;
+  h.record(5);
+  h.reset();
+  EXPECT_EQ(h.count(), 0u);
+  EXPECT_EQ(h.percentile(0.5), 0u);
+}
+
+TEST(Histogram, LargeValuesDoNotCrash) {
+  Histogram h;
+  h.record(~std::uint64_t{0});
+  h.record(std::uint64_t{1} << 60);
+  EXPECT_EQ(h.count(), 2u);
+  EXPECT_GE(h.percentile(1.0), std::uint64_t{1} << 59);
+}
+
+TEST(Histogram, PercentilesMonotonic) {
+  Histogram h;
+  Rng rng{77};
+  for (int i = 0; i < 5000; ++i) h.record(rng.next_below(1 << 20));
+  std::uint64_t prev = 0;
+  for (double q : {0.0, 0.1, 0.25, 0.5, 0.75, 0.9, 0.99, 1.0}) {
+    const std::uint64_t v = h.percentile(q);
+    EXPECT_GE(v, prev) << "q=" << q;
+    prev = v;
+  }
+}
+
+// ------------------------------------------------------------------ bytes
+
+TEST(Bytes, WriterReaderRoundtrip) {
+  ByteWriter w;
+  w.put_u8(0xAB);
+  w.put_u16(0x1234);
+  w.put_u32(0xDEADBEEF);
+  w.put_u64(0x0123456789ABCDEFULL);
+  Bytes buf = std::move(w).take();
+  ByteReader r{buf};
+  EXPECT_EQ(r.get_u8(), 0xAB);
+  EXPECT_EQ(r.get_u16(), 0x1234);
+  EXPECT_EQ(r.get_u32(), 0xDEADBEEFu);
+  EXPECT_EQ(r.get_u64(), 0x0123456789ABCDEFULL);
+  EXPECT_TRUE(r.exhausted());
+}
+
+TEST(Bytes, LittleEndianLayout) {
+  ByteWriter w;
+  w.put_u32(0x04030201);
+  const Bytes& b = w.bytes();
+  ASSERT_EQ(b.size(), 4u);
+  EXPECT_EQ(b[0], 0x01);
+  EXPECT_EQ(b[1], 0x02);
+  EXPECT_EQ(b[2], 0x03);
+  EXPECT_EQ(b[3], 0x04);
+}
+
+TEST(Bytes, BlobRoundtrip) {
+  ByteWriter w;
+  w.put_blob(to_bytes("hello"));
+  w.put_blob(to_bytes(""));
+  Bytes buf = std::move(w).take();
+  ByteReader r{buf};
+  EXPECT_EQ(to_string(r.get_blob()), "hello");
+  EXPECT_EQ(to_string(r.get_blob()), "");
+  EXPECT_TRUE(r.exhausted());
+}
+
+TEST(Bytes, ReaderUnderflowThrows) {
+  Bytes buf{1, 2};
+  ByteReader r{buf};
+  EXPECT_THROW(r.get_u32(), CheckFailure);
+}
+
+TEST(Bytes, GetBytesUnderflowThrows) {
+  Bytes buf{1, 2, 3};
+  ByteReader r{buf};
+  EXPECT_THROW(r.get_bytes(4), CheckFailure);
+}
+
+TEST(Bytes, StoreLoadU64) {
+  std::uint8_t raw[8];
+  store_u64_le(raw, 0x1122334455667788ULL);
+  EXPECT_EQ(load_u64_le(raw), 0x1122334455667788ULL);
+  EXPECT_EQ(raw[0], 0x88);
+  EXPECT_EQ(raw[7], 0x11);
+}
+
+// ------------------------------------------------------------------ table
+
+TEST(Table, PrintsHeaderAndRows) {
+  TextTable t{"demo"};
+  t.set_header({"system", "64B", "4KB"});
+  t.add_row({"eFactory", "1.00", "2.00"});
+  t.add_row({"Erda", "0.90", "1.20"});
+  std::ostringstream os;
+  t.print(os);
+  const std::string out = os.str();
+  EXPECT_NE(out.find("demo"), std::string::npos);
+  EXPECT_NE(out.find("eFactory"), std::string::npos);
+  EXPECT_NE(out.find("4KB"), std::string::npos);
+  EXPECT_NE(out.find("1.20"), std::string::npos);
+}
+
+TEST(Table, NumFormatsPrecision) {
+  EXPECT_EQ(TextTable::num(3.14159, 2), "3.14");
+  EXPECT_EQ(TextTable::num(2.0, 0), "2");
+}
+
+TEST(Table, RaggedRowsArePadded) {
+  TextTable t{"ragged"};
+  t.set_header({"a", "b", "c"});
+  t.add_row({"only-one"});
+  std::ostringstream os;
+  EXPECT_NO_THROW(t.print(os));
+  EXPECT_NE(os.str().find("only-one"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace efac

@@ -1,0 +1,322 @@
+// Crash-consistency property tests (DESIGN.md §5).
+//
+// These tests inject power failures at adversarial instants and check the
+// recovery guarantees each system claims:
+//   * atomic remote update — recovery never exposes a torn value;
+//   * version-list recovery under concurrent writers (eFactory);
+//   * monotonic reads across crashes (eFactory) vs Erda's violation;
+//   * durable-at-ack (SAW / IMM / RPC);
+//   * eFactory multi-version robustness where Erda's two-slot region fails.
+#include <gtest/gtest.h>
+
+#include <map>
+#include <optional>
+
+#include "stores/baselines.hpp"
+#include "stores/efactory.hpp"
+#include "store_test_util.hpp"
+
+namespace efac::stores {
+namespace {
+
+using testutil::make_value;
+using testutil::TestCluster;
+
+constexpr std::size_t kKeyLen = 32;
+
+Bytes key_of(int i) {
+  workload::Workload wl{workload::WorkloadConfig{.key_count = 1u << 20,
+                                                 .key_len = kKeyLen}};
+  return wl.key_at(static_cast<std::uint64_t>(i));
+}
+
+/// A value that encodes (key, version) so a recovered value identifies
+/// which acknowledged write it came from.
+Bytes versioned_value(int key, int version, std::size_t len = 512) {
+  Bytes v = make_value(len, static_cast<std::uint8_t>(key * 7 + version));
+  v[0] = static_cast<std::uint8_t>(key);
+  v[1] = static_cast<std::uint8_t>(version);
+  return v;
+}
+
+// ------------------------------------------------- atomic remote updates
+
+class CrashAtInstant : public ::testing::TestWithParam<int> {};
+
+INSTANTIATE_TEST_SUITE_P(Sweep, CrashAtInstant, ::testing::Range(0, 12));
+
+TEST_P(CrashAtInstant, EFactoryNeverRecoversTornValue) {
+  // Overwrite one key repeatedly; crash mid-run at a parameterized
+  // instant; whatever recovers must be exactly one of the written values.
+  TestCluster tc{SystemKind::kEFactory};
+  auto& store = *dynamic_cast<EFactoryStore*>(tc.cluster.store.get());
+  const Bytes key = key_of(1);
+  tc.client->set_size_hint(kKeyLen, 512);
+
+  int acked = 0;
+  tc.sim.spawn([](KvClient& c, const Bytes& k, int* done) -> sim::Task<void> {
+    for (int v = 0; v < 40; ++v) {
+      const Status s = co_await c.put(Bytes(k), versioned_value(1, v));
+      if (s.is_ok()) *done = v;
+    }
+  }(*tc.client, key, &acked));
+
+  // Crash at a pseudo-random instant scaled by the parameter.
+  const SimTime crash_at = 5'000 + static_cast<SimTime>(GetParam()) * 17'431;
+  tc.sim.run_until(crash_at);
+  store.crash();
+
+  const Expected<Bytes> got = store.recover_get(key);
+  if (got) {
+    ASSERT_EQ(got->size(), 512u);
+    const int key_tag = (*got)[0];
+    const int version = (*got)[1];
+    EXPECT_EQ(key_tag, 1);
+    EXPECT_EQ(*got, versioned_value(1, version))
+        << "recovered bytes are not any written value (torn!)";
+  }
+  // NotFound / kCorrupt is acceptable very early (nothing durable yet);
+  // a torn value is not.
+  static_cast<void>(acked);
+}
+
+TEST_P(CrashAtInstant, SawRecoversOnlyWholeValues) {
+  TestCluster tc{SystemKind::kSaw};
+  auto& store = *dynamic_cast<SawStore*>(tc.cluster.store.get());
+  const Bytes key = key_of(2);
+  tc.client->set_size_hint(kKeyLen, 512);
+  int acked = -1;
+  tc.sim.spawn([](KvClient& c, const Bytes& k, int* done) -> sim::Task<void> {
+    for (int v = 0; v < 40; ++v) {
+      const Status s = co_await c.put(Bytes(k), versioned_value(2, v));
+      if (s.is_ok()) *done = v;
+    }
+  }(*tc.client, key, &acked));
+  tc.sim.run_until(5'000 + static_cast<SimTime>(GetParam()) * 23'117);
+  store.crash();
+  const Expected<Bytes> got = store.recover_get(key);
+  if (got) {
+    const int version = (*got)[1];
+    EXPECT_EQ(*got, versioned_value(2, version));
+  }
+}
+
+// ------------------------------------------------------- durable at ack
+
+TEST(CrashDurability, SawImmRpcSurviveEveryAckedWrite) {
+  for (const SystemKind kind :
+       {SystemKind::kSaw, SystemKind::kImm, SystemKind::kRpc}) {
+    TestCluster tc{kind};
+    tc.client->set_size_hint(kKeyLen, 256);
+    std::map<int, int> acked;  // key -> last acked version
+    bool done = false;
+    tc.sim.spawn([](KvClient& c, std::map<int, int>* acks,
+                    bool* flag) -> sim::Task<void> {
+      for (int v = 0; v < 6; ++v) {
+        for (int k = 0; k < 5; ++k) {
+          const Status s =
+              co_await c.put(key_of(k), versioned_value(k, v, 256));
+          if (s.is_ok()) (*acks)[k] = v;
+        }
+      }
+      *flag = true;
+    }(*tc.client, &acked, &done));
+    tc.run_until_done([&] { return done; });
+
+    // Crash with the harshest policy: nothing volatile survives.
+    tc.cluster.store->crash();
+    for (const auto& [k, v] : acked) {
+      const Expected<Bytes> got = tc.cluster.store->recover_get(key_of(k));
+      ASSERT_TRUE(got.has_value())
+          << to_string(kind) << ": acked write lost for key " << k;
+      EXPECT_EQ(*got, versioned_value(k, v, 256)) << to_string(kind);
+    }
+  }
+}
+
+TEST(CrashDurability, CaLosesAckedWritesWithZeroEviction) {
+  StoreConfig config = testutil::small_config();
+  config.crash_policy.eviction_probability = 0.0;
+  TestCluster tc{SystemKind::kCaNoPersist, config};
+  tc.client->set_size_hint(kKeyLen, 256);
+  ASSERT_TRUE(tc.put_sync(key_of(0), versioned_value(0, 1, 256)).is_ok());
+  tc.cluster.store->crash();
+  EXPECT_FALSE(tc.cluster.store->recover_get(key_of(0)).has_value());
+}
+
+// --------------------------------------------- monotonic reads (eFactory)
+
+TEST(CrashMonotonicReads, EFactoryValueReadBeforeCrashSurvives) {
+  // Any value a client successfully GETs from eFactory must survive a
+  // crash immediately after: the hybrid read only returns durable data.
+  TestCluster tc{SystemKind::kEFactory};
+  auto& store = *dynamic_cast<EFactoryStore*>(tc.cluster.store.get());
+  tc.client->set_size_hint(kKeyLen, 512);
+  for (int k = 0; k < 8; ++k) {
+    ASSERT_TRUE(tc.put_sync(key_of(k), versioned_value(k, 3)).is_ok());
+  }
+  // Do NOT settle fully: read immediately; whatever GET returns must be
+  // crash-proof regardless of whether the background thread finished.
+  std::map<int, Bytes> observed;
+  for (int k = 0; k < 8; ++k) {
+    const Expected<Bytes> got = tc.get_sync(key_of(k));
+    ASSERT_TRUE(got.has_value());
+    observed[k] = *got;
+  }
+  StoreConfig harsh = testutil::small_config();
+  nvm::CrashPolicy nothing{.eviction_probability = 0.0};
+  store.arena().crash(nothing);
+  for (const auto& [k, v] : observed) {
+    const Expected<Bytes> rec = store.recover_get(key_of(k));
+    ASSERT_TRUE(rec.has_value()) << "monotonic-read violation for key " << k;
+    EXPECT_EQ(*rec, v);
+  }
+  static_cast<void>(harsh);
+}
+
+TEST(CrashMonotonicReads, ErdaViolatesMonotonicReads) {
+  // Erda never persists explicitly: with no natural eviction, a value read
+  // before the crash is NOT guaranteed after — the paper's §7.2 point.
+  StoreConfig config = testutil::small_config();
+  config.crash_policy.eviction_probability = 0.0;
+  TestCluster tc{SystemKind::kErda, config};
+  auto& store = *dynamic_cast<ErdaStore*>(tc.cluster.store.get());
+  tc.client->set_size_hint(kKeyLen, 512);
+  ASSERT_TRUE(tc.put_sync(key_of(0), versioned_value(0, 1)).is_ok());
+  tc.settle();
+  const Expected<Bytes> before = tc.get_sync(key_of(0));
+  ASSERT_TRUE(before.has_value());  // read succeeded pre-crash
+
+  store.crash();  // policy: nothing volatile survives
+  const Expected<Bytes> after = store.recover_get(key_of(0));
+  EXPECT_FALSE(after.has_value())
+      << "expected Erda to lose the never-flushed value";
+}
+
+// ---------------------------------- multi-version list vs 8-byte region
+
+TEST(CrashVersionList, EFactoryRecoversWithManyTornHeads) {
+  // Build a chain with several corrupt newer versions; recovery must walk
+  // past all of them to the intact one — beyond Erda's two-slot reach.
+  TestCluster tc{SystemKind::kEFactory};
+  auto& store = *dynamic_cast<EFactoryStore*>(tc.cluster.store.get());
+  const Bytes key = key_of(5);
+  tc.client->set_size_hint(kKeyLen, 512);
+  ASSERT_TRUE(tc.put_sync(key, versioned_value(5, 0)).is_ok());
+  tc.run_until_done([&] { return store.verify_queue_depth() == 0; });
+  tc.settle();
+
+  // Three rogue allocations whose RDMA writes never happen.
+  rpc::Connection rogue{tc.sim, store.fabric(), store.node(),
+                        store.directory(), store.next_qp_id()};
+  for (int i = 0; i < 3; ++i) {
+    AllocRequest req;
+    req.klen = kKeyLen;
+    req.vlen = 512;
+    req.crc = 0xBAD0 + static_cast<std::uint32_t>(i);
+    req.key = key;
+    bool done = false;
+    tc.sim.spawn([](rpc::Connection& c, AllocRequest r,
+                    bool* flag) -> sim::Task<void> {
+      static_cast<void>(co_await c.call(kAlloc, r.encode()));
+      *flag = true;
+    }(rogue, req, &done));
+    tc.run_until_done([&] { return done; });
+  }
+
+  store.crash();
+  const Expected<Bytes> got = store.recover_get(key);
+  ASSERT_TRUE(got.has_value()) << got.status().to_string();
+  EXPECT_EQ(*got, versioned_value(5, 0));
+}
+
+TEST(CrashVersionList, ErdaTwoSlotRegionCannotReachThirdVersion) {
+  // The same scenario defeats Erda: after two torn newer versions, the
+  // intact third-newest version is unreachable from the atomic region.
+  StoreConfig config = testutil::small_config();
+  config.crash_policy.eviction_probability = 0.0;
+  TestCluster tc{SystemKind::kErda, config};
+  auto& store = *dynamic_cast<ErdaStore*>(tc.cluster.store.get());
+  const Bytes key = key_of(6);
+  tc.client->set_size_hint(kKeyLen, 512);
+  ASSERT_TRUE(tc.put_sync(key, versioned_value(6, 0)).is_ok());
+  // Force the intact version into the media (Erda would need luck for
+  // this; grant it so the test isolates the two-slot limitation).
+  {
+    const auto slot = store.table().find(kv::hash_key(key));
+    ASSERT_TRUE(slot.has_value());
+    const auto versions = store.table().read_versions(*slot);
+    store.arena().flush(versions.cur,
+                        kv::ObjectLayout::total_size(kKeyLen, 512));
+    store.table().persist(*slot);
+  }
+
+  // Two rogue allocations (torn writes) push the intact version out of
+  // the two-version atomic region.
+  rpc::Connection rogue{tc.sim, store.fabric(), store.node(),
+                        store.directory(), store.next_qp_id()};
+  for (int i = 0; i < 2; ++i) {
+    AllocRequest req;
+    req.klen = kKeyLen;
+    req.vlen = 512;
+    req.crc = 0xBAD0 + static_cast<std::uint32_t>(i);
+    req.key = key;
+    bool done = false;
+    tc.sim.spawn([](rpc::Connection& c, AllocRequest r,
+                    bool* flag) -> sim::Task<void> {
+      static_cast<void>(co_await c.call(kAlloc, r.encode()));
+      *flag = true;
+    }(rogue, req, &done));
+    tc.run_until_done([&] { return done; });
+    // Persist the index update so the crash cannot hide the problem.
+    const auto slot = store.table().find(kv::hash_key(key));
+    store.table().persist(*slot);
+  }
+
+  store.crash();
+  EXPECT_FALSE(store.recover_get(key).has_value())
+      << "Erda's 8-byte region should not reach the third-newest version";
+}
+
+// --------------------------------------- concurrent writers, one key
+
+class ConcurrentWriterCrash : public ::testing::TestWithParam<int> {};
+
+INSTANTIATE_TEST_SUITE_P(Sweep, ConcurrentWriterCrash,
+                         ::testing::Values(1, 2, 3, 5, 8, 13));
+
+TEST_P(ConcurrentWriterCrash, EFactoryRecoversSomeWrittenValue) {
+  // N clients hammer the same key; crash mid-flight; recovery must land
+  // on some fully-written value of that key (the paper's motivating
+  // scenario for the multi-version list).
+  TestCluster tc{SystemKind::kEFactory};
+  auto& store = *dynamic_cast<EFactoryStore*>(tc.cluster.store.get());
+  const Bytes key = key_of(9);
+  const int writers = 4;
+  std::vector<std::unique_ptr<KvClient>> clients;
+  for (int w = 0; w < writers; ++w) {
+    clients.push_back(tc.cluster.make_client());
+    clients.back()->set_size_hint(kKeyLen, 512);
+    tc.sim.spawn([](KvClient& c, const Bytes& k, int writer) -> sim::Task<void> {
+      for (int v = 0; v < 20; ++v) {
+        static_cast<void>(
+            co_await c.put(Bytes(k), versioned_value(writer, v)));
+      }
+    }(*clients.back(), key, w));
+  }
+  const SimTime crash_at = 20'000 + static_cast<SimTime>(GetParam()) * 31'013;
+  tc.sim.run_until(crash_at);
+  store.crash();
+
+  const Expected<Bytes> got = store.recover_get(key);
+  if (got) {
+    const int writer = (*got)[0];
+    const int version = (*got)[1];
+    ASSERT_LT(writer, writers);
+    EXPECT_EQ(*got, versioned_value(writer, version))
+        << "recovered bytes do not match any complete write";
+  }
+}
+
+}  // namespace
+}  // namespace efac::stores

@@ -1,0 +1,145 @@
+// Stress tests for the arena-resident indexes at high load factors, and
+// for client-side probing against displaced keys.
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "kv/erda_table.hpp"
+#include "kv/hash_dir.hpp"
+#include "kv/object.hpp"
+#include "store_test_util.hpp"
+
+namespace efac::kv {
+namespace {
+
+struct StressFixture : ::testing::Test {
+  sim::Simulator sim;
+  nvm::Arena arena{sim, 4096 * sizeconst::kKiB};
+};
+
+TEST_F(StressFixture, HashDirThousandsOfKeysAllFindable) {
+  HashDir dir{arena, 0, 1u << 12};
+  std::vector<std::uint64_t> hashes;
+  Rng rng{11};
+  // 75 % load factor.
+  for (int i = 0; i < 3072; ++i) {
+    std::uint64_t h = rng();
+    if (h == 0) h = 1;
+    hashes.push_back(h);
+    ASSERT_TRUE(dir.find_or_claim(h).has_value()) << "insert " << i;
+  }
+  EXPECT_EQ(dir.size(), hashes.size());
+  for (const std::uint64_t h : hashes) {
+    ASSERT_TRUE(dir.find(h).has_value());
+  }
+}
+
+TEST_F(StressFixture, HashDirProbeCountsGrowWithLoad) {
+  HashDir dir{arena, 0, 1u << 12};
+  Rng rng{13};
+  auto mean_probes = [&](int inserts) {
+    std::size_t total = 0;
+    for (int i = 0; i < inserts; ++i) {
+      std::size_t probes = 0;
+      std::uint64_t h = rng();
+      if (h == 0) h = 1;
+      EFAC_CHECK(dir.find_or_claim(h, &probes).has_value());
+      total += probes;
+    }
+    return static_cast<double>(total) / inserts;
+  };
+  const double early = mean_probes(512);   // ~12 % load
+  const double late = mean_probes(2560);   // up to ~75 % load
+  EXPECT_GT(late, early);
+  EXPECT_LT(early, 1.5);
+}
+
+TEST_F(StressFixture, ErdaTableHundredsOfKeysSurviveDisplacement) {
+  ErdaTable table{arena, 0, 1u << 10, 1024 * sizeconst::kKiB};
+  std::vector<std::uint64_t> hashes;
+  Rng rng{17};
+  int inserted = 0;
+  // Hopscotch tables handle moderate load; fill to 60 %.
+  for (int i = 0; i < 614; ++i) {
+    std::uint64_t h = rng();
+    if (h == 0) h = 1;
+    const auto slot = table.find_or_claim(h);
+    if (!slot) break;  // displacement may legitimately fail near the cap
+    table.push_version(*slot, 1024 * sizeconst::kKiB + i * 64);
+    hashes.push_back(h);
+    ++inserted;
+  }
+  EXPECT_GT(inserted, 550);
+  for (std::size_t i = 0; i < hashes.size(); ++i) {
+    const auto slot = table.find(hashes[i]);
+    ASSERT_TRUE(slot.has_value()) << "key " << i << " lost";
+    EXPECT_EQ(table.read_versions(*slot).cur,
+              1024 * sizeconst::kKiB + i * 64)
+        << "version data separated from its key during displacement";
+  }
+}
+
+TEST_F(StressFixture, ErdaTableFullReportsOutOfSpaceNotCorruption) {
+  ErdaTable table{arena, 0, 64, 1024 * sizeconst::kKiB};
+  std::vector<std::uint64_t> inserted;
+  Rng rng{19};
+  for (int i = 0; i < 500; ++i) {
+    std::uint64_t h = rng();
+    if (h == 0) h = 1;
+    const auto slot = table.find_or_claim(h);
+    if (!slot) {
+      EXPECT_EQ(slot.code(), StatusCode::kOutOfSpace);
+      break;
+    }
+    inserted.push_back(h);
+  }
+  // Everything that went in is still reachable.
+  for (const std::uint64_t h : inserted) {
+    EXPECT_TRUE(table.find(h).has_value());
+  }
+}
+
+// ------------------------------------ client probing under displacement
+
+TEST(ClientProbing, DisplacedKeysReadableOneSided) {
+  // A small table forces most keys off their ideal slot; one-sided GETs
+  // (SAW client) must still find every key through probing reads.
+  using stores::SystemKind;
+  stores::StoreConfig config = testutil::small_config();
+  config.hash_buckets = 64;  // 48 keys -> 75 % load
+  testutil::TestCluster tc{SystemKind::kSaw, config};
+  workload::Workload wl{workload::WorkloadConfig{
+      .key_count = 48, .key_len = 32, .value_len = 64}};
+  tc.client->set_size_hint(32, 64);
+  for (int k = 0; k < 48; ++k) {
+    ASSERT_TRUE(tc.put_sync(wl.key_at(k), wl.value_for(k, 1)).is_ok());
+  }
+  for (int k = 0; k < 48; ++k) {
+    const Expected<Bytes> got = tc.get_sync(wl.key_at(k));
+    ASSERT_TRUE(got.has_value()) << "key " << k;
+    EXPECT_EQ(*got, wl.value_for(k, 1));
+  }
+}
+
+TEST(ClientProbing, EFactoryHybridReadSurvivesDisplacement) {
+  using stores::SystemKind;
+  stores::StoreConfig config = testutil::small_config();
+  config.hash_buckets = 64;
+  testutil::TestCluster tc{SystemKind::kEFactory, config};
+  workload::Workload wl{workload::WorkloadConfig{
+      .key_count = 40, .key_len = 32, .value_len = 64}};
+  tc.client->set_size_hint(32, 64);
+  for (int k = 0; k < 40; ++k) {
+    ASSERT_TRUE(tc.put_sync(wl.key_at(k), wl.value_for(k, 1)).is_ok());
+  }
+  tc.settle(2 * timeconst::kMillisecond);
+  for (int k = 0; k < 40; ++k) {
+    ASSERT_TRUE(tc.get_sync(wl.key_at(k)).has_value()) << "key " << k;
+  }
+  // Most reads stayed one-sided despite the displacement probing.
+  EXPECT_GT(tc.client->stats().gets_pure_rdma,
+            tc.client->stats().gets_rpc_path);
+}
+
+}  // namespace
+}  // namespace efac::kv

@@ -1,0 +1,350 @@
+// Unit tests for the RDMA substrate: verb timing, per-QP ordering, MR
+// protection, DDIO placement semantics, and the SAW write-then-send
+// ordering guarantee.
+#include <gtest/gtest.h>
+
+#include "nvm/arena.hpp"
+#include "rdma/fabric.hpp"
+#include "rdma/node.hpp"
+#include "rdma/queue_pair.hpp"
+#include "sim/simulator.hpp"
+
+namespace efac::rdma {
+namespace {
+
+using sim::Task;
+
+Bytes pattern(std::size_t len, std::uint8_t seed = 1) {
+  Bytes out(len);
+  for (std::size_t i = 0; i < len; ++i) {
+    out[i] = static_cast<std::uint8_t>(seed + i * 3);
+  }
+  return out;
+}
+
+FabricConfig no_jitter_config() {
+  FabricConfig cfg;
+  cfg.jitter_sigma = 0.0;
+  return cfg;
+}
+
+struct RdmaFixture : ::testing::Test {
+  sim::Simulator sim;
+  nvm::Arena arena{sim, 256 * sizeconst::kKiB};
+  Fabric fabric{no_jitter_config()};
+  Node server{sim, &arena};
+  QueuePair qp{sim, fabric, server, /*qp_id=*/1};
+
+  std::uint32_t rw_key = server.register_mr(0, 128 * sizeconst::kKiB,
+                                            Access::kReadWrite);
+};
+
+// ----------------------------------------------------------------- verbs
+
+TEST_F(RdmaFixture, WriteThenReadRoundtrip) {
+  const Bytes data = pattern(512);
+  bool done = false;
+  sim.spawn([](RdmaFixture& f, const Bytes& d, bool* flag) -> Task<void> {
+    auto wr = co_await f.qp.write(f.rw_key, 1024, d);
+    EXPECT_TRUE(wr.has_value());
+    auto rd = co_await f.qp.read(f.rw_key, 1024, d.size());
+    EXPECT_TRUE(rd.has_value());
+    EXPECT_EQ(*rd, d);
+    *flag = true;
+  }(*this, data, &done));
+  sim.run();
+  EXPECT_TRUE(done);
+}
+
+TEST_F(RdmaFixture, SmallReadLatencyIsMicrosecondScale) {
+  SimTime latency = 0;
+  sim.spawn([](RdmaFixture& f, SimTime* out) -> Task<void> {
+    const SimTime start = f.sim.now();
+    static_cast<void>(co_await f.qp.read(f.rw_key, 0, 64));
+    *out = f.sim.now() - start;
+  }(*this, &latency));
+  sim.run();
+  // ~post + 2 * one_way + nic + completion ≈ 1.6 µs.
+  EXPECT_GT(latency, 1'200u);
+  EXPECT_LT(latency, 2'500u);
+}
+
+TEST_F(RdmaFixture, LargeReadCostsWireTime) {
+  SimTime small = 0, large = 0;
+  sim.spawn([](RdmaFixture& f, SimTime* s, SimTime* l) -> Task<void> {
+    SimTime start = f.sim.now();
+    static_cast<void>(co_await f.qp.read(f.rw_key, 0, 64));
+    *s = f.sim.now() - start;
+    start = f.sim.now();
+    static_cast<void>(co_await f.qp.read(f.rw_key, 0, 16384));
+    *l = f.sim.now() - start;
+  }(*this, &small, &large));
+  sim.run();
+  const auto wire_16k = fabric.config().wire_cost(16384);
+  EXPECT_NEAR(static_cast<double>(large - small),
+              static_cast<double>(wire_16k), 200.0);
+}
+
+TEST_F(RdmaFixture, WriteCompletionIsNotDurability) {
+  const Bytes data = pattern(128);
+  sim.spawn([](RdmaFixture& f, const Bytes& d) -> Task<void> {
+    static_cast<void>(co_await f.qp.write(f.rw_key, 0, d));
+    // Ack received, data visible — but volatile (DDIO).
+    EXPECT_EQ(f.arena.load(0, d.size()), d);
+    EXPECT_TRUE(f.arena.is_dirty(0, d.size()));
+    // A crash now loses it (no eviction).
+    f.arena.crash(nvm::CrashPolicy{.eviction_probability = 0.0});
+    EXPECT_EQ(f.arena.load(0, d.size()), Bytes(d.size(), 0));
+  }(*this, data));
+  sim.run();
+}
+
+TEST_F(RdmaFixture, ConcurrentReadObservesPartialWrite) {
+  // Reader races a 16 KiB write: snapshot mid-transfer sees a torn object.
+  const Bytes data = pattern(16384, 9);
+  bool torn_observed = false;
+  sim.spawn([](RdmaFixture& f, const Bytes& d) -> Task<void> {
+    static_cast<void>(co_await f.qp.write(f.rw_key, 0, d));
+  }(*this, data));
+  sim.spawn([](RdmaFixture& f, const Bytes& d, bool* torn) -> Task<void> {
+    // Give the write a head start, then snapshot while in flight.
+    co_await sim::delay(f.sim, 1'500);
+    const Bytes snap = f.arena.load(0, d.size());
+    if (snap != d && snap != Bytes(d.size(), 0)) *torn = true;
+  }(*this, data, &torn_observed));
+  sim.run();
+  EXPECT_TRUE(torn_observed);
+}
+
+// ------------------------------------------------------------- ordering
+
+TEST_F(RdmaFixture, PostWriteThenSendArrivesAfterPlacement) {
+  // The SAW ordering contract: a SEND posted after a WRITE on the same QP
+  // is delivered only after the write payload has fully landed.
+  const Bytes data = pattern(8192, 4);
+  auto done = qp.post_write(rw_key, 0, data);
+  ASSERT_TRUE(done.has_value());
+  qp.post_send(to_bytes("persist-please"));
+
+  bool checked = false;
+  sim.spawn([](RdmaFixture& f, const Bytes& d, bool* flag) -> Task<void> {
+    InboundMessage msg = co_await f.server.recv_queue().pop();
+    EXPECT_EQ(to_string(msg.payload), "persist-please");
+    // At delivery time the whole payload must already be visible.
+    EXPECT_EQ(f.arena.load(0, d.size()), d);
+    *flag = true;
+  }(*this, data, &checked));
+  sim.run();
+  EXPECT_TRUE(checked);
+}
+
+TEST_F(RdmaFixture, ArrivalsOnOneQpAreMonotonic) {
+  // Back-to-back sends must be delivered in posting order.
+  for (int i = 0; i < 10; ++i) {
+    qp.post_send(Bytes{static_cast<std::uint8_t>(i)});
+  }
+  std::vector<int> order;
+  sim.spawn([](RdmaFixture& f, std::vector<int>* out) -> Task<void> {
+    for (int i = 0; i < 10; ++i) {
+      InboundMessage msg = co_await f.server.recv_queue().pop();
+      out->push_back(msg.payload.at(0));
+    }
+  }(*this, &order));
+  sim.run();
+  EXPECT_EQ(order, (std::vector<int>{0, 1, 2, 3, 4, 5, 6, 7, 8, 9}));
+}
+
+TEST_F(RdmaFixture, WriteWithImmDeliversNotificationAfterData) {
+  const Bytes data = pattern(4096, 6);
+  sim.spawn([](RdmaFixture& f, const Bytes& d) -> Task<void> {
+    static_cast<void>(co_await f.qp.write_with_imm(f.rw_key, 2048, d, 77));
+  }(*this, data));
+  bool checked = false;
+  sim.spawn([](RdmaFixture& f, const Bytes& d, bool* flag) -> Task<void> {
+    InboundMessage msg = co_await f.server.recv_queue().pop();
+    EXPECT_TRUE(msg.has_imm);
+    EXPECT_EQ(msg.imm, 77u);
+    EXPECT_EQ(f.arena.load(2048, d.size()), d);
+    *flag = true;
+  }(*this, data, &checked));
+  sim.run();
+  EXPECT_TRUE(checked);
+}
+
+// ------------------------------------------------------------ protection
+
+TEST_F(RdmaFixture, UnknownRkeyIsRejected) {
+  sim.spawn([](RdmaFixture& f) -> Task<void> {
+    auto r = co_await f.qp.read(9999, 0, 64);
+    EXPECT_FALSE(r.has_value());
+    EXPECT_EQ(r.code(), StatusCode::kPermission);
+  }(*this));
+  sim.run();
+}
+
+TEST_F(RdmaFixture, BoundsViolationIsRejected) {
+  sim.spawn([](RdmaFixture& f) -> Task<void> {
+    auto r = co_await f.qp.read(f.rw_key, 128 * sizeconst::kKiB - 32, 64);
+    EXPECT_FALSE(r.has_value());
+    EXPECT_EQ(r.code(), StatusCode::kPermission);
+  }(*this));
+  sim.run();
+}
+
+TEST_F(RdmaFixture, ReadOnlyMrRejectsWrites) {
+  const std::uint32_t ro = server.register_mr(
+      128 * sizeconst::kKiB, 64 * sizeconst::kKiB, Access::kRead);
+  sim.spawn([](RdmaFixture& f, std::uint32_t key) -> Task<void> {
+    auto w = co_await f.qp.write(key, 0, pattern(64));
+    EXPECT_FALSE(w.has_value());
+    auto r = co_await f.qp.read(key, 0, 64);
+    EXPECT_TRUE(r.has_value());
+  }(*this, ro));
+  sim.run();
+}
+
+TEST_F(RdmaFixture, DeregisteredMrStopsWorking) {
+  server.deregister_mr(rw_key);
+  sim.spawn([](RdmaFixture& f) -> Task<void> {
+    auto r = co_await f.qp.read(f.rw_key, 0, 8);
+    EXPECT_EQ(r.code(), StatusCode::kPermission);
+  }(*this));
+  sim.run();
+}
+
+TEST_F(RdmaFixture, FailedWriteDoesNotTouchMemory) {
+  sim.spawn([](RdmaFixture& f) -> Task<void> {
+    static_cast<void>(co_await f.qp.write(42424242, 0, pattern(64)));
+    EXPECT_EQ(f.arena.load(0, 64), Bytes(64, 0));
+  }(*this));
+  sim.run();
+}
+
+// --------------------------------------------------------------- atomics
+
+TEST_F(RdmaFixture, CompareAndSwapSucceedsOnMatch) {
+  const std::uint32_t at_key =
+      server.register_mr(0, 4096, Access::kAll);
+  arena.store_u64(64, 5);
+  sim.spawn([](RdmaFixture& f, std::uint32_t key) -> Task<void> {
+    auto old = co_await f.qp.compare_and_swap(key, 64, 5, 9);
+    EXPECT_TRUE(old.has_value());
+    EXPECT_EQ(*old, 5u);
+    EXPECT_EQ(f.arena.load_u64(64), 9u);
+  }(*this, at_key));
+  sim.run();
+}
+
+TEST_F(RdmaFixture, CompareAndSwapFailsOnMismatch) {
+  const std::uint32_t at_key =
+      server.register_mr(0, 4096, Access::kAll);
+  arena.store_u64(64, 5);
+  sim.spawn([](RdmaFixture& f, std::uint32_t key) -> Task<void> {
+    auto old = co_await f.qp.compare_and_swap(key, 64, 6, 9);
+    EXPECT_TRUE(old.has_value());
+    EXPECT_EQ(*old, 5u);
+    EXPECT_EQ(f.arena.load_u64(64), 5u);  // unchanged
+  }(*this, at_key));
+  sim.run();
+}
+
+TEST_F(RdmaFixture, FetchAddAccumulates) {
+  const std::uint32_t at_key = server.register_mr(0, 4096, Access::kAll);
+  arena.store_u64(64, 100);
+  sim.spawn([](RdmaFixture& f, std::uint32_t key) -> Task<void> {
+    auto first = co_await f.qp.fetch_add(key, 64, 5);
+    EXPECT_TRUE(first.has_value());
+    EXPECT_EQ(*first, 100u);
+    auto second = co_await f.qp.fetch_add(key, 64, 7);
+    EXPECT_EQ(*second, 105u);
+    EXPECT_EQ(f.arena.load_u64(64), 112u);
+  }(*this, at_key));
+  sim.run();
+}
+
+TEST_F(RdmaFixture, FetchAddRequiresAtomicAccess) {
+  sim.spawn([](RdmaFixture& f) -> Task<void> {
+    auto r = co_await f.qp.fetch_add(f.rw_key, 64, 1);
+    EXPECT_EQ(r.code(), StatusCode::kPermission);
+  }(*this));
+  sim.run();
+}
+
+TEST_F(RdmaFixture, ConcurrentFetchAddsAllLand) {
+  // Atomics from several QPs on one word: every increment must land
+  // exactly once (the DES executes each at its arrival instant).
+  const std::uint32_t at_key = server.register_mr(0, 4096, Access::kAll);
+  std::vector<std::unique_ptr<QueuePair>> qps;
+  int done = 0;
+  for (int i = 0; i < 8; ++i) {
+    qps.push_back(
+        std::make_unique<QueuePair>(sim, fabric, server, 100 + i));
+    sim.spawn([](QueuePair& q, std::uint32_t key, int* out) -> Task<void> {
+      for (int n = 0; n < 10; ++n) {
+        static_cast<void>(co_await q.fetch_add(key, 128, 1));
+      }
+      ++*out;
+    }(*qps.back(), at_key, &done));
+  }
+  sim.run();
+  EXPECT_EQ(done, 8);
+  EXPECT_EQ(arena.load_u64(128), 80u);
+}
+
+TEST_F(RdmaFixture, CasRequiresAtomicAccess) {
+  // rw_key lacks Access::kAtomic.
+  sim.spawn([](RdmaFixture& f) -> Task<void> {
+    auto r = co_await f.qp.compare_and_swap(f.rw_key, 64, 0, 1);
+    EXPECT_EQ(r.code(), StatusCode::kPermission);
+  }(*this));
+  sim.run();
+}
+
+// ------------------------------------------------------------------ misc
+
+TEST_F(RdmaFixture, StatsCountVerbs) {
+  sim.spawn([](RdmaFixture& f) -> Task<void> {
+    static_cast<void>(co_await f.qp.read(f.rw_key, 0, 64));
+    static_cast<void>(co_await f.qp.write(f.rw_key, 0, pattern(32)));
+    co_await f.qp.send(pattern(16));
+  }(*this));
+  sim.run();
+  EXPECT_EQ(qp.stats().reads, 1u);
+  EXPECT_EQ(qp.stats().writes, 1u);
+  EXPECT_EQ(qp.stats().sends, 1u);
+  EXPECT_EQ(qp.stats().read_bytes, 64u);
+  EXPECT_EQ(qp.stats().write_bytes, 32u);
+}
+
+TEST_F(RdmaFixture, JitterProducesLatencySpread) {
+  Fabric jittery{FabricConfig{}};  // default sigma > 0
+  QueuePair jqp{sim, jittery, server, 2};
+  std::vector<SimTime> latencies;
+  sim.spawn([](RdmaFixture& f, QueuePair& q,
+               std::vector<SimTime>* out) -> Task<void> {
+    for (int i = 0; i < 50; ++i) {
+      const SimTime start = f.sim.now();
+      static_cast<void>(co_await q.read(f.rw_key, 0, 64));
+      out->push_back(f.sim.now() - start);
+    }
+  }(*this, jqp, &latencies));
+  sim.run();
+  const auto [lo, hi] = std::minmax_element(latencies.begin(), latencies.end());
+  EXPECT_GT(*hi - *lo, 20u);  // some spread
+}
+
+TEST(Node, RegisterMrBeyondArenaThrows) {
+  sim::Simulator sim;
+  nvm::Arena arena{sim, 4096};
+  Node node{sim, &arena};
+  EXPECT_THROW(node.register_mr(0, 8192, Access::kRead), CheckFailure);
+}
+
+TEST(Node, MemorylessNodeRefusesMr) {
+  sim::Simulator sim;
+  Node node{sim, nullptr};
+  EXPECT_THROW(node.register_mr(0, 64, Access::kRead), CheckFailure);
+}
+
+}  // namespace
+}  // namespace efac::rdma

@@ -1,0 +1,231 @@
+// Additional simulator and verb-level tests: coroutine value semantics,
+// deep chains, QP pipelining timing, commit ordering, and determinism.
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <numeric>
+
+#include "rdma/queue_pair.hpp"
+#include "sim/simulator.hpp"
+#include "sim/sync.hpp"
+
+namespace efac::sim {
+namespace {
+
+// ----------------------------------------------------- task value kinds
+
+Task<std::unique_ptr<int>> make_unique_number(int n) {
+  co_return std::make_unique<int>(n);
+}
+
+TEST(TaskValues, MoveOnlyResultsWork) {
+  Simulator sim;
+  int got = 0;
+  sim.spawn([](int* out) -> Task<void> {
+    std::unique_ptr<int> p = co_await make_unique_number(7);
+    *out = *p;
+  }(&got));
+  sim.run();
+  EXPECT_EQ(got, 7);
+}
+
+TEST(TaskValues, StringResultsWork) {
+  Simulator sim;
+  std::string got;
+  sim.spawn([](std::string* out) -> Task<void> {
+    auto t = []() -> Task<std::string> { co_return "payload"; };
+    *out = co_await t();
+  }(&got));
+  sim.run();
+  EXPECT_EQ(got, "payload");
+}
+
+Task<int> count_down(Simulator& sim, int n) {
+  if (n == 0) co_return 0;
+  co_await delay(sim, 1);
+  co_return 1 + co_await count_down(sim, n - 1);
+}
+
+TEST(TaskValues, DeepRecursiveChains) {
+  // 500-deep await chain: symmetric transfer must keep host stack flat.
+  Simulator sim;
+  int result = -1;
+  sim.spawn([](Simulator& s, int* out) -> Task<void> {
+    *out = co_await count_down(s, 500);
+  }(sim, &result));
+  sim.run();
+  EXPECT_EQ(result, 500);
+  EXPECT_EQ(sim.now(), 500u);
+}
+
+TEST(TaskValues, SequentialAwaitsOfStoredTasks) {
+  Simulator sim;
+  int sum = 0;
+  sim.spawn([](int* out) -> Task<void> {
+    auto make = [](int v) -> Task<int> { co_return v; };
+    Task<int> a = make(1);
+    Task<int> b = make(2);
+    *out = co_await std::move(a);
+    *out += co_await std::move(b);
+  }(&sum));
+  sim.run();
+  EXPECT_EQ(sum, 3);
+}
+
+// ------------------------------------------------------ scheduler extras
+
+TEST(SchedulerExtras, MixedHandlesAndCallbacksKeepFifo) {
+  Simulator sim;
+  std::vector<int> order;
+  sim.call_at(10, [&] { order.push_back(1); });
+  sim.spawn([](Simulator& s, std::vector<int>* out) -> Task<void> {
+    co_await delay(s, 10);
+    out->push_back(2);
+  }(sim, &order));
+  sim.call_at(10, [&] { order.push_back(3); });
+  sim.run();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+}
+
+TEST(SchedulerExtras, TenThousandActorsComplete) {
+  Simulator sim;
+  std::size_t done = 0;
+  for (int i = 0; i < 10'000; ++i) {
+    sim.spawn([](Simulator& s, int id, std::size_t* out) -> Task<void> {
+      co_await delay(s, static_cast<SimDuration>(id % 97 + 1));
+      ++*out;
+    }(sim, i, &done));
+  }
+  sim.run();
+  EXPECT_EQ(done, 10'000u);
+}
+
+TEST(SchedulerExtras, RunIsDeterministicAcrossInstances) {
+  auto trace = [] {
+    Simulator sim;
+    std::vector<std::pair<int, SimTime>> events;
+    Rng rng{99};
+    for (int i = 0; i < 50; ++i) {
+      sim.spawn([](Simulator& s, int id, SimDuration d,
+                   std::vector<std::pair<int, SimTime>>* out) -> Task<void> {
+        for (int r = 0; r < 3; ++r) {
+          co_await delay(s, d);
+          out->emplace_back(id, s.now());
+        }
+      }(sim, i, rng.next_range(5, 200), &events));
+    }
+    sim.run();
+    return events;
+  };
+  EXPECT_EQ(trace(), trace());
+}
+
+TEST(SchedulerExtras, GateReopensAfterClose) {
+  Simulator sim;
+  Gate gate{sim};
+  int passes = 0;
+  auto waiter = [](Gate& g, int* out) -> Task<void> {
+    co_await g.wait();
+    ++*out;
+  };
+  sim.spawn(waiter(gate, &passes));
+  gate.open();
+  sim.run();
+  EXPECT_EQ(passes, 1);
+  gate.close();
+  sim.spawn(waiter(gate, &passes));
+  sim.run();
+  EXPECT_EQ(passes, 1);  // blocked again
+  gate.open();
+  sim.run();
+  EXPECT_EQ(passes, 2);
+}
+
+// -------------------------------------------------------- verb pipelining
+
+struct VerbFixture : ::testing::Test {
+  Simulator sim;
+  nvm::Arena arena{sim, 256 * sizeconst::kKiB};
+  rdma::Fabric fabric{[] {
+    rdma::FabricConfig cfg;
+    cfg.jitter_sigma = 0.0;
+    return cfg;
+  }()};
+  rdma::Node server{sim, &arena};
+  rdma::QueuePair qp{sim, fabric, server, 1};
+  std::uint32_t rkey = server.register_mr(0, 128 * sizeconst::kKiB,
+                                          rdma::Access::kReadWrite);
+};
+
+TEST_F(VerbFixture, BackToBackWritesAreWireSpaced) {
+  // Two pipelined 8 KiB writes: completions separated by ~one payload's
+  // serialization time, not a full round trip (the QP pipelines).
+  const Bytes data(8192, 0xAB);
+  const auto t1 = qp.post_write(rkey, 0, data);
+  const auto t2 = qp.post_write(rkey, 8192, data);
+  ASSERT_TRUE(t1.has_value());
+  ASSERT_TRUE(t2.has_value());
+  const SimDuration gap = *t2 - *t1;
+  const SimDuration wire = fabric.config().wire_cost(data.size());
+  EXPECT_NEAR(static_cast<double>(gap), static_cast<double>(wire),
+              static_cast<double>(wire) * 0.1);
+}
+
+TEST_F(VerbFixture, CommitDelaysSubsequentOps) {
+  // A verb posted after a commit must execute after the NIC-side flush.
+  const Bytes data(4096, 0x11);
+  static_cast<void>(qp.post_write(rkey, 0, data));
+  const auto commit_done = qp.post_commit(rkey, 0, data.size());
+  ASSERT_TRUE(commit_done.has_value());
+  qp.post_send(to_bytes("after-commit"));
+  bool checked = false;
+  sim.spawn([](rdma::Node& node, nvm::Arena& a, const Bytes& d,
+               bool* flag) -> Task<void> {
+    const rdma::InboundMessage msg = co_await node.recv_queue().pop();
+    EXPECT_EQ(to_string(msg.payload), "after-commit");
+    // By delivery time the committed region is durable.
+    EXPECT_EQ(a.persisted_bytes(0, d.size()), d);
+    *flag = true;
+  }(server, arena, data, &checked));
+  sim.run();
+  EXPECT_TRUE(checked);
+}
+
+TEST_F(VerbFixture, ReadsOfAdjacentRegionsAreIndependent) {
+  arena.store(0, Bytes(64, 0xAA));
+  arena.store(64, Bytes(64, 0xBB));
+  sim.spawn([](VerbFixture& f) -> Task<void> {
+    const auto a = co_await f.qp.read(f.rkey, 0, 64);
+    const auto b = co_await f.qp.read(f.rkey, 64, 64);
+    EXPECT_EQ((*a)[0], 0xAA);
+    EXPECT_EQ((*b)[0], 0xBB);
+  }(*this));
+  sim.run();
+}
+
+TEST_F(VerbFixture, ZeroByteWriteCompletes) {
+  sim.spawn([](VerbFixture& f) -> Task<void> {
+    const auto r = co_await f.qp.write(f.rkey, 0, BytesView{});
+    EXPECT_TRUE(r.has_value());
+  }(*this));
+  sim.run();
+}
+
+TEST_F(VerbFixture, ManyQpsShareOneTargetIndependently) {
+  // Ordering is per-QP: a slow huge write on QP A must not delay QP B.
+  rdma::QueuePair qp_b{sim, fabric, server, 2};
+  const Bytes big(64 * 1024, 1);
+  static_cast<void>(qp.post_write(rkey, 0, big));
+  SimTime b_latency = 0;
+  sim.spawn([](Simulator& s, rdma::QueuePair& q, std::uint32_t key,
+               SimTime* out) -> Task<void> {
+    const SimTime start = s.now();
+    static_cast<void>(co_await q.read(key, 0, 64));
+    *out = s.now() - start;
+  }(sim, qp_b, rkey, &b_latency));
+  sim.run();
+  EXPECT_LT(b_latency, 3'000u);  // unaffected by the 64 KiB transfer
+}
+
+}  // namespace
+}  // namespace efac::sim

@@ -1,0 +1,142 @@
+// Tests for trace capture / serialization / replay.
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "store_test_util.hpp"
+#include "workload/trace.hpp"
+
+namespace efac::workload {
+namespace {
+
+Workload small_workload() {
+  return Workload{WorkloadConfig{.mix = Mix::kWriteIntensive,
+                                 .key_count = 32,
+                                 .key_len = 32,
+                                 .value_len = 128}};
+}
+
+TEST(Trace, FromWorkloadIsDeterministic) {
+  const Workload wl = small_workload();
+  const Trace a = Trace::from_workload(wl, 200, /*seed=*/7);
+  const Trace b = Trace::from_workload(wl, 200, /*seed=*/7);
+  EXPECT_EQ(a, b);
+  EXPECT_EQ(a.size(), 200u);
+  const Trace c = Trace::from_workload(wl, 200, /*seed=*/8);
+  EXPECT_NE(a, c);
+}
+
+TEST(Trace, MixRatiosCarryOver) {
+  const Workload wl = small_workload();
+  const Trace trace = Trace::from_workload(wl, 5000, 3);
+  int puts = 0;
+  for (const TraceOp& op : trace.ops()) {
+    puts += op.kind == TraceOp::Kind::kPut;
+  }
+  EXPECT_NEAR(static_cast<double>(puts) / 5000.0, 0.5, 0.03);
+}
+
+TEST(Trace, DeleteFractionProducesDeletes) {
+  const Workload wl = small_workload();
+  const Trace trace = Trace::from_workload(wl, 2000, 3, /*delete=*/0.2);
+  int deletes = 0, puts = 0;
+  for (const TraceOp& op : trace.ops()) {
+    deletes += op.kind == TraceOp::Kind::kDelete;
+    puts += op.kind == TraceOp::Kind::kPut;
+  }
+  EXPECT_GT(deletes, 100);
+  EXPECT_NEAR(static_cast<double>(deletes) / (deletes + puts), 0.2, 0.05);
+}
+
+TEST(Trace, SaveLoadRoundtrip) {
+  const Workload wl = small_workload();
+  const Trace original = Trace::from_workload(wl, 300, 11, 0.1);
+  std::stringstream buffer;
+  original.save(buffer);
+  const Expected<Trace> loaded = Trace::load(buffer);
+  ASSERT_TRUE(loaded.has_value()) << loaded.status().to_string();
+  EXPECT_EQ(*loaded, original);
+}
+
+TEST(Trace, LoadRejectsBadHeader) {
+  std::stringstream buffer{"not a trace\nP 1 2\n"};
+  EXPECT_EQ(Trace::load(buffer).code(), StatusCode::kInvalidArgument);
+}
+
+TEST(Trace, LoadRejectsMalformedLines) {
+  std::stringstream missing_version{"efactrace v1\nP 5\n"};
+  EXPECT_FALSE(Trace::load(missing_version).has_value());
+  std::stringstream unknown_op{"efactrace v1\nX 5\n"};
+  EXPECT_FALSE(Trace::load(unknown_op).has_value());
+}
+
+TEST(Trace, LoadSkipsCommentsAndBlankLines) {
+  std::stringstream buffer{
+      "efactrace v1\n# a comment\n\nP 3 9\nG 3\nD 3\n"};
+  const Expected<Trace> loaded = Trace::load(buffer);
+  ASSERT_TRUE(loaded.has_value());
+  ASSERT_EQ(loaded->size(), 3u);
+  EXPECT_EQ(loaded->ops()[0].kind, TraceOp::Kind::kPut);
+  EXPECT_EQ(loaded->ops()[0].version, 9u);
+  EXPECT_EQ(loaded->ops()[1].kind, TraceOp::Kind::kGet);
+  EXPECT_EQ(loaded->ops()[2].kind, TraceOp::Kind::kDelete);
+}
+
+TEST(Trace, ReplayAgainstEFactory) {
+  testutil::TestCluster tc{stores::SystemKind::kEFactory};
+  const Workload wl = small_workload();
+  tc.client->set_size_hint(32, 128);
+  const Trace trace = Trace::from_workload(wl, 400, 13, 0.05);
+
+  std::optional<ReplayResult> result;
+  tc.sim.spawn([](sim::Simulator& s, stores::KvClient& c, const Workload& w,
+                  const Trace& t,
+                  std::optional<ReplayResult>* out) -> sim::Task<void> {
+    out->emplace(co_await replay_trace(s, c, w, t));
+  }(tc.sim, *tc.client, wl, trace, &result));
+  tc.run_until_done([&] { return result.has_value(); });
+
+  EXPECT_EQ(result->puts + result->gets + result->deletes, 400u);
+  EXPECT_EQ(result->failures, 0u);
+  EXPECT_GT(result->span_ns, 0u);
+}
+
+TEST(Trace, ReplayIsIdenticalAcrossRuns) {
+  const Workload wl = small_workload();
+  const Trace trace = Trace::from_workload(wl, 250, 17);
+  auto run = [&] {
+    testutil::TestCluster tc{stores::SystemKind::kEFactory};
+    tc.client->set_size_hint(32, 128);
+    std::optional<ReplayResult> result;
+    tc.sim.spawn([](sim::Simulator& s, stores::KvClient& c,
+                    const Workload& w, const Trace& t,
+                    std::optional<ReplayResult>* out) -> sim::Task<void> {
+      out->emplace(co_await replay_trace(s, c, w, t));
+    }(tc.sim, *tc.client, wl, trace, &result));
+    tc.run_until_done([&] { return result.has_value(); });
+    return result->span_ns;
+  };
+  EXPECT_EQ(run(), run());
+}
+
+TEST(Trace, SameTraceDifferentSystemsSameOps) {
+  const Workload wl = small_workload();
+  const Trace trace = Trace::from_workload(wl, 150, 23);
+  for (const stores::SystemKind kind :
+       {stores::SystemKind::kSaw, stores::SystemKind::kErda}) {
+    testutil::TestCluster tc{kind};
+    tc.client->set_size_hint(32, 128);
+    std::optional<ReplayResult> result;
+    tc.sim.spawn([](sim::Simulator& s, stores::KvClient& c,
+                    const Workload& w, const Trace& t,
+                    std::optional<ReplayResult>* out) -> sim::Task<void> {
+      out->emplace(co_await replay_trace(s, c, w, t));
+    }(tc.sim, *tc.client, wl, trace, &result));
+    tc.run_until_done([&] { return result.has_value(); });
+    EXPECT_EQ(result->puts + result->gets + result->deletes, 150u);
+    EXPECT_EQ(result->failures, 0u) << stores::to_string(kind);
+  }
+}
+
+}  // namespace
+}  // namespace efac::workload
