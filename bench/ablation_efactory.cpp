@@ -29,11 +29,13 @@ workload::RunOptions base_options(Mix mix) {
 }
 
 workload::RunResult run_with(const workload::RunOptions& options,
-                             stores::StoreConfig config) {
+                             stores::StoreConfig config,
+                             const std::string& sink_prefix) {
   auto sim = std::make_unique<sim::Simulator>();
   stores::Cluster cluster =
       stores::make_cluster(*sim, SystemKind::kEFactory, config);
   workload::RunResult result = workload::run_workload(*sim, cluster, options);
+  metrics_sink().merge_from(result.metrics, sink_prefix);
   sim.reset();
   return result;
 }
@@ -49,7 +51,9 @@ void recv_mode_ablation(benchmark::State& state, bool batched) {
     if (!batched) {
       config.cpu.recv_handling_batched_ns = config.cpu.recv_handling_ns;
     }
-    const workload::RunResult result = run_with(options, config);
+    const workload::RunResult result = run_with(
+        options, config,
+        batched ? "ablation/recv/batched/" : "ablation/recv/single/");
     state.SetIterationTime(static_cast<double>(result.span_ns) * 1e-9);
     state.counters["Mops"] = result.mops;
     Summary::instance().add(
@@ -67,7 +71,9 @@ void bg_cadence_ablation(benchmark::State& state, SimDuration period_ns) {
     stores::StoreConfig config = workload::sized_store_config(options);
     config.bg_idle_ns = period_ns;
     config.bg_retry_ns = period_ns;
-    const workload::RunResult result = run_with(options, config);
+    const workload::RunResult result = run_with(
+        options, config,
+        "ablation/bg_cadence/" + std::to_string(period_ns / 1000) + "us/");
     state.SetIterationTime(static_cast<double>(result.span_ns) * 1e-9);
     const double pure_pct =
         result.client_stats.gets == 0
@@ -98,6 +104,10 @@ void worker_ablation(benchmark::State& state, SystemKind kind,
     stores::Cluster cluster = stores::make_cluster(*sim, kind, config);
     const workload::RunResult result =
         workload::run_workload(*sim, cluster, options);
+    metrics_sink().merge_from(
+        result.metrics, "ablation/workers/" +
+                            std::string{stores::to_string(kind)} + "/" +
+                            std::to_string(workers) + "/");
     sim.reset();
     state.SetIterationTime(static_cast<double>(result.span_ns) * 1e-9);
     state.counters["Mops"] = result.mops;
@@ -131,6 +141,9 @@ void crc_speed_ablation(benchmark::State& state, double per_byte_ns) {
       auto sim = std::make_unique<sim::Simulator>();
       stores::Cluster cluster = stores::make_cluster(*sim, kind, config);
       workload::RunResult r = workload::run_workload(*sim, cluster, options);
+      metrics_sink().merge_from(
+          r.metrics, "ablation/crc_rate/" + TextTable::num(per_byte_ns, 2) +
+                         "/" + std::string{stores::to_string(kind)} + "/");
       sim.reset();
       return r;
     };
@@ -219,4 +232,4 @@ const int registrar = [] {
 }  // namespace
 }  // namespace efac::bench
 
-int main(int argc, char** argv) { return efac::bench::bench_main(argc, argv); }
+int main(int argc, char** argv) { return efac::bench::bench_main(argc, argv, "ablation"); }

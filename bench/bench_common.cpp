@@ -1,5 +1,6 @@
 #include "bench_common.hpp"
 
+#include <fstream>
 #include <iostream>
 #include <memory>
 
@@ -27,7 +28,24 @@ stores::StoreConfig latency_config(std::size_t value_len, std::size_t ops,
   return config;
 }
 
+/// "put/Erda/4KB/" etc — the sink prefix for one measured point.
+std::string point_prefix(std::string_view op, SystemKind kind,
+                         std::size_t value_len) {
+  std::string prefix{op};
+  prefix += "/";
+  prefix += stores::to_string(kind);
+  prefix += "/";
+  prefix += size_label(value_len);
+  prefix += "/";
+  return prefix;
+}
+
 }  // namespace
+
+metrics::MetricsRegistry& metrics_sink() {
+  static metrics::MetricsRegistry sink;
+  return sink;
+}
 
 Histogram measure_put_latency(SystemKind kind, std::size_t value_len,
                               std::size_t ops, std::uint64_t seed) {
@@ -60,6 +78,9 @@ Histogram measure_put_latency(SystemKind kind, std::size_t value_len,
     *flag = true;
   }(*sim, *client, workload, ops, &hist, &done));
   while (!done) sim->run_until(sim->now() + timeconst::kMillisecond);
+  const std::string prefix = point_prefix("put", kind, value_len);
+  metrics_sink().merge_from(client->metrics(), prefix);
+  metrics_sink().merge_from(cluster.store->metrics(), prefix);
   sim.reset();
   return hist;
 }
@@ -114,6 +135,9 @@ Histogram measure_get_latency(SystemKind kind, std::size_t value_len,
     *flag = true;
   }(*sim, *client, workload, ops, &hist, &done));
   while (!done) sim->run_until(sim->now() + timeconst::kMillisecond);
+  const std::string prefix = point_prefix("get", kind, value_len);
+  metrics_sink().merge_from(client->metrics(), prefix);
+  metrics_sink().merge_from(cluster.store->metrics(), prefix);
   sim.reset();
   return hist;
 }
@@ -178,9 +202,20 @@ workload::RunResult throughput_point(SystemKind kind, workload::Mix mix,
           result.client_stats.version_rereads;
       combined.client_stats.client_crc_checks +=
           result.client_stats.client_crc_checks;
+      combined.metrics.merge_from(result.metrics);
     }
   }
   combined.mops = mops_sum / runs;
+  std::string prefix = "run/";
+  prefix += workload::to_string(mix);
+  prefix += "/";
+  prefix += stores::to_string(kind);
+  prefix += "/";
+  prefix += size_label(value_len);
+  prefix += "/clients:";
+  prefix += std::to_string(clients);
+  prefix += "/";
+  metrics_sink().merge_from(combined.metrics, prefix);
   return combined;
 }
 
@@ -226,12 +261,91 @@ void Summary::print_all() const {
   std::cout << std::endl;
 }
 
-int bench_main(int argc, char** argv) {
-  benchmark::Initialize(&argc, argv);
-  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+namespace {
+
+/// Escape a display name for literal use inside a benchmark_filter regex.
+std::string regex_escape(std::string_view text) {
+  std::string out;
+  out.reserve(text.size());
+  for (const char c : text) {
+    if (std::string_view{"\\^$.|?*+()[]{}"}.find(c) !=
+        std::string_view::npos) {
+      out += '\\';
+    }
+    out += c;
+  }
+  return out;
+}
+
+/// Translate "--system=Erda,SAW" into a --benchmark_filter regex matching
+/// benchmark names that contain "/<display name>" followed by "/" or end
+/// (the anchor keeps "eFactory" from also selecting "eFactory w/o hr").
+Expected<std::string> system_filter(std::string_view arg) {
+  std::string alternatives;
+  std::size_t start = 0;
+  while (start <= arg.size()) {
+    const std::size_t comma = std::min(arg.find(',', start), arg.size());
+    const std::string_view name = arg.substr(start, comma - start);
+    if (!name.empty()) {
+      const Expected<stores::SystemKind> kind = stores::from_string(name);
+      if (!kind) return kind.status();
+      if (!alternatives.empty()) alternatives += "|";
+      alternatives += regex_escape(stores::to_string(*kind));
+    }
+    start = comma + 1;
+  }
+  if (alternatives.empty()) {
+    return Status{StatusCode::kInvalidArgument, "--system= needs a name"};
+  }
+  return "/(" + alternatives + ")(/|$)";
+}
+
+}  // namespace
+
+int bench_main(int argc, char** argv, std::string_view figure) {
+  // Rewrite our --system= convenience flag into google-benchmark's filter
+  // before Initialize() sees the argument list.
+  std::vector<char*> args;
+  std::string filter_arg;
+  args.reserve(static_cast<std::size_t>(argc) + 1);
+  for (int i = 0; i < argc; ++i) {
+    const std::string_view arg{argv[i]};
+    constexpr std::string_view kSystemFlag = "--system=";
+    if (arg.rfind(kSystemFlag, 0) == 0) {
+      const Expected<std::string> filter =
+          system_filter(arg.substr(kSystemFlag.size()));
+      if (!filter) {
+        std::cerr << filter.status().to_string() << "\nvalid systems:";
+        for (const stores::SystemKind kind : stores::all_systems()) {
+          std::cerr << " \"" << stores::to_string(kind) << "\"";
+        }
+        std::cerr << std::endl;
+        return 1;
+      }
+      filter_arg = "--benchmark_filter=" + *filter;
+      args.push_back(filter_arg.data());
+    } else {
+      args.push_back(argv[i]);
+    }
+  }
+  int args_count = static_cast<int>(args.size());
+  benchmark::Initialize(&args_count, args.data());
+  if (benchmark::ReportUnrecognizedArguments(args_count, args.data())) {
+    return 1;
+  }
   benchmark::RunSpecifiedBenchmarks();
   benchmark::Shutdown();
   Summary::instance().print_all();
+
+  const std::string path = "BENCH_" + std::string{figure} + ".json";
+  std::ofstream out{path};
+  metrics::write_json(out, metrics_sink(), figure);
+  out << "\n";
+  if (!out) {
+    std::cerr << "failed to write " << path << std::endl;
+    return 1;
+  }
+  std::cout << "metrics exported to " << path << std::endl;
   return 0;
 }
 

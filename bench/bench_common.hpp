@@ -4,17 +4,23 @@
 // (manual virtual time, one iteration per configuration) drive fresh
 // simulated clusters, and every measured number is also registered in the
 // Summary singleton, which prints paper-style tables after the benchmark
-// run so outputs can be diffed against EXPERIMENTS.md.
+// run so outputs can be diffed against EXPERIMENTS.md. In addition, every
+// measurement helper folds its run's MetricsRegistry (counters + span
+// histograms) into the process-wide metrics_sink() under a per-point
+// prefix, and bench_main() exports the sink to BENCH_<figure>.json.
 #pragma once
 
 #include <benchmark/benchmark.h>
 
 #include <map>
 #include <string>
+#include <string_view>
 #include <vector>
 
 #include "common/histogram.hpp"
 #include "common/table.hpp"
+#include "metrics/json.hpp"
+#include "metrics/metrics.hpp"
 #include "workload/runner.hpp"
 
 namespace efac::bench {
@@ -31,6 +37,11 @@ inline std::string size_label(std::size_t bytes) {
   }
   return std::to_string(bytes) + "B";
 }
+
+/// Process-wide registry collecting every measured point's metrics.
+/// Helpers merge per-run registries here under "<op>/<system>/<size>/"
+/// prefixes; bench_main() writes the whole sink to BENCH_<figure>.json.
+metrics::MetricsRegistry& metrics_sink();
 
 /// Latency of single-client durable PUTs (Fig. 1 methodology).
 Histogram measure_put_latency(stores::SystemKind kind, std::size_t value_len,
@@ -81,8 +92,10 @@ class Summary {
   std::map<std::string, Table> tables_;
 };
 
-/// benchmark main body shared by every bench binary: run benchmarks, then
-/// print the summary tables.
-int bench_main(int argc, char** argv);
+/// benchmark main body shared by every bench binary: handle --system=
+/// (comma-separated SystemKind names, translated to a --benchmark_filter),
+/// run benchmarks, print the summary tables, and export metrics_sink() to
+/// BENCH_<figure>.json in the working directory.
+int bench_main(int argc, char** argv, std::string_view figure);
 
 }  // namespace efac::bench

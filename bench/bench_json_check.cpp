@@ -1,0 +1,60 @@
+// CLI checker for BENCH_<figure>.json exports: validates the document
+// against the efac.bench.v1 schema and requires at least one recorded
+// tracer span histogram, so a bench that silently stopped tracing fails
+// its ctest round-trip.
+#include <cstddef>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+
+#include "metrics/json.hpp"
+
+namespace {
+
+bool has_recorded_span(const std::string& doc) {
+  // The exporter writes each histogram as `"<name>": {"count": <u64>, ...`;
+  // a name containing "span." followed by a nonzero count proves a tracer
+  // actually recorded during the run.
+  std::size_t pos = 0;
+  while ((pos = doc.find("span.", pos)) != std::string::npos) {
+    pos += 5;
+    const std::size_t brace = doc.find("{\"count\": ", pos);
+    if (brace == std::string::npos) return false;
+    const char first = doc[brace + 10];
+    if (first >= '1' && first <= '9') return true;
+  }
+  return false;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc != 2) {
+    std::cerr << "usage: bench_json_check <BENCH_figure.json>\n";
+    return 2;
+  }
+  std::ifstream in{argv[1]};
+  if (!in) {
+    std::cerr << "bench_json_check: cannot open " << argv[1] << "\n";
+    return 1;
+  }
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  const std::string doc = buffer.str();
+
+  const efac::Status status = efac::metrics::validate_bench_json(doc);
+  if (!status.is_ok()) {
+    std::cerr << "bench_json_check: " << argv[1]
+              << " fails efac.bench.v1 validation: " << status.to_string()
+              << "\n";
+    return 1;
+  }
+  if (!has_recorded_span(doc)) {
+    std::cerr << "bench_json_check: " << argv[1]
+              << " has no recorded span.* histogram (tracing did not run)\n";
+    return 1;
+  }
+  std::cout << "bench_json_check: " << argv[1] << " conforms to efac.bench.v1\n";
+  return 0;
+}

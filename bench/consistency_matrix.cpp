@@ -106,6 +106,11 @@ MatrixRow run_trials(SystemKind kind) {
         }
       }
     }
+    std::string prefix = "consistency/";
+    prefix += stores::to_string(kind);
+    prefix += "/";
+    metrics_sink().merge_from(client->metrics(), prefix);
+    metrics_sink().merge_from(cluster.store->metrics(), prefix);
     sim.reset();
   }
   return row;
@@ -155,4 +160,4 @@ const int registrar = [] {
 }  // namespace
 }  // namespace efac::bench
 
-int main(int argc, char** argv) { return efac::bench::bench_main(argc, argv); }
+int main(int argc, char** argv) { return efac::bench::bench_main(argc, argv, "consistency"); }

@@ -61,6 +61,10 @@ CleaningPoint run_point(Mix mix, bool with_cleaning) {
   CleaningPoint point;
   point.mean_us = result.mean_latency_us();
   point.cleanings = store->server_stats().cleanings;
+  std::string prefix = "fig11/";
+  prefix += workload::to_string(mix);
+  prefix += with_cleaning ? "/cleaning/" : "/baseline/";
+  metrics_sink().merge_from(result.metrics, prefix);
   sim.reset();
   return point;
 }
@@ -104,4 +108,4 @@ const int registrar = [] {
 }  // namespace
 }  // namespace efac::bench
 
-int main(int argc, char** argv) { return efac::bench::bench_main(argc, argv); }
+int main(int argc, char** argv) { return efac::bench::bench_main(argc, argv, "fig11"); }

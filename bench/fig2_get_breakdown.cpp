@@ -5,14 +5,36 @@
 // Forca), the remainder is network + server processing. The paper reports
 // ≈4.4 µs of CRC at 4 KB — 45 % of Erda's and 35 % of Forca's read
 // latency.
+//
+// The breakdown is DERIVED FROM TRACER SPANS, not from the cost model:
+// measure_get_latency() folds the run's span histograms into
+// metrics_sink() under "get/<system>/<size>/", and the CRC share is the
+// recorded verification time ("span.get.crc" client-side for Erda,
+// "span.server.get_crc" server-side for Forca) averaged over the traced
+// GETs ("span.get.total").
 #include "bench_common.hpp"
-
-#include "stores/config.hpp"
 
 namespace efac::bench {
 namespace {
 
 using stores::SystemKind;
+
+/// Mean traced CRC time per GET, in us, for one measured point.
+double traced_crc_us(SystemKind kind, std::size_t value_len) {
+  std::string prefix = "get/";
+  prefix += stores::to_string(kind);
+  prefix += "/";
+  prefix += size_label(value_len);
+  prefix += "/span.";
+  const Histogram* total =
+      metrics_sink().find_histogram(prefix + "get.total");
+  const Histogram* crc = metrics_sink().find_histogram(
+      prefix +
+      (kind == SystemKind::kForca ? "server.get_crc" : "get.crc"));
+  if (total == nullptr || total->count() == 0 || crc == nullptr) return 0.0;
+  return static_cast<double>(crc->sum()) /
+         static_cast<double>(total->count()) / 1000.0;
+}
 
 void get_breakdown(benchmark::State& state, SystemKind kind,
                    std::size_t value_len) {
@@ -20,10 +42,7 @@ void get_breakdown(benchmark::State& state, SystemKind kind,
     const Histogram hist = measure_get_latency(kind, value_len);
     state.SetIterationTime(static_cast<double>(hist.sum()) * 1e-9);
     const double mean_us = hist.mean() / 1000.0;
-    // Both systems verify every read exactly once per op; the CRC share is
-    // the cost-model verification time for this value size.
-    const checksum::CrcCostModel crc;
-    const double crc_us = static_cast<double>(crc.cost(value_len)) / 1000.0;
+    const double crc_us = traced_crc_us(kind, value_len);
     const double crc_pct = 100.0 * crc_us / mean_us;
     state.counters["mean_us"] = mean_us;
     state.counters["crc_us"] = crc_us;
@@ -64,4 +83,4 @@ const int registrar = [] {
 }  // namespace
 }  // namespace efac::bench
 
-int main(int argc, char** argv) { return efac::bench::bench_main(argc, argv); }
+int main(int argc, char** argv) { return efac::bench::bench_main(argc, argv, "fig2"); }

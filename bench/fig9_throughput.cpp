@@ -75,4 +75,4 @@ const int registrar = [] {
 }  // namespace
 }  // namespace efac::bench
 
-int main(int argc, char** argv) { return efac::bench::bench_main(argc, argv); }
+int main(int argc, char** argv) { return efac::bench::bench_main(argc, argv, "fig9"); }

@@ -69,6 +69,14 @@ int main() {
   std::printf("server: %llu requests, %llu background-verified objects\n",
               static_cast<unsigned long long>(ss.requests),
               static_cast<unsigned long long>(ss.bg_verified));
+  // The same counters — plus per-phase span histograms in virtual ns —
+  // live on the client's MetricsRegistry (see docs/OBSERVABILITY.md).
+  if (const Histogram* span =
+          client->metrics().find_histogram("span.put.total")) {
+    std::printf("span.put.total: %llu sample(s), mean %.2f us\n",
+                static_cast<unsigned long long>(span->count()),
+                span->mean() / 1000.0);
+  }
   std::printf("virtual time elapsed: %.2f ms\n",
               static_cast<double>(sim.now()) / 1e6);
   return 0;

@@ -23,24 +23,16 @@ using namespace efac;  // NOLINT: example brevity
 namespace {
 
 stores::SystemKind parse_system(const std::string& name) {
-  static const std::map<std::string, stores::SystemKind> kNames{
-      {"efactory", stores::SystemKind::kEFactory},
-      {"efactory-nohr", stores::SystemKind::kEFactoryNoHr},
-      {"saw", stores::SystemKind::kSaw},
-      {"imm", stores::SystemKind::kImm},
-      {"erda", stores::SystemKind::kErda},
-      {"forca", stores::SystemKind::kForca},
-      {"rpc", stores::SystemKind::kRpc},
-      {"ca", stores::SystemKind::kCaNoPersist},
-      {"rcommit", stores::SystemKind::kRcommit},
-      {"inplace", stores::SystemKind::kInPlace},
-  };
-  const auto it = kNames.find(name);
-  if (it == kNames.end()) {
-    std::fprintf(stderr, "unknown system '%s'\n", name.c_str());
+  const Expected<stores::SystemKind> kind = stores::from_string(name);
+  if (!kind) {
+    std::fprintf(stderr, "unknown system '%s'; valid:", name.c_str());
+    for (const stores::SystemKind k : stores::all_systems()) {
+      std::fprintf(stderr, " \"%s\"", std::string{to_string(k)}.c_str());
+    }
+    std::fprintf(stderr, "\n");
     std::exit(2);
   }
-  return it->second;
+  return *kind;
 }
 
 workload::Mix parse_mix(const std::string& name) {

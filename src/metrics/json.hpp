@@ -1,0 +1,41 @@
+// JSON export of a MetricsRegistry — the machine-readable side of every
+// bench run — plus a schema validator so the format can't drift silently.
+//
+// Schema "efac.bench.v1" (see docs/OBSERVABILITY.md):
+//
+//   {
+//     "schema": "efac.bench.v1",
+//     "figure": "<figure name>",
+//     "counters":   { "<name>": <u64>, ... },
+//     "gauges":     { "<name>": <double>, ... },
+//     "histograms": { "<name>": { "count": <u64>, "sum": <u64>,
+//                                 "min": <u64>, "max": <u64>,
+//                                 "mean": <double>, "p50": <u64>,
+//                                 "p90": <u64>, "p99": <u64> }, ... }
+//   }
+//
+// Histogram times are virtual nanoseconds. validate_bench_json() parses a
+// document with a small built-in JSON reader (no third-party dependency)
+// and checks it against this schema; both the golden-schema unit test and
+// the ctest round-trip of real BENCH_<figure>.json files go through it.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <string_view>
+
+#include "common/status.hpp"
+#include "metrics/metrics.hpp"
+
+namespace efac::metrics {
+
+/// Render the registry as an "efac.bench.v1" document.
+void write_json(std::ostream& os, const MetricsRegistry& registry,
+                std::string_view figure);
+[[nodiscard]] std::string to_json(const MetricsRegistry& registry,
+                                  std::string_view figure);
+
+/// Check that `doc` is valid JSON conforming to "efac.bench.v1".
+[[nodiscard]] Status validate_bench_json(std::string_view doc);
+
+}  // namespace efac::metrics

@@ -25,13 +25,18 @@ SimDuration CostModel::load_cost(std::size_t bytes) const noexcept {
 }
 
 Arena::Arena(sim::Simulator& sim, std::size_t size, CostModel cost,
-             std::uint64_t seed)
+             std::uint64_t seed, metrics::MetricsRegistry* registry)
     : sim_(sim),
       cost_(cost),
       current_(size, 0),
       persisted_(size, 0),
       dirty_lines_((size + kLine - 1) / kLine, false),
-      rng_(seed) {
+      rng_(seed),
+      owned_metrics_(registry == nullptr
+                         ? std::make_unique<metrics::MetricsRegistry>()
+                         : nullptr),
+      metrics_(registry == nullptr ? *owned_metrics_ : *registry),
+      stats_(metrics_) {
   EFAC_CHECK_MSG(size > 0 && size % kLine == 0,
                  "arena size must be a positive multiple of " << kLine);
 }

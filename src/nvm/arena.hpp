@@ -26,11 +26,13 @@
 #pragma once
 
 #include <cstdint>
+#include <memory>
 #include <vector>
 
 #include "common/bytes.hpp"
 #include "common/rng.hpp"
 #include "common/types.hpp"
+#include "metrics/metrics.hpp"
 #include "sim/simulator.hpp"
 
 namespace efac::nvm {
@@ -64,7 +66,8 @@ struct CrashPolicy {
   double eviction_probability = 0.5;
 };
 
-/// Running counters for tests and benches.
+/// Snapshot of the arena's counters (a view over the metrics registry;
+/// kept as a plain struct so existing call sites read fields directly).
 struct ArenaStats {
   std::uint64_t cpu_stores = 0;
   std::uint64_t cpu_store_bytes = 0;
@@ -82,12 +85,25 @@ class Arena {
   static constexpr std::size_t kLine = sizeconst::kCacheLine;
   static constexpr std::size_t kAtomicUnit = 8;
 
+  /// `registry` hosts the arena's counters (names "arena.*"); pass the
+  /// owning store's registry so arena traffic lands next to server
+  /// counters. nullptr → the arena owns a private registry.
   Arena(sim::Simulator& sim, std::size_t size, CostModel cost = {},
-        std::uint64_t seed = 0x5eed);
+        std::uint64_t seed = 0x5eed,
+        metrics::MetricsRegistry* registry = nullptr);
 
   [[nodiscard]] std::size_t size() const noexcept { return current_.size(); }
   [[nodiscard]] const CostModel& cost() const noexcept { return cost_; }
-  [[nodiscard]] const ArenaStats& stats() const noexcept { return stats_; }
+  [[nodiscard]] ArenaStats stats() const noexcept {
+    return ArenaStats{stats_.cpu_stores,   stats_.cpu_store_bytes,
+                      stats_.cpu_loads,    stats_.cpu_load_bytes,
+                      stats_.flushes,      stats_.flushed_lines,
+                      stats_.dma_writes,   stats_.dma_bytes,
+                      stats_.crashes};
+  }
+  [[nodiscard]] metrics::MetricsRegistry& metrics() noexcept {
+    return metrics_;
+  }
 
   // ------------------------------------------------------------- CPU path
 
@@ -131,6 +147,30 @@ class Arena {
   [[nodiscard]] Bytes persisted_bytes(MemOffset off, std::size_t len) const;
 
  private:
+  /// Registry-backed counters, resolved once at construction. Field names
+  /// mirror ArenaStats so increment sites read identically.
+  struct Counters {
+    explicit Counters(metrics::MetricsRegistry& r)
+        : cpu_stores(r.counter("arena.cpu_stores")),
+          cpu_store_bytes(r.counter("arena.cpu_store_bytes")),
+          cpu_loads(r.counter("arena.cpu_loads")),
+          cpu_load_bytes(r.counter("arena.cpu_load_bytes")),
+          flushes(r.counter("arena.flushes")),
+          flushed_lines(r.counter("arena.flushed_lines")),
+          dma_writes(r.counter("arena.dma_writes")),
+          dma_bytes(r.counter("arena.dma_bytes")),
+          crashes(r.counter("arena.crashes")) {}
+    metrics::Counter& cpu_stores;
+    metrics::Counter& cpu_store_bytes;
+    metrics::Counter& cpu_loads;
+    metrics::Counter& cpu_load_bytes;
+    metrics::Counter& flushes;
+    metrics::Counter& flushed_lines;
+    metrics::Counter& dma_writes;
+    metrics::Counter& dma_bytes;
+    metrics::Counter& crashes;
+  };
+
   struct Placement {
     MemOffset off;
     Bytes data;
@@ -155,7 +195,11 @@ class Arena {
   std::vector<bool> dirty_lines_;
   std::vector<Placement> pending_;
   Rng rng_;
-  ArenaStats stats_;
+  // Declaration order matters: owned_metrics_ (if any) must outlive the
+  // Counter references in stats_.
+  std::unique_ptr<metrics::MetricsRegistry> owned_metrics_;
+  metrics::MetricsRegistry& metrics_;
+  Counters stats_;
 };
 
 }  // namespace efac::nvm

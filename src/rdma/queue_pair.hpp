@@ -21,10 +21,12 @@
 #pragma once
 
 #include <cstdint>
+#include <memory>
 
 #include "common/bytes.hpp"
 #include "common/status.hpp"
 #include "common/types.hpp"
+#include "metrics/metrics.hpp"
 #include "rdma/fabric.hpp"
 #include "rdma/node.hpp"
 #include "sim/simulator.hpp"
@@ -32,7 +34,7 @@
 
 namespace efac::rdma {
 
-/// Per-QP verb counters (observability for tests/benches).
+/// Snapshot of a QP's verb counters (view over the metrics registry).
 struct QpStats {
   std::uint64_t reads = 0;
   std::uint64_t read_bytes = 0;
@@ -47,14 +49,34 @@ struct QpStats {
 
 class QueuePair {
  public:
+  /// `registry` hosts the QP's counters (names "qp.*"); pass the owning
+  /// client's registry so verb traffic lands next to client counters.
+  /// nullptr → the QP owns a private registry.
   QueuePair(sim::Simulator& sim, Fabric& fabric, Node& target,
-            std::uint64_t qp_id)
-      : sim_(sim), fabric_(fabric), target_(target), id_(qp_id) {}
+            std::uint64_t qp_id, metrics::MetricsRegistry* registry = nullptr)
+      : sim_(sim),
+        fabric_(fabric),
+        target_(target),
+        id_(qp_id),
+        owned_metrics_(registry == nullptr
+                           ? std::make_unique<metrics::MetricsRegistry>()
+                           : nullptr),
+        metrics_(registry == nullptr ? *owned_metrics_ : *registry),
+        stats_(metrics_) {}
   QueuePair(const QueuePair&) = delete;
   QueuePair& operator=(const QueuePair&) = delete;
 
   [[nodiscard]] std::uint64_t id() const noexcept { return id_; }
-  [[nodiscard]] const QpStats& stats() const noexcept { return stats_; }
+  [[nodiscard]] QpStats stats() const noexcept {
+    return QpStats{stats_.reads,           stats_.read_bytes,
+                   stats_.writes,          stats_.write_bytes,
+                   stats_.sends,           stats_.send_bytes,
+                   stats_.writes_with_imm, stats_.cas_ops,
+                   stats_.commits};
+  }
+  [[nodiscard]] metrics::MetricsRegistry& metrics() noexcept {
+    return metrics_;
+  }
   [[nodiscard]] Node& target() noexcept { return target_; }
 
   /// One-sided READ: snapshot of remote memory taken at arrival instant.
@@ -109,6 +131,30 @@ class QueuePair {
                                 std::size_t length);
 
  private:
+  /// Registry-backed counters; field names mirror QpStats so increment
+  /// sites read identically.
+  struct Counters {
+    explicit Counters(metrics::MetricsRegistry& r)
+        : reads(r.counter("qp.reads")),
+          read_bytes(r.counter("qp.read_bytes")),
+          writes(r.counter("qp.writes")),
+          write_bytes(r.counter("qp.write_bytes")),
+          sends(r.counter("qp.sends")),
+          send_bytes(r.counter("qp.send_bytes")),
+          writes_with_imm(r.counter("qp.writes_with_imm")),
+          cas_ops(r.counter("qp.cas_ops")),
+          commits(r.counter("qp.commits")) {}
+    metrics::Counter& reads;
+    metrics::Counter& read_bytes;
+    metrics::Counter& writes;
+    metrics::Counter& write_bytes;
+    metrics::Counter& sends;
+    metrics::Counter& send_bytes;
+    metrics::Counter& writes_with_imm;
+    metrics::Counter& cas_ops;
+    metrics::Counter& commits;
+  };
+
   struct Timing {
     SimTime depart;        ///< payload starts on the wire
     SimTime arrive;        ///< executed at the responder
@@ -127,7 +173,11 @@ class QueuePair {
   std::uint64_t id_;
   SimTime last_depart_ = 0;
   SimTime last_arrive_ = 0;
-  QpStats stats_;
+  // owned_metrics_ (if any) must be declared before the Counter references
+  // in stats_.
+  std::unique_ptr<metrics::MetricsRegistry> owned_metrics_;
+  metrics::MetricsRegistry& metrics_;
+  Counters stats_;
 };
 
 }  // namespace efac::rdma

@@ -24,11 +24,12 @@ void Replier::reply(Bytes payload) const {
 
 Connection::Connection(sim::Simulator& sim, rdma::Fabric& fabric,
                        rdma::Node& server, Directory& directory,
-                       std::uint64_t qp_id)
+                       std::uint64_t qp_id,
+                       metrics::MetricsRegistry* registry)
     : sim_(sim),
       fabric_(fabric),
       directory_(directory),
-      qp_(sim, fabric, server, qp_id) {
+      qp_(sim, fabric, server, qp_id, registry) {
   directory_.add(qp_id, this);
 }
 

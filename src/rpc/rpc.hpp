@@ -81,8 +81,11 @@ class Replier {
 /// one-sided verbs on the same "connection" (client-active data path).
 class Connection {
  public:
+  /// `registry` is forwarded to the underlying QueuePair so its "qp.*"
+  /// counters land in the owning client's registry (nullptr → private).
   Connection(sim::Simulator& sim, rdma::Fabric& fabric, rdma::Node& server,
-             Directory& directory, std::uint64_t qp_id);
+             Directory& directory, std::uint64_t qp_id,
+             metrics::MetricsRegistry* registry = nullptr);
   ~Connection();
   Connection(const Connection&) = delete;
   Connection& operator=(const Connection&) = delete;

@@ -154,14 +154,17 @@ namespace {
 /// happens client-side.
 class TwoReadClient : public KvClient {
  public:
-  TwoReadClient(StoreBase& store, kv::HashDir& dir)
-      : store_(store),
+  TwoReadClient(StoreBase& store, kv::HashDir& dir,
+                const ClientOptions& options)
+      : KvClient(store.simulator(), options),
+        store_(store),
         dir_(dir),
         conn_(store.simulator(), store.fabric(), store.node(),
-              store.directory(), store.next_qp_id()) {}
+              store.directory(), store.next_qp_id(), &metrics_) {}
 
   sim::Task<Expected<Bytes>> get(Bytes key) override {
     ++stats_.gets;
+    TRACE_SPAN(tracer_, "get.total");
     const std::uint64_t key_hash = kv::hash_key(key);
     // Client-side linear probing: a displaced key costs extra one-sided
     // entry reads, exactly as open-addressed RDMA-KV clients pay.
@@ -170,10 +173,12 @@ class TwoReadClient : public KvClient {
     bool found = false;
     std::size_t slot = dir_.ideal_slot(key_hash);
     for (std::size_t probe = 0; probe < kClientProbeLimit; ++probe) {
+      metrics::Span entry_span{tracer_, "get.entry_read"};
       const Expected<Bytes> raw_entry =
           co_await conn_.qp().read(store_.index_rkey(),
                                    dir_.entry_offset(slot),
                                    kv::HashDir::kEntrySize);
+      entry_span.finish();
       if (!raw_entry) co_return raw_entry.status();
       entry = kv::HashDir::decode(*raw_entry);
       if (entry.key_hash == key_hash) {
@@ -188,8 +193,10 @@ class TwoReadClient : public KvClient {
     }
     const std::size_t total =
         kv::ObjectLayout::total_size(klen_hint_, vlen_hint_);
+    metrics::Span read_span{tracer_, "get.object_read"};
     const Expected<Bytes> raw_obj = co_await conn_.qp().read(
         store_.pool_rkey(), entry.current() - store_.pool_a().base(), total);
+    read_span.finish();
     if (!raw_obj) co_return raw_obj.status();
     ++stats_.gets_pure_rdma;
     co_return value_from_raw(*raw_obj, klen_hint_, vlen_hint_, key_hash);
@@ -203,10 +210,12 @@ class TwoReadClient : public KvClient {
 
 class SawClient final : public TwoReadClient {
  public:
-  explicit SawClient(SawStore& store) : TwoReadClient(store, store.dir()) {}
+  SawClient(SawStore& store, const ClientOptions& options)
+      : TwoReadClient(store, store.dir(), options) {}
 
   sim::Task<Status> put(Bytes key, Bytes value) override {
     ++stats_.puts;
+    TRACE_SPAN(tracer_, "put.total");
     AllocRequest req;
     req.klen = static_cast<std::uint32_t>(key.size());
     req.vlen = static_cast<std::uint32_t>(value.size());
@@ -214,7 +223,9 @@ class SawClient final : public TwoReadClient {
     // time) so that recovery inspection can validate data in tests.
     req.crc = kv::object_crc(kv::hash_key(key), req.klen, req.vlen, value);
     req.key = key;
+    metrics::Span alloc_span{tracer_, "put.alloc_rpc"};
     const Bytes raw = co_await conn_.call(kAlloc, req.encode());
+    alloc_span.finish();
     const AllocResponse resp = AllocResponse::decode(raw);
     if (resp.status != StatusCode::kOk) co_return Status{resp.status};
 
@@ -230,15 +241,19 @@ class SawClient final : public TwoReadClient {
     persist.object_off = resp.object_off;
     persist.klen = req.klen;
     persist.vlen = req.vlen;
+    // The persist RPC rides behind the posted WRITE, so its duration
+    // covers data landing + server flush + ack — SAW's durability wait.
+    metrics::Span persist_span{tracer_, "put.persist_rpc"};
     const Bytes ack = co_await conn_.call(kPersist, persist.encode());
+    persist_span.finish();
     co_return Status{decode_status(ack)};
   }
 };
 
 }  // namespace
 
-std::unique_ptr<KvClient> SawStore::make_client() {
-  return std::make_unique<SawClient>(*this);
+std::unique_ptr<KvClient> SawStore::make_client(ClientOptions options) {
+  return std::make_unique<SawClient>(*this, options);
 }
 
 // ===================================================================== IMM
@@ -332,18 +347,21 @@ namespace {
 
 class ImmClient final : public TwoReadClient {
  public:
-  explicit ImmClient(ImmStore& store)
-      : TwoReadClient(store, store.dir()), imm_store_(store) {}
+  ImmClient(ImmStore& store, const ClientOptions& options)
+      : TwoReadClient(store, store.dir(), options), imm_store_(store) {}
 
   sim::Task<Status> put(Bytes key, Bytes value) override {
     ++stats_.puts;
+    TRACE_SPAN(tracer_, "put.total");
     AllocRequest req;
     req.klen = static_cast<std::uint32_t>(key.size());
     req.vlen = static_cast<std::uint32_t>(value.size());
     req.crc = kv::object_crc(kv::hash_key(key), req.klen, req.vlen,
                              value);  // bookkeeping only, no time charged
     req.key = key;
+    metrics::Span alloc_span{tracer_, "put.alloc_rpc"};
     const Bytes raw = co_await conn_.call(kAlloc, req.encode());
+    alloc_span.finish();
     const AllocResponse resp = AllocResponse::decode(raw);
     if (resp.status != StatusCode::kOk) co_return Status{resp.status};
 
@@ -352,14 +370,18 @@ class ImmClient final : public TwoReadClient {
     const MemOffset value_off = resp.object_off +
                                 kv::ObjectLayout::kHeaderSize + key.size() -
                                 store_.pool_a().base();
+    metrics::Span write_span{tracer_, "put.data_write"};
     const Expected<Unit> wr = co_await conn_.qp().write_with_imm(
         store_.pool_rkey(), value_off, value, resp.token);
+    write_span.finish();
     if (!wr) {
       imm_store_.ack_hub().disarm(resp.token);
       co_return wr.status();
     }
     // Durability point: the server flushed and acked.
+    metrics::Span ack_span{tracer_, "put.durability_ack"};
     const StatusCode status = co_await ack.wait();
+    ack_span.finish();
     co_return Status{status};
   }
 
@@ -369,8 +391,8 @@ class ImmClient final : public TwoReadClient {
 
 }  // namespace
 
-std::unique_ptr<KvClient> ImmStore::make_client() {
-  return std::make_unique<ImmClient>(*this);
+std::unique_ptr<KvClient> ImmStore::make_client(ClientOptions options) {
+  return std::make_unique<ImmClient>(*this, options);
 }
 
 // ==================================================================== Erda
@@ -432,40 +454,51 @@ namespace {
 
 class ErdaClient final : public KvClient {
  public:
-  explicit ErdaClient(ErdaStore& store)
-      : store_(store),
+  ErdaClient(ErdaStore& store, const ClientOptions& options)
+      : KvClient(store.simulator(), options),
+        store_(store),
         conn_(store.simulator(), store.fabric(), store.node(),
-              store.directory(), store.next_qp_id()) {}
+              store.directory(), store.next_qp_id(), &metrics_) {}
 
   sim::Task<Status> put(Bytes key, Bytes value) override {
     ++stats_.puts;
+    TRACE_SPAN(tracer_, "put.total");
     // The client computes the CRC it embeds in the object.
+    metrics::Span crc_span{tracer_, "put.crc"};
     co_await sim::delay(store_.simulator(),
                         store_.config().crc.cost(value.size()));
+    crc_span.finish();
     AllocRequest req;
     req.klen = static_cast<std::uint32_t>(key.size());
     req.vlen = static_cast<std::uint32_t>(value.size());
     req.crc = kv::object_crc(kv::hash_key(key), req.klen, req.vlen, value);
     req.key = key;
+    metrics::Span alloc_span{tracer_, "put.alloc_rpc"};
     const Bytes raw = co_await conn_.call(kAlloc, req.encode());
+    alloc_span.finish();
     const AllocResponse resp = AllocResponse::decode(raw);
     if (resp.status != StatusCode::kOk) co_return Status{resp.status};
     const MemOffset value_off = resp.object_off +
                                 kv::ObjectLayout::kHeaderSize + key.size() -
                                 store_.pool_a().base();
+    metrics::Span write_span{tracer_, "put.data_write"};
     const Expected<Unit> wr =
         co_await conn_.qp().write(store_.pool_rkey(), value_off, value);
+    write_span.finish();
     co_return wr.status();
   }
 
   sim::Task<Expected<Bytes>> get(Bytes key) override {
     ++stats_.gets;
+    TRACE_SPAN(tracer_, "get.total");
     const std::uint64_t key_hash = kv::hash_key(key);
     kv::ErdaTable& table = store_.table();
     const std::size_t home = table.ideal_slot(key_hash);
+    metrics::Span entry_span{tracer_, "get.entry_read"};
     const Expected<Bytes> raw_hood = co_await conn_.qp().read(
         store_.index_rkey(), table.bucket_offset(home),
         kv::ErdaTable::neighborhood_bytes());
+    entry_span.finish();
     if (!raw_hood) co_return raw_hood.status();
     const Expected<kv::ErdaTable::Versions> versions =
         kv::ErdaTable::scan_neighborhood(*raw_hood, key_hash,
@@ -481,8 +514,10 @@ class ErdaClient final : public KvClient {
       first = false;
       const std::size_t total =
           kv::ObjectLayout::total_size(klen_hint_, vlen_hint_);
+      metrics::Span read_span{tracer_, "get.object_read"};
       const Expected<Bytes> raw = co_await conn_.qp().read(
           store_.pool_rkey(), off - store_.pool_a().base(), total);
+      read_span.finish();
       if (!raw) continue;
       const kv::ObjectMeta meta = kv::ObjectLayout::decode_header(*raw);
       if (meta.key_hash != key_hash || !meta.valid ||
@@ -492,8 +527,10 @@ class ErdaClient final : public KvClient {
       // Erda's client verifies integrity by CRC on EVERY read — the
       // critical-path cost Fig. 2 quantifies.
       ++stats_.client_crc_checks;
+      metrics::Span crc_span{tracer_, "get.crc"};
       co_await sim::delay(store_.simulator(),
                           store_.config().crc.cost(meta.vlen));
+      crc_span.finish();
       const BytesView value{raw->data() + kv::ObjectLayout::kHeaderSize +
                                 klen_hint_,
                             vlen_hint_};
@@ -512,8 +549,8 @@ class ErdaClient final : public KvClient {
 
 }  // namespace
 
-std::unique_ptr<KvClient> ErdaStore::make_client() {
-  return std::make_unique<ErdaClient>(*this);
+std::unique_ptr<KvClient> ErdaStore::make_client(ClientOptions options) {
+  return std::make_unique<ErdaClient>(*this, options);
 }
 
 // =================================================================== Forca
@@ -585,6 +622,7 @@ sim::Task<void> ForcaStore::handle_get_loc(rpc::ParsedRequest req) {
       // Forca has no durability flag: it must CRC-verify on EVERY read,
       // then persist, before returning the offset.
       ++stats_.crc_checks;
+      tracer_.record("server.get_crc", config_.crc.cost(meta.vlen));
       co_await charge(config_.crc.cost(meta.vlen));
       if (obj.verify_crc()) {
         const std::size_t total =
@@ -621,44 +659,57 @@ namespace {
 
 class ForcaClient final : public KvClient {
  public:
-  explicit ForcaClient(ForcaStore& store)
-      : store_(store),
+  ForcaClient(ForcaStore& store, const ClientOptions& options)
+      : KvClient(store.simulator(), options),
+        store_(store),
         conn_(store.simulator(), store.fabric(), store.node(),
-              store.directory(), store.next_qp_id()) {}
+              store.directory(), store.next_qp_id(), &metrics_) {}
 
   sim::Task<Status> put(Bytes key, Bytes value) override {
     ++stats_.puts;
+    TRACE_SPAN(tracer_, "put.total");
+    metrics::Span crc_span{tracer_, "put.crc"};
     co_await sim::delay(store_.simulator(),
                         store_.config().crc.cost(value.size()));
+    crc_span.finish();
     AllocRequest req;
     req.klen = static_cast<std::uint32_t>(key.size());
     req.vlen = static_cast<std::uint32_t>(value.size());
     req.crc = kv::object_crc(kv::hash_key(key), req.klen, req.vlen, value);
     req.key = key;
+    metrics::Span alloc_span{tracer_, "put.alloc_rpc"};
     const Bytes raw = co_await conn_.call(kAlloc, req.encode());
+    alloc_span.finish();
     const AllocResponse resp = AllocResponse::decode(raw);
     if (resp.status != StatusCode::kOk) co_return Status{resp.status};
     const MemOffset value_off = resp.object_off +
                                 kv::ObjectLayout::kHeaderSize + key.size() -
                                 store_.pool_a().base();
+    metrics::Span write_span{tracer_, "put.data_write"};
     const Expected<Unit> wr =
         co_await conn_.qp().write(store_.pool_rkey(), value_off, value);
+    write_span.finish();
     co_return wr.status();
   }
 
   sim::Task<Expected<Bytes>> get(Bytes key) override {
     ++stats_.gets;
     ++stats_.gets_rpc_path;  // Forca reads always involve the server
+    TRACE_SPAN(tracer_, "get.total");
     const std::uint64_t key_hash = kv::hash_key(key);
     GetLocRequest req;
     req.key = key;
+    metrics::Span rpc_span{tracer_, "get.loc_rpc"};
     const Bytes raw = co_await conn_.call(kGetLoc, req.encode());
+    rpc_span.finish();
     const LocResponse resp = LocResponse::decode(raw);
     if (resp.status != StatusCode::kOk) co_return Status{resp.status};
     const std::size_t total =
         kv::ObjectLayout::total_size(resp.klen, resp.vlen);
+    metrics::Span read_span{tracer_, "get.object_read"};
     const Expected<Bytes> raw_obj = co_await conn_.qp().read(
         store_.pool_rkey(), resp.object_off - store_.pool_a().base(), total);
+    read_span.finish();
     if (!raw_obj) co_return raw_obj.status();
     co_return value_from_raw(*raw_obj, resp.klen, resp.vlen, key_hash);
   }
@@ -670,8 +721,8 @@ class ForcaClient final : public KvClient {
 
 }  // namespace
 
-std::unique_ptr<KvClient> ForcaStore::make_client() {
-  return std::make_unique<ForcaClient>(*this);
+std::unique_ptr<KvClient> ForcaStore::make_client(ClientOptions options) {
+  return std::make_unique<ForcaClient>(*this, options);
 }
 
 // ===================================================================== RPC
@@ -769,26 +820,33 @@ namespace {
 
 class RpcStoreClient final : public KvClient {
  public:
-  explicit RpcStoreClient(RpcStore& store)
-      : store_(store),
+  RpcStoreClient(RpcStore& store, const ClientOptions& options)
+      : KvClient(store.simulator(), options),
+        store_(store),
         conn_(store.simulator(), store.fabric(), store.node(),
-              store.directory(), store.next_qp_id()) {}
+              store.directory(), store.next_qp_id(), &metrics_) {}
 
   sim::Task<Status> put(Bytes key, Bytes value) override {
     ++stats_.puts;
+    TRACE_SPAN(tracer_, "put.total");
     PutInlineRequest req;
     req.key = std::move(key);
     req.value = std::move(value);
+    metrics::Span rpc_span{tracer_, "put.rpc"};
     const Bytes raw = co_await conn_.call(kPutInline, req.encode());
+    rpc_span.finish();
     co_return Status{decode_status(raw)};
   }
 
   sim::Task<Expected<Bytes>> get(Bytes key) override {
     ++stats_.gets;
     ++stats_.gets_rpc_path;
+    TRACE_SPAN(tracer_, "get.total");
     GetLocRequest req;
     req.key = std::move(key);
+    metrics::Span rpc_span{tracer_, "get.rpc"};
     const Bytes raw = co_await conn_.call(kGetInline, req.encode());
+    rpc_span.finish();
     ValueResponse resp = ValueResponse::decode(raw);
     if (resp.status != StatusCode::kOk) co_return Status{resp.status};
     co_return std::move(resp.value);
@@ -801,8 +859,8 @@ class RpcStoreClient final : public KvClient {
 
 }  // namespace
 
-std::unique_ptr<KvClient> RpcStore::make_client() {
-  return std::make_unique<RpcStoreClient>(*this);
+std::unique_ptr<KvClient> RpcStore::make_client(ClientOptions options) {
+  return std::make_unique<RpcStoreClient>(*this, options);
 }
 
 // ================================================================= InPlace
@@ -871,18 +929,21 @@ namespace {
 
 class InPlaceClient final : public TwoReadClient {
  public:
-  explicit InPlaceClient(InPlaceStore& store)
-      : TwoReadClient(store, store.dir()) {}
+  InPlaceClient(InPlaceStore& store, const ClientOptions& options)
+      : TwoReadClient(store, store.dir(), options) {}
 
   sim::Task<Status> put(Bytes key, Bytes value) override {
     ++stats_.puts;
+    TRACE_SPAN(tracer_, "put.total");
     AllocRequest req;
     req.klen = static_cast<std::uint32_t>(key.size());
     req.vlen = static_cast<std::uint32_t>(value.size());
     req.crc = kv::object_crc(kv::hash_key(key), req.klen, req.vlen,
                              value);  // recovery bookkeeping only
     req.key = key;
+    metrics::Span alloc_span{tracer_, "put.alloc_rpc"};
     const Bytes raw = co_await conn_.call(kAlloc, req.encode());
+    alloc_span.finish();
     const AllocResponse resp = AllocResponse::decode(raw);
     if (resp.status != StatusCode::kOk) co_return Status{resp.status};
     // The overwrite lands on the LIVE bytes: a crash mid-flight tears the
@@ -890,16 +951,18 @@ class InPlaceClient final : public TwoReadClient {
     const MemOffset value_off = resp.object_off +
                                 kv::ObjectLayout::kHeaderSize + key.size() -
                                 store_.pool_a().base();
+    metrics::Span write_span{tracer_, "put.data_write"};
     const Expected<Unit> wr =
         co_await conn_.qp().write(store_.pool_rkey(), value_off, value);
+    write_span.finish();
     co_return wr.status();
   }
 };
 
 }  // namespace
 
-std::unique_ptr<KvClient> InPlaceStore::make_client() {
-  return std::make_unique<InPlaceClient>(*this);
+std::unique_ptr<KvClient> InPlaceStore::make_client(ClientOptions options) {
+  return std::make_unique<InPlaceClient>(*this, options);
 }
 
 // ====================================================================== CA
@@ -951,32 +1014,38 @@ namespace {
 
 class CaClient final : public TwoReadClient {
  public:
-  explicit CaClient(CaStore& store) : TwoReadClient(store, store.dir()) {}
+  CaClient(CaStore& store, const ClientOptions& options)
+      : TwoReadClient(store, store.dir(), options) {}
 
   sim::Task<Status> put(Bytes key, Bytes value) override {
     ++stats_.puts;
+    TRACE_SPAN(tracer_, "put.total");
     AllocRequest req;
     req.klen = static_cast<std::uint32_t>(key.size());
     req.vlen = static_cast<std::uint32_t>(value.size());
     req.crc = kv::object_crc(kv::hash_key(key), req.klen, req.vlen,
                              value);  // bookkeeping only
     req.key = key;
+    metrics::Span alloc_span{tracer_, "put.alloc_rpc"};
     const Bytes raw = co_await conn_.call(kAlloc, req.encode());
+    alloc_span.finish();
     const AllocResponse resp = AllocResponse::decode(raw);
     if (resp.status != StatusCode::kOk) co_return Status{resp.status};
     const MemOffset value_off = resp.object_off +
                                 kv::ObjectLayout::kHeaderSize + key.size() -
                                 store_.pool_a().base();
+    metrics::Span write_span{tracer_, "put.data_write"};
     const Expected<Unit> wr =
         co_await conn_.qp().write(store_.pool_rkey(), value_off, value);
+    write_span.finish();
     co_return wr.status();
   }
 };
 
 }  // namespace
 
-std::unique_ptr<KvClient> CaStore::make_client() {
-  return std::make_unique<CaClient>(*this);
+std::unique_ptr<KvClient> CaStore::make_client(ClientOptions options) {
+  return std::make_unique<CaClient>(*this, options);
 }
 
 }  // namespace efac::stores

@@ -41,7 +41,7 @@ namespace efac::stores {
 class SawStore final : public StoreBase {
  public:
   explicit SawStore(sim::Simulator& sim, StoreConfig config = {});
-  [[nodiscard]] std::unique_ptr<KvClient> make_client();
+  [[nodiscard]] std::unique_ptr<KvClient> make_client(ClientOptions options = {});
   [[nodiscard]] Expected<Bytes> recover_get(BytesView key) override;
   [[nodiscard]] kv::HashDir& dir() noexcept { return dir_; }
 
@@ -81,7 +81,7 @@ class ImmAckHub {
 class ImmStore final : public StoreBase {
  public:
   explicit ImmStore(sim::Simulator& sim, StoreConfig config = {});
-  [[nodiscard]] std::unique_ptr<KvClient> make_client();
+  [[nodiscard]] std::unique_ptr<KvClient> make_client(ClientOptions options = {});
   [[nodiscard]] Expected<Bytes> recover_get(BytesView key) override;
   [[nodiscard]] kv::HashDir& dir() noexcept { return dir_; }
   [[nodiscard]] ImmAckHub& ack_hub() noexcept { return ack_hub_; }
@@ -107,7 +107,7 @@ class ImmStore final : public StoreBase {
 class ErdaStore final : public StoreBase {
  public:
   explicit ErdaStore(sim::Simulator& sim, StoreConfig config = {});
-  [[nodiscard]] std::unique_ptr<KvClient> make_client();
+  [[nodiscard]] std::unique_ptr<KvClient> make_client(ClientOptions options = {});
   [[nodiscard]] Expected<Bytes> recover_get(BytesView key) override;
   [[nodiscard]] kv::ErdaTable& table() noexcept { return table_; }
 
@@ -124,7 +124,7 @@ class ErdaStore final : public StoreBase {
 class ForcaStore final : public StoreBase {
  public:
   explicit ForcaStore(sim::Simulator& sim, StoreConfig config = {});
-  [[nodiscard]] std::unique_ptr<KvClient> make_client();
+  [[nodiscard]] std::unique_ptr<KvClient> make_client(ClientOptions options = {});
   [[nodiscard]] Expected<Bytes> recover_get(BytesView key) override;
   [[nodiscard]] kv::HashDir& dir() noexcept { return dir_; }
 
@@ -142,7 +142,7 @@ class ForcaStore final : public StoreBase {
 class RpcStore final : public StoreBase {
  public:
   explicit RpcStore(sim::Simulator& sim, StoreConfig config = {});
-  [[nodiscard]] std::unique_ptr<KvClient> make_client();
+  [[nodiscard]] std::unique_ptr<KvClient> make_client(ClientOptions options = {});
   [[nodiscard]] Expected<Bytes> recover_get(BytesView key) override;
   [[nodiscard]] kv::HashDir& dir() noexcept { return dir_; }
 
@@ -164,7 +164,7 @@ class RpcStore final : public StoreBase {
 class InPlaceStore final : public StoreBase {
  public:
   explicit InPlaceStore(sim::Simulator& sim, StoreConfig config = {});
-  [[nodiscard]] std::unique_ptr<KvClient> make_client();
+  [[nodiscard]] std::unique_ptr<KvClient> make_client(ClientOptions options = {});
   [[nodiscard]] Expected<Bytes> recover_get(BytesView key) override;
   [[nodiscard]] kv::HashDir& dir() noexcept { return dir_; }
 
@@ -181,7 +181,7 @@ class InPlaceStore final : public StoreBase {
 class CaStore final : public StoreBase {
  public:
   explicit CaStore(sim::Simulator& sim, StoreConfig config = {});
-  [[nodiscard]] std::unique_ptr<KvClient> make_client();
+  [[nodiscard]] std::unique_ptr<KvClient> make_client(ClientOptions options = {});
   [[nodiscard]] Expected<Bytes> recover_get(BytesView key) override;
   [[nodiscard]] kv::HashDir& dir() noexcept { return dir_; }
 

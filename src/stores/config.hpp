@@ -9,8 +9,12 @@
 #include <cmath>
 #include <cstdint>
 
+#include <algorithm>
+
 #include "checksum/crc32.hpp"
 #include "common/types.hpp"
+#include "kv/erda_table.hpp"
+#include "kv/hash_dir.hpp"
 #include "nvm/arena.hpp"
 #include "rdma/fabric.hpp"
 
@@ -95,14 +99,25 @@ struct StoreConfig {
                                            : cpu.recv_handling_ns;
   }
 
-  /// Arena bytes needed for this configuration (hash dir layout is decided
-  /// by the concrete store; this is the conservative upper bound).
+  /// Index-region bytes needed at `hash_buckets`, derived from the actual
+  /// entry layouts: HashDir (every store but Erda) and ErdaTable (hopscotch
+  /// buckets plus a neighborhood spill region). The max over both is the
+  /// bound no concrete store exceeds; StoreBase asserts this at
+  /// construction.
+  [[nodiscard]] std::size_t index_bytes() const noexcept {
+    return std::max(kv::HashDir::bytes_required(hash_buckets),
+                    kv::ErdaTable::bytes_required(hash_buckets));
+  }
+
+  /// Arena bytes needed for this configuration: the index region plus the
+  /// data pool(s), each rounded up to cache-line granularity exactly as
+  /// StoreBase lays them out.
   [[nodiscard]] std::size_t arena_bytes() const noexcept {
-    const std::size_t hash_bytes = hash_buckets * 32 + 4096;
-    const std::size_t pools = pool_bytes * (second_pool ? 2 : 1);
-    const std::size_t total = hash_bytes + pools;
-    return (total + sizeconst::kCacheLine - 1) / sizeconst::kCacheLine *
-           sizeconst::kCacheLine;
+    const std::size_t line = sizeconst::kCacheLine;
+    const std::size_t hash_bytes = (index_bytes() + line - 1) / line * line;
+    const std::size_t pool = (pool_bytes + line - 1) / line * line;
+    const std::size_t total = hash_bytes + pool * (second_pool ? 2 : 1);
+    return (total + line - 1) / line * line;
   }
 };
 

@@ -22,8 +22,17 @@ EFactoryStore::EFactoryStore(sim::Simulator& sim, StoreConfig config)
                 kv::HashDir::bytes_required(config.hash_buckets)),
       dir_(*arena_, 0, config_.hash_buckets) {}
 
+std::unique_ptr<KvClient> EFactoryStore::make_client(ClientOptions options) {
+  // kDefault on eFactory means the hybrid read scheme.
+  if (options.read_mode == ReadMode::kDefault) {
+    options.read_mode = ReadMode::kHybrid;
+  }
+  return std::make_unique<EFactoryClient>(*this, options);
+}
+
 std::unique_ptr<KvClient> EFactoryStore::make_client(bool hybrid_read) {
-  return std::make_unique<EFactoryClient>(*this, hybrid_read);
+  return make_client(ClientOptions{
+      hybrid_read ? ReadMode::kHybrid : ReadMode::kRpcOnly, true});
 }
 
 void EFactoryStore::start_extras() {
@@ -260,6 +269,9 @@ sim::Task<bool> EFactoryStore::verify_and_persist(MemOffset off) {
   // background thread's verification rate.
   obj.set_durable(meta.klen, meta.vlen, true);
   ++stats_.persists;
+  // Write-to-durable latency: how long the object sat unflagged since the
+  // alloc handler stamped it (the paper's asynchronous-durability window).
+  tracer_.record("server.verify_to_flag", sim_.now() - meta.write_time);
   co_return true;
 }
 
@@ -389,6 +401,8 @@ sim::Task<bool> EFactoryStore::await_verifiable(MemOffset off) {
 
 sim::Task<void> EFactoryStore::cleaning_task() {
   const std::uint64_t epoch = epoch_;
+  // Whole-round duration (partial rounds killed by a restart record too).
+  metrics::Span round_span{tracer_, "server.clean_round"};
   // ---- Stage 1: log compressing -------------------------------------
   clients_use_rpc_ = true;
   co_await charge(config_.clean_notify_ns);  // notification reaches clients
@@ -639,24 +653,31 @@ EFactoryStore::RecoveryReport EFactoryStore::recover() {
 
 // ----------------------------------------------------------------- client
 
-EFactoryClient::EFactoryClient(EFactoryStore& store, bool hybrid_read)
-    : store_(store),
+EFactoryClient::EFactoryClient(EFactoryStore& store,
+                               const ClientOptions& options)
+    : KvClient(store.simulator(), options),
+      store_(store),
       conn_(store.simulator(), store.fabric(), store.node(),
-            store.directory(), store.next_qp_id()),
-      hybrid_(hybrid_read) {}
+            store.directory(), store.next_qp_id(), &metrics_),
+      hybrid_(options.read_mode != ReadMode::kRpcOnly) {}
 
 sim::Task<Status> EFactoryClient::put(Bytes key, Bytes value) {
   ++stats_.puts;
+  TRACE_SPAN(tracer_, "put.total");
   // Client computes the CRC that rides in the alloc request.
+  metrics::Span crc_span{tracer_, "put.crc"};
   co_await sim::delay(store_.simulator(),
                       store_.config().crc.cost(value.size()));
+  crc_span.finish();
   AllocRequest req;
   req.klen = static_cast<std::uint32_t>(key.size());
   req.vlen = static_cast<std::uint32_t>(value.size());
   req.crc = kv::object_crc(kv::hash_key(key), req.klen, req.vlen, value);
   req.key = key;
 
+  metrics::Span alloc_span{tracer_, "put.alloc_rpc"};
   const Bytes raw = co_await conn_.call(kAlloc, req.encode());
+  alloc_span.finish();
   const AllocResponse resp = AllocResponse::decode(raw);
   if (resp.status != StatusCode::kOk) co_return Status{resp.status};
 
@@ -664,8 +685,10 @@ sim::Task<Status> EFactoryClient::put(Bytes key, Bytes value) {
   const MemOffset value_off = resp.object_off +
                               kv::ObjectLayout::kHeaderSize + key.size() -
                               store_.pool_a().base();
+  metrics::Span write_span{tracer_, "put.data_write"};
   const Expected<Unit> wr =
       co_await conn_.qp().write(store_.pool_rkey(), value_off, value);
+  write_span.finish();
   co_return wr.status();
 }
 
@@ -673,8 +696,10 @@ sim::Task<Expected<Bytes>> EFactoryClient::read_object_at(
     MemOffset off, std::size_t klen, std::size_t vlen,
     std::uint64_t expect_hash, bool require_flag, bool* tombstoned) {
   const std::size_t total = kv::ObjectLayout::total_size(klen, vlen);
+  metrics::Span read_span{tracer_, "get.object_read"};
   const Expected<Bytes> raw = co_await conn_.qp().read(
       store_.pool_rkey(), off - store_.pool_a().base(), total);
+  read_span.finish();
   if (!raw) co_return raw.status();
   const kv::ObjectMeta meta = kv::ObjectLayout::decode_header(*raw);
   if (meta.key_hash == expect_hash && meta.valid && meta.tombstone) {
@@ -707,6 +732,7 @@ sim::Task<Status> EFactoryClient::del(Bytes key) {
 
 sim::Task<Expected<Bytes>> EFactoryClient::get(Bytes key) {
   ++stats_.gets;
+  TRACE_SPAN(tracer_, "get.total");
   const std::uint64_t key_hash = kv::hash_key(key);
 
   // ---- optimistic pure-RDMA path -------------------------------------
@@ -715,9 +741,11 @@ sim::Task<Expected<Bytes>> EFactoryClient::get(Bytes key) {
     constexpr std::size_t kClientProbeLimit = 16;
     std::size_t slot = store_.dir().ideal_slot(key_hash);
     for (std::size_t probe = 0; probe < kClientProbeLimit; ++probe) {
+      metrics::Span entry_span{tracer_, "get.entry_read"};
       const Expected<Bytes> raw = co_await conn_.qp().read(
           store_.index_rkey(), store_.dir().entry_offset(slot),
           kv::HashDir::kEntrySize);
+      entry_span.finish();
       if (!raw) break;
       const kv::HashDir::Entry entry = kv::HashDir::decode(*raw);
       if (entry.empty()) break;
@@ -746,7 +774,9 @@ sim::Task<Expected<Bytes>> EFactoryClient::get(Bytes key) {
   ++stats_.gets_rpc_path;
   GetLocRequest req;
   req.key = key;
+  metrics::Span rpc_span{tracer_, "get.rpc_fallback"};
   const Bytes raw = co_await conn_.call(kGetLoc, req.encode());
+  rpc_span.finish();
   const LocResponse resp = LocResponse::decode(raw);
   if (resp.status != StatusCode::kOk) co_return Status{resp.status};
   co_return co_await read_object_at(resp.object_off, resp.klen, resp.vlen,

@@ -34,9 +34,17 @@ class EFactoryStore final : public StoreBase {
  public:
   explicit EFactoryStore(sim::Simulator& sim, StoreConfig config = {});
 
-  /// Create a client. hybrid_read=false yields "eFactory w/o hr" (always
-  /// RPC+RDMA reads), the paper's factor-analysis configuration.
-  [[nodiscard]] std::unique_ptr<KvClient> make_client(bool hybrid_read = true);
+  /// Create a client. ReadMode::kRpcOnly yields "eFactory w/o hr" (always
+  /// RPC+RDMA reads), the paper's factor-analysis configuration; kDefault
+  /// resolves to the hybrid read scheme.
+  [[nodiscard]] std::unique_ptr<KvClient> make_client(
+      ClientOptions options = {});
+
+  /// Transitional shim for the old bool-parameter factory. No default
+  /// argument on purpose: `make_client()` must resolve to the options
+  /// overload.
+  [[deprecated("use make_client(ClientOptions) instead")]] [[nodiscard]]
+  std::unique_ptr<KvClient> make_client(bool hybrid_read);
 
   [[nodiscard]] Expected<Bytes> recover_get(BytesView key) override;
 
@@ -149,7 +157,7 @@ class EFactoryStore final : public StoreBase {
 /// eFactory client: client-active PUT, hybrid (or RPC-only) GET.
 class EFactoryClient final : public KvClient {
  public:
-  EFactoryClient(EFactoryStore& store, bool hybrid_read);
+  EFactoryClient(EFactoryStore& store, const ClientOptions& options);
 
   sim::Task<Status> put(Bytes key, Bytes value) override;
   sim::Task<Expected<Bytes>> get(Bytes key) override;

@@ -1,5 +1,7 @@
 #include "stores/factory.hpp"
 
+#include <cctype>
+#include <string>
 #include <vector>
 
 #include "stores/baselines.hpp"
@@ -7,6 +9,22 @@
 #include "stores/rcommit.hpp"
 
 namespace efac::stores {
+namespace {
+
+/// Canonical comparison key: lowercase, separators stripped, any
+/// parenthesized suffix dropped ("Rcommit (future hw)" -> "rcommit").
+std::string canonical_name(std::string_view name) {
+  std::string out;
+  out.reserve(name.size());
+  for (const char c : name) {
+    if (c == '(') break;
+    if (c == ' ' || c == '-' || c == '_' || c == '/') continue;
+    out += static_cast<char>(std::tolower(static_cast<unsigned char>(c)));
+  }
+  return out;
+}
+
+}  // namespace
 
 std::string_view to_string(SystemKind kind) {
   switch (kind) {
@@ -24,6 +42,30 @@ std::string_view to_string(SystemKind kind) {
   return "unknown";
 }
 
+Expected<SystemKind> from_string(std::string_view name) {
+  const std::string key = canonical_name(name);
+  for (const SystemKind kind : all_systems()) {
+    if (key == canonical_name(to_string(kind))) return kind;
+  }
+  // Spellings that canonicalization alone can't reach.
+  if (key == "efactorynohr") return SystemKind::kEFactoryNoHr;
+  if (key == "ca") return SystemKind::kCaNoPersist;
+  if (key == "inplace" || key == "octopus") return SystemKind::kInPlace;
+  return Status{StatusCode::kInvalidArgument,
+                "unknown system \"" + std::string{name} + "\""};
+}
+
+const std::vector<SystemKind>& all_systems() {
+  static const std::vector<SystemKind> kSystems{
+      SystemKind::kEFactory, SystemKind::kEFactoryNoHr,
+      SystemKind::kSaw,      SystemKind::kImm,
+      SystemKind::kErda,     SystemKind::kForca,
+      SystemKind::kRpc,      SystemKind::kCaNoPersist,
+      SystemKind::kRcommit,  SystemKind::kInPlace,
+  };
+  return kSystems;
+}
+
 const std::vector<SystemKind>& throughput_systems() {
   static const std::vector<SystemKind> kSystems{
       SystemKind::kEFactory, SystemKind::kEFactoryNoHr, SystemKind::kImm,
@@ -32,75 +74,68 @@ const std::vector<SystemKind>& throughput_systems() {
   return kSystems;
 }
 
+namespace {
+
+/// Bind a concrete store into the type-erased cluster shape.
+template <typename Store>
+Cluster bind_cluster(std::unique_ptr<Store> store) {
+  Cluster cluster;
+  Store* raw = store.get();
+  cluster.store = std::move(store);
+  cluster.client_factory = [raw](const ClientOptions& options) {
+    return raw->make_client(options);
+  };
+  return cluster;
+}
+
+}  // namespace
+
 Cluster make_cluster(sim::Simulator& sim, SystemKind kind,
                      StoreConfig config) {
   Cluster cluster;
   switch (kind) {
     case SystemKind::kEFactory:
+      cluster = bind_cluster(std::make_unique<EFactoryStore>(sim, config));
+      break;
     case SystemKind::kEFactoryNoHr: {
+      // The ablation is the same store with hybrid read disabled: kDefault
+      // resolves to the RPC-only read path.
       auto store = std::make_unique<EFactoryStore>(sim, config);
       EFactoryStore* raw = store.get();
-      const bool hybrid = kind == SystemKind::kEFactory;
       cluster.store = std::move(store);
-      cluster.make_client = [raw, hybrid] { return raw->make_client(hybrid); };
+      cluster.client_factory = [raw](const ClientOptions& options) {
+        ClientOptions resolved = options;
+        if (resolved.read_mode == ReadMode::kDefault) {
+          resolved.read_mode = ReadMode::kRpcOnly;
+        }
+        return raw->make_client(resolved);
+      };
       break;
     }
-    case SystemKind::kSaw: {
-      auto store = std::make_unique<SawStore>(sim, config);
-      SawStore* raw = store.get();
-      cluster.store = std::move(store);
-      cluster.make_client = [raw] { return raw->make_client(); };
+    case SystemKind::kSaw:
+      cluster = bind_cluster(std::make_unique<SawStore>(sim, config));
       break;
-    }
-    case SystemKind::kImm: {
-      auto store = std::make_unique<ImmStore>(sim, config);
-      ImmStore* raw = store.get();
-      cluster.store = std::move(store);
-      cluster.make_client = [raw] { return raw->make_client(); };
+    case SystemKind::kImm:
+      cluster = bind_cluster(std::make_unique<ImmStore>(sim, config));
       break;
-    }
-    case SystemKind::kErda: {
-      auto store = std::make_unique<ErdaStore>(sim, config);
-      ErdaStore* raw = store.get();
-      cluster.store = std::move(store);
-      cluster.make_client = [raw] { return raw->make_client(); };
+    case SystemKind::kErda:
+      cluster = bind_cluster(std::make_unique<ErdaStore>(sim, config));
       break;
-    }
-    case SystemKind::kForca: {
-      auto store = std::make_unique<ForcaStore>(sim, config);
-      ForcaStore* raw = store.get();
-      cluster.store = std::move(store);
-      cluster.make_client = [raw] { return raw->make_client(); };
+    case SystemKind::kForca:
+      cluster = bind_cluster(std::make_unique<ForcaStore>(sim, config));
       break;
-    }
-    case SystemKind::kRpc: {
-      auto store = std::make_unique<RpcStore>(sim, config);
-      RpcStore* raw = store.get();
-      cluster.store = std::move(store);
-      cluster.make_client = [raw] { return raw->make_client(); };
+    case SystemKind::kRpc:
+      cluster = bind_cluster(std::make_unique<RpcStore>(sim, config));
       break;
-    }
-    case SystemKind::kCaNoPersist: {
-      auto store = std::make_unique<CaStore>(sim, config);
-      CaStore* raw = store.get();
-      cluster.store = std::move(store);
-      cluster.make_client = [raw] { return raw->make_client(); };
+    case SystemKind::kCaNoPersist:
+      cluster = bind_cluster(std::make_unique<CaStore>(sim, config));
       break;
-    }
-    case SystemKind::kRcommit: {
-      auto store = std::make_unique<RcommitStore>(sim, config);
-      RcommitStore* raw = store.get();
-      cluster.store = std::move(store);
-      cluster.make_client = [raw] { return raw->make_client(); };
+    case SystemKind::kRcommit:
+      cluster = bind_cluster(std::make_unique<RcommitStore>(sim, config));
       break;
-    }
-    case SystemKind::kInPlace: {
-      auto store = std::make_unique<InPlaceStore>(sim, config);
-      InPlaceStore* raw = store.get();
-      cluster.store = std::move(store);
-      cluster.make_client = [raw] { return raw->make_client(); };
+    case SystemKind::kInPlace:
+      cluster = bind_cluster(std::make_unique<InPlaceStore>(sim, config));
       break;
-    }
   }
   EFAC_CHECK(cluster.store != nullptr);
   return cluster;

@@ -7,6 +7,7 @@
 #include <functional>
 #include <memory>
 #include <string_view>
+#include <vector>
 
 #include "stores/kv_client.hpp"
 #include "stores/store_base.hpp"
@@ -29,13 +30,32 @@ enum class SystemKind {
 /// Display name matching the paper's legends.
 [[nodiscard]] std::string_view to_string(SystemKind kind);
 
+/// Inverse of to_string. Accepts the display name exactly, plus forgiving
+/// aliases: comparison is case-insensitive and ignores spaces, '-', '_'
+/// and everything from the first '(' (so "efactory_no_hr", "eFactory w/o
+/// hr", "rcommit" all resolve). Returns kInvalidArgument for unknown
+/// names.
+[[nodiscard]] Expected<SystemKind> from_string(std::string_view name);
+
+/// Every SystemKind, in declaration order.
+[[nodiscard]] const std::vector<SystemKind>& all_systems();
+
 /// All systems that appear in the throughput figures (9 and 10).
 [[nodiscard]] const std::vector<SystemKind>& throughput_systems();
 
 /// A type-erased cluster: the store plus a client factory bound to it.
 struct Cluster {
   std::unique_ptr<StoreBase> store;
-  std::function<std::unique_ptr<KvClient>()> make_client;
+  std::function<std::unique_ptr<KvClient>(const ClientOptions&)>
+      client_factory;
+
+  /// Build a client with the given options (kDefault read mode resolves to
+  /// the system's natural protocol; for kEFactoryNoHr it resolves to
+  /// kRpcOnly, which is the whole point of that ablation).
+  [[nodiscard]] std::unique_ptr<KvClient> make_client(
+      const ClientOptions& options = {}) const {
+    return client_factory(options);
+  }
 
   /// Convenience: start the server actors.
   void start() { store->start(); }

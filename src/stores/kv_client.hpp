@@ -4,17 +4,56 @@
 // virtual time is the operation latency. Size hints mirror what published
 // RDMA-KV prototypes do — clients know the (fixed) object geometry of the
 // workload, which lets one-sided GETs read exactly the right span.
+//
+// Construction takes a ClientOptions struct (not bool parameters), so new
+// knobs compose without multiplying factory overloads. Every client owns a
+// MetricsRegistry: its operation counters ("client.*"), its QP's verb
+// counters ("qp.*") and its tracer's span histograms ("span.*") all land
+// there, keeping per-client assertions exact and letting benches merge
+// whole clients into a process-wide export.
 #pragma once
 
 #include <cstdint>
 
 #include "common/bytes.hpp"
 #include "common/status.hpp"
+#include "metrics/metrics.hpp"
+#include "metrics/trace.hpp"
+#include "sim/simulator.hpp"
 #include "sim/task.hpp"
 
 namespace efac::stores {
 
-/// Per-client operation counters (observability for tests and benches).
+/// How GETs are served.
+enum class ReadMode {
+  /// The system's natural read protocol (hybrid for eFactory, one-sided
+  /// for SAW/IMM/Erda/..., RPC for Forca/RPC).
+  kDefault,
+  /// Force the hybrid one-sided-first + RPC-fallback protocol.
+  kHybrid,
+  /// Force every GET through the RPC path (the paper's "w/o hr" ablation).
+  kRpcOnly,
+};
+
+constexpr const char* to_string(ReadMode mode) noexcept {
+  switch (mode) {
+    case ReadMode::kDefault: return "default";
+    case ReadMode::kHybrid: return "hybrid";
+    case ReadMode::kRpcOnly: return "rpc-only";
+  }
+  return "unknown";
+}
+
+/// Knobs for constructing a client. Passed to every make_client factory
+/// and to Cluster::make_client; extend this struct instead of adding bool
+/// parameters.
+struct ClientOptions {
+  ReadMode read_mode = ReadMode::kDefault;
+  /// Record per-phase span histograms on this client's tracer.
+  bool collect_traces = true;
+};
+
+/// Snapshot of a client's operation counters (view over the registry).
 struct ClientStats {
   std::uint64_t puts = 0;
   std::uint64_t gets = 0;
@@ -32,6 +71,8 @@ struct ClientStats {
 class KvClient {
  public:
   virtual ~KvClient() = default;
+  KvClient(const KvClient&) = delete;
+  KvClient& operator=(const KvClient&) = delete;
 
   /// Durable-or-consistent PUT per the semantics of the concrete system.
   virtual sim::Task<Status> put(Bytes key, Bytes value) = 0;
@@ -53,12 +94,51 @@ class KvClient {
     vlen_hint_ = vlen;
   }
 
-  [[nodiscard]] const ClientStats& stats() const noexcept { return stats_; }
+  [[nodiscard]] ClientStats stats() const noexcept {
+    return ClientStats{stats_.puts,          stats_.gets,
+                       stats_.gets_pure_rdma, stats_.gets_rpc_path,
+                       stats_.version_rereads, stats_.client_crc_checks};
+  }
+
+  [[nodiscard]] const ClientOptions& options() const noexcept {
+    return options_;
+  }
+  [[nodiscard]] metrics::MetricsRegistry& metrics() noexcept {
+    return metrics_;
+  }
+  [[nodiscard]] const metrics::MetricsRegistry& metrics() const noexcept {
+    return metrics_;
+  }
+  [[nodiscard]] metrics::Tracer& tracer() noexcept { return tracer_; }
 
  protected:
+  KvClient(sim::Simulator& sim, ClientOptions options)
+      : options_(options), tracer_(sim, metrics_, options.collect_traces) {}
+
+  /// Registry-backed counters; field names mirror ClientStats so existing
+  /// `++stats_.gets` sites read identically.
+  struct Counters {
+    explicit Counters(metrics::MetricsRegistry& r)
+        : puts(r.counter("client.puts")),
+          gets(r.counter("client.gets")),
+          gets_pure_rdma(r.counter("client.gets_pure_rdma")),
+          gets_rpc_path(r.counter("client.gets_rpc_path")),
+          version_rereads(r.counter("client.version_rereads")),
+          client_crc_checks(r.counter("client.client_crc_checks")) {}
+    metrics::Counter& puts;
+    metrics::Counter& gets;
+    metrics::Counter& gets_pure_rdma;
+    metrics::Counter& gets_rpc_path;
+    metrics::Counter& version_rereads;
+    metrics::Counter& client_crc_checks;
+  };
+
   std::size_t klen_hint_ = 0;
   std::size_t vlen_hint_ = 0;
-  ClientStats stats_;
+  ClientOptions options_;
+  metrics::MetricsRegistry metrics_;
+  Counters stats_{metrics_};
+  metrics::Tracer tracer_;
 };
 
 }  // namespace efac::stores

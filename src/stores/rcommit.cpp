@@ -61,20 +61,24 @@ namespace {
 
 class RcommitClient final : public KvClient {
  public:
-  explicit RcommitClient(RcommitStore& store)
-      : store_(store),
+  RcommitClient(RcommitStore& store, const ClientOptions& options)
+      : KvClient(store.simulator(), options),
+        store_(store),
         conn_(store.simulator(), store.fabric(), store.node(),
-              store.directory(), store.next_qp_id()) {}
+              store.directory(), store.next_qp_id(), &metrics_) {}
 
   sim::Task<Status> put(Bytes key, Bytes value) override {
     ++stats_.puts;
+    TRACE_SPAN(tracer_, "put.total");
     AllocRequest req;
     req.klen = static_cast<std::uint32_t>(key.size());
     req.vlen = static_cast<std::uint32_t>(value.size());
     req.crc = kv::object_crc(kv::hash_key(key), req.klen, req.vlen,
                              value);  // recovery bookkeeping, no time
     req.key = key;
+    metrics::Span alloc_span{tracer_, "put.alloc_rpc"};
     const Bytes raw = co_await conn_.call(kAlloc, req.encode());
+    alloc_span.finish();
     const AllocResponse resp = AllocResponse::decode(raw);
     if (resp.status != StatusCode::kOk) co_return Status{resp.status};
 
@@ -99,13 +103,18 @@ class RcommitClient final : public KvClient {
     const Expected<SimTime> w2 = qp.post_write(
         store_.entry_rkey(), word_off, BytesView{head_word, 8});
     if (!w2) co_return w2.status();
+    // The awaited tail of the WRITE→COMMIT→WRITE→COMMIT pipeline: its
+    // duration is the durability wait the rcommit verb buys down.
+    metrics::Span commit_span{tracer_, "put.commit_chain"};
     const Expected<Unit> c2 =
         co_await qp.commit(store_.entry_rkey(), word_off, 8);
+    commit_span.finish();
     co_return c2.status();
   }
 
   sim::Task<Expected<Bytes>> get(Bytes key) override {
     ++stats_.gets;
+    TRACE_SPAN(tracer_, "get.total");
     const std::uint64_t key_hash = kv::hash_key(key);
     kv::HashDir& dir = store_.dir();
     constexpr std::size_t kClientProbeLimit = 16;
@@ -113,9 +122,11 @@ class RcommitClient final : public KvClient {
     kv::HashDir::Entry entry;
     bool found = false;
     for (std::size_t probe = 0; probe < kClientProbeLimit; ++probe) {
+      metrics::Span entry_span{tracer_, "get.entry_read"};
       const Expected<Bytes> raw = co_await conn_.qp().read(
           store_.index_rkey(), dir.entry_offset(slot),
           kv::HashDir::kEntrySize);
+      entry_span.finish();
       if (!raw) co_return raw.status();
       entry = kv::HashDir::decode(*raw);
       if (entry.key_hash == key_hash) {
@@ -130,8 +141,10 @@ class RcommitClient final : public KvClient {
     }
     const std::size_t total =
         kv::ObjectLayout::total_size(klen_hint_, vlen_hint_);
+    metrics::Span read_span{tracer_, "get.object_read"};
     const Expected<Bytes> raw_obj = co_await conn_.qp().read(
         store_.pool_rkey(), entry.current() - store_.pool_a().base(), total);
+    read_span.finish();
     if (!raw_obj) co_return raw_obj.status();
     const kv::ObjectMeta meta = kv::ObjectLayout::decode_header(*raw_obj);
     if (meta.key_hash != key_hash || !meta.valid ||
@@ -152,8 +165,8 @@ class RcommitClient final : public KvClient {
 
 }  // namespace
 
-std::unique_ptr<KvClient> RcommitStore::make_client() {
-  return std::make_unique<RcommitClient>(*this);
+std::unique_ptr<KvClient> RcommitStore::make_client(ClientOptions options) {
+  return std::make_unique<RcommitClient>(*this, options);
 }
 
 }  // namespace efac::stores

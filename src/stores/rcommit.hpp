@@ -25,7 +25,7 @@ namespace efac::stores {
 class RcommitStore final : public StoreBase {
  public:
   explicit RcommitStore(sim::Simulator& sim, StoreConfig config = {});
-  [[nodiscard]] std::unique_ptr<KvClient> make_client();
+  [[nodiscard]] std::unique_ptr<KvClient> make_client(ClientOptions options = {});
   [[nodiscard]] Expected<Bytes> recover_get(BytesView key) override;
   [[nodiscard]] kv::HashDir& dir() noexcept { return dir_; }
   /// Clients write the entry's head-offset word directly; that word is

@@ -1,5 +1,7 @@
 #include "stores/store_base.hpp"
 
+#include "common/assert.hpp"
+
 namespace efac::stores {
 
 StoreBase::StoreBase(sim::Simulator& sim, StoreConfig config,
@@ -10,12 +12,17 @@ StoreBase::StoreBase(sim::Simulator& sim, StoreConfig config,
   config_.pool_bytes = (config_.pool_bytes + line - 1) / line * line;
   const std::size_t hash_bytes =
       (hash_region_bytes + line - 1) / line * line;
+  // StoreConfig::arena_bytes() promises to bound the real layout; keep the
+  // two in sync (index_bytes() is the max over every system's index).
+  EFAC_CHECK_MSG(hash_region_bytes <= config_.index_bytes(),
+                 "index region exceeds StoreConfig::index_bytes(): "
+                     << hash_region_bytes << " > " << config_.index_bytes());
   const std::size_t pools = config_.pool_bytes * (config_.second_pool ? 2 : 1);
   const std::size_t arena_size =
       (hash_bytes + pools + line - 1) / line * line;
 
   arena_ = std::make_unique<nvm::Arena>(sim_, arena_size, config_.nvm,
-                                        config_.seed ^ 0xA7E4A);
+                                        config_.seed ^ 0xA7E4A, &metrics_);
   node_ = std::make_unique<rdma::Node>(sim_, arena_.get());
 
   pool_a_ = std::make_unique<kv::DataPool>(*arena_, hash_bytes,

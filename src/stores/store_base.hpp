@@ -21,6 +21,8 @@
 #include "common/status.hpp"
 #include "kv/data_pool.hpp"
 #include "kv/object.hpp"
+#include "metrics/metrics.hpp"
+#include "metrics/trace.hpp"
 #include "nvm/arena.hpp"
 #include "rdma/fabric.hpp"
 #include "rdma/node.hpp"
@@ -32,7 +34,7 @@
 
 namespace efac::stores {
 
-/// Server-side operation counters.
+/// Snapshot of a store's server-side counters (view over the registry).
 struct ServerStats {
   std::uint64_t requests = 0;
   std::uint64_t allocs = 0;
@@ -73,8 +75,20 @@ class StoreBase {
   [[nodiscard]] rdma::Node& node() noexcept { return *node_; }
   [[nodiscard]] rpc::Directory& directory() noexcept { return directory_; }
   [[nodiscard]] const StoreConfig& config() const noexcept { return config_; }
-  [[nodiscard]] const ServerStats& server_stats() const noexcept {
-    return stats_;
+  [[nodiscard]] ServerStats server_stats() const noexcept {
+    return ServerStats{stats_.requests,   stats_.allocs,
+                       stats_.persists,   stats_.crc_checks,
+                       stats_.bg_verified, stats_.bg_timeouts,
+                       stats_.get_durability_hits, stats_.cleanings,
+                       stats_.cleaned_objects};
+  }
+  /// Cluster-side registry: server counters ("server.*"), arena counters
+  /// ("arena.*") and server-side span histograms ("span.server.*").
+  [[nodiscard]] metrics::MetricsRegistry& metrics() noexcept {
+    return metrics_;
+  }
+  [[nodiscard]] const metrics::MetricsRegistry& metrics() const noexcept {
+    return metrics_;
   }
   [[nodiscard]] std::uint32_t index_rkey() const noexcept {
     return index_rkey_;
@@ -100,6 +114,30 @@ class StoreBase {
   [[nodiscard]] bool header_readable(MemOffset off) const;
 
  protected:
+  /// Registry-backed counters; field names mirror ServerStats so existing
+  /// `++stats_.requests` sites read identically.
+  struct Counters {
+    explicit Counters(metrics::MetricsRegistry& r)
+        : requests(r.counter("server.requests")),
+          allocs(r.counter("server.allocs")),
+          persists(r.counter("server.persists")),
+          crc_checks(r.counter("server.crc_checks")),
+          bg_verified(r.counter("server.bg_verified")),
+          bg_timeouts(r.counter("server.bg_timeouts")),
+          get_durability_hits(r.counter("server.get_durability_hits")),
+          cleanings(r.counter("server.cleanings")),
+          cleaned_objects(r.counter("server.cleaned_objects")) {}
+    metrics::Counter& requests;
+    metrics::Counter& allocs;
+    metrics::Counter& persists;
+    metrics::Counter& crc_checks;
+    metrics::Counter& bg_verified;
+    metrics::Counter& bg_timeouts;
+    metrics::Counter& get_durability_hits;
+    metrics::Counter& cleanings;
+    metrics::Counter& cleaned_objects;
+  };
+
   /// Dispatch one inbound message (request or IMM notification).
   virtual sim::Task<void> handle(rdma::InboundMessage msg) = 0;
 
@@ -119,6 +157,9 @@ class StoreBase {
 
   sim::Simulator& sim_;
   StoreConfig config_;
+  // metrics_ must precede arena_ (the arena registers its counters here)
+  // and stats_/tracer_ (which hold references into it).
+  metrics::MetricsRegistry metrics_;
   std::unique_ptr<nvm::Arena> arena_;
   rdma::Fabric fabric_;
   std::unique_ptr<rdma::Node> node_;
@@ -127,7 +168,8 @@ class StoreBase {
   std::unique_ptr<kv::DataPool> pool_b_;
   std::uint32_t index_rkey_ = 0;
   std::uint32_t pool_rkey_ = 0;
-  ServerStats stats_;
+  Counters stats_{metrics_};
+  metrics::Tracer tracer_{sim_, metrics_};
   bool crashed_ = false;
   std::uint64_t next_qp_id_ = 1;
 };

@@ -92,8 +92,10 @@ RunResult run_workload(sim::Simulator& sim, stores::Cluster& cluster,
     std::vector<std::unique_ptr<KvClient>> loader_clients;
     std::size_t remaining = loaders;
     const std::uint64_t keys = options.workload.key_count;
+    stores::ClientOptions loader_options;
+    loader_options.collect_traces = false;  // setup traffic, not measured
     for (std::size_t l = 0; l < loaders; ++l) {
-      loader_clients.push_back(cluster.make_client());
+      loader_clients.push_back(cluster.make_client(loader_options));
       loader_clients.back()->set_size_hint(options.workload.key_len,
                                            options.workload.value_len);
       const std::uint64_t begin = keys * l / loaders;
@@ -141,14 +143,18 @@ RunResult run_workload(sim::Simulator& sim, stores::Cluster& cluster,
                   static_cast<double>(result.span_ns);
   }
   for (const auto& client : clients) {
-    const stores::ClientStats& s = client->stats();
+    const stores::ClientStats s = client->stats();
     result.client_stats.puts += s.puts;
     result.client_stats.gets += s.gets;
     result.client_stats.gets_pure_rdma += s.gets_pure_rdma;
     result.client_stats.gets_rpc_path += s.gets_rpc_path;
     result.client_stats.version_rereads += s.version_rereads;
     result.client_stats.client_crc_checks += s.client_crc_checks;
+    // Measured clients pool their counters and span histograms; the
+    // per-client registries use identical names, so merging aggregates.
+    result.metrics.merge_from(client->metrics());
   }
+  result.metrics.merge_from(cluster.store->metrics());
   return result;
 }
 

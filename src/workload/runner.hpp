@@ -15,6 +15,7 @@
 #include <cstdint>
 
 #include "common/histogram.hpp"
+#include "metrics/metrics.hpp"
 #include "sim/simulator.hpp"
 #include "stores/factory.hpp"
 #include "workload/ycsb.hpp"
@@ -42,6 +43,10 @@ struct RunResult {
   Histogram get_latency;        ///< ns
   Histogram op_latency;         ///< ns, both op types
   stores::ClientStats client_stats;  ///< summed over clients
+  /// Merged registry: the store's server-side metrics plus every MEASURED
+  /// client's counters and span histograms (loaders excluded — their
+  /// traffic is setup, not measurement).
+  metrics::MetricsRegistry metrics;
 
   [[nodiscard]] double mean_latency_us() const {
     return op_latency.mean() / 1000.0;
