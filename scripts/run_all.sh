@@ -1,10 +1,70 @@
 #!/usr/bin/env bash
 # Build, test, and regenerate every figure + extra table from scratch.
+#
+# Bench binaries are independent processes writing disjoint BENCH_*.json
+# files, so they run concurrently; each gets a log under build/bench/logs/
+# and any non-zero exit fails the whole script (after all of them finish).
+#
+# Usage: scripts/run_all.sh [--smoke]
+#   --smoke   reduced workloads: engine_bench --smoke, one system (or one
+#             configuration) per figure bench. For CI and quick sanity runs.
 set -euo pipefail
 cd "$(dirname "$0")/.."
-cmake -B build -G Ninja
-cmake --build build
-ctest --test-dir build --output-on-failure
-for b in build/bench/*; do
-  [ -x "$b" ] && [ -f "$b" ] && "$b"
+
+SMOKE=0
+for arg in "$@"; do
+  case "$arg" in
+    --smoke) SMOKE=1 ;;
+    *)
+      echo "usage: $0 [--smoke]" >&2
+      exit 2
+      ;;
+  esac
 done
+
+# An existing build dir keeps its generator (CMake refuses to switch);
+# fresh configures prefer Ninja when available.
+if [ -f build/CMakeCache.txt ]; then
+  cmake -B build
+elif command -v ninja >/dev/null 2>&1; then
+  cmake -B build -G Ninja
+else
+  cmake -B build
+fi
+cmake --build build -j "$(nproc)"
+ctest --test-dir build --output-on-failure
+
+mkdir -p build/bench/logs
+declare -A pids
+for b in build/bench/*; do
+  [ -x "$b" ] && [ -f "$b" ] || continue
+  name="$(basename "$b")"
+  args=()
+  case "$name" in
+    bench_json_check) continue ;;  # validator CLI, needs a file argument
+    engine_bench)
+      [ "$SMOKE" -eq 1 ] && args+=(--smoke) ;;
+    ablation_efactory)
+      [ "$SMOKE" -eq 1 ] && args+=("--benchmark_filter=crc_rate/1.05") ;;
+    fig11_log_cleaning)
+      [ "$SMOKE" -eq 1 ] && args+=("--benchmark_filter=update-only") ;;
+    *)
+      [ "$SMOKE" -eq 1 ] && args+=("--system=Erda") ;;
+  esac
+  log="build/bench/logs/$name.log"
+  echo "start $name${args[0]+ ${args[*]}} -> $log"
+  (cd build/bench && exec "./$name" ${args[0]+"${args[@]}"}) \
+    >"$log" 2>&1 &
+  pids[$name]=$!
+done
+
+status=0
+for name in "${!pids[@]}"; do
+  if wait "${pids[$name]}"; then
+    echo "PASS $name"
+  else
+    echo "FAIL $name (see build/bench/logs/$name.log)" >&2
+    status=1
+  fi
+done
+exit "$status"

@@ -2,6 +2,8 @@
 
 #include <array>
 
+#include "checksum/crc32_impl.hpp"
+
 namespace efac::checksum {
 
 namespace {
@@ -33,13 +35,24 @@ struct Tables {
 
 constexpr Tables kTables{};
 
+CrcCounters g_counters;
+
+/// Probed once; the answer cannot change while the process runs.
+const detail::CrcBackend& backend() noexcept {
+  static const detail::CrcBackend kBackend = [] {
+    detail::CrcBackend hw = detail::probe_x86_backend();
+    if (hw.fn == nullptr) hw = detail::probe_arm_backend();
+    return hw;
+  }();
+  return kBackend;
+}
+
 }  // namespace
 
-std::uint32_t crc32(BytesView data, std::uint32_t seed) {
-  std::uint32_t crc = ~seed;
-  const std::uint8_t* p = data.data();
-  std::size_t n = data.size();
+namespace detail {
 
+std::uint32_t crc32_state_portable(const std::uint8_t* p, std::size_t n,
+                                   std::uint32_t crc) {
   // 8 bytes at a time via slicing-by-8.
   while (n >= 8) {
     const std::uint32_t lo = crc ^ (static_cast<std::uint32_t>(p[0]) |
@@ -56,7 +69,35 @@ std::uint32_t crc32(BytesView data, std::uint32_t seed) {
   while (n-- > 0) {
     crc = kTables.t[0][(crc ^ *p++) & 0xFFu] ^ (crc >> 8);
   }
-  return ~crc;
+  return crc;
 }
+
+}  // namespace detail
+
+std::uint32_t crc32(BytesView data, std::uint32_t seed) {
+  const detail::CrcBackend& hw = backend();
+  if (hw.fn != nullptr && data.size() >= hw.min_bytes) {
+    g_counters.hw_bytes += data.size();
+    return ~hw.fn(data.data(), data.size(), ~seed);
+  }
+  g_counters.sw_bytes += data.size();
+  return ~detail::crc32_state_portable(data.data(), data.size(), ~seed);
+}
+
+std::uint32_t crc32_software(BytesView data, std::uint32_t seed) {
+  return ~detail::crc32_state_portable(data.data(), data.size(), ~seed);
+}
+
+std::uint32_t crc32_hardware(BytesView data, std::uint32_t seed) {
+  const detail::CrcBackend& hw = backend();
+  if (hw.fn == nullptr) return crc32_software(data, seed);
+  return ~hw.fn(data.data(), data.size(), ~seed);
+}
+
+bool crc32_hw_available() noexcept { return backend().fn != nullptr; }
+
+const char* crc32_backend() noexcept { return backend().name; }
+
+const CrcCounters& crc_counters() noexcept { return g_counters; }
 
 }  // namespace efac::checksum

@@ -1,10 +1,17 @@
-// Software CRC-32 (IEEE 802.3 polynomial, reflected), slicing-by-8.
+// CRC-32 (IEEE 802.3 polynomial, reflected) with runtime hardware
+// dispatch.
 //
-// Used for object integrity verification exactly as the paper's systems do.
-// The *computation* is real (torn payloads genuinely fail verification);
-// the *virtual-time cost* charged per byte is a separate CostModel, tuned
-// so that verifying a 4 KB value costs ≈4.4 µs as measured in the paper's
-// Figure 2.
+// Used for object integrity verification exactly as the paper's systems
+// do. The *computation* is real (torn payloads genuinely fail
+// verification); the *virtual-time cost* charged per byte is a separate
+// CostModel, tuned so that verifying a 4 KB value costs ≈4.4 µs as
+// measured in the paper's Figure 2.
+//
+// crc32() picks the fastest kernel for the host at first use: PCLMULQDQ
+// folding on x86-64, the CRC32 extension on ARMv8, and slicing-by-8
+// everywhere else (also for buffers too small to amortize the vector
+// setup). All kernels produce bit-identical results; crc32_software()
+// pins the portable kernel so tests can cross-check the dispatched path.
 #pragma once
 
 #include <cmath>
@@ -17,7 +24,37 @@ namespace efac::checksum {
 
 /// CRC-32 of `data`, optionally continuing from a previous value
 /// (pass the previous return value as `seed` for incremental use).
+/// Dispatches to the hardware kernel when available and profitable.
 [[nodiscard]] std::uint32_t crc32(BytesView data, std::uint32_t seed = 0);
+
+/// Same CRC via the portable slicing-by-8 kernel, regardless of host
+/// support — the reference for hardware/software cross-checks.
+[[nodiscard]] std::uint32_t crc32_software(BytesView data,
+                                           std::uint32_t seed = 0);
+
+/// Same CRC via the hardware kernel for any size (no profitability
+/// cut-off); falls back to the portable kernel when the host has none.
+[[nodiscard]] std::uint32_t crc32_hardware(BytesView data,
+                                           std::uint32_t seed = 0);
+
+/// True when a hardware kernel is available on this host.
+[[nodiscard]] bool crc32_hw_available() noexcept;
+
+/// Name of the kernel crc32() dispatches large buffers to:
+/// "pclmul", "armv8-crc", or "portable".
+[[nodiscard]] const char* crc32_backend() noexcept;
+
+/// Process-wide byte counters for the dispatched crc32() entry point.
+/// Plain (non-atomic) counters: the simulator is single-threaded.
+/// Consumers that export metrics should publish deltas across a run, not
+/// absolute values, so exports stay reproducible.
+struct CrcCounters {
+  std::uint64_t hw_bytes = 0;  ///< bytes checksummed by a hardware kernel
+  std::uint64_t sw_bytes = 0;  ///< bytes checksummed by the portable kernel
+};
+
+/// Counters since process start (monotonic).
+[[nodiscard]] const CrcCounters& crc_counters() noexcept;
 
 /// Virtual-time cost of computing a CRC over `bytes` bytes.
 struct CrcCostModel {

@@ -1,0 +1,77 @@
+// AArch64 CRC-32 kernel: the ARMv8 CRC32 extension computes the IEEE
+// 802.3 (reflected) polynomial directly, eight bytes per instruction.
+//
+// Availability is probed at runtime via the Linux hwcaps; on non-Linux
+// AArch64 hosts we only use the kernel when the compiler guarantees the
+// extension at build time (__ARM_FEATURE_CRC32).
+#include "checksum/crc32_impl.hpp"
+
+#if defined(__aarch64__) && defined(__GNUC__)
+#define EFAC_HAVE_ARM_CRC_KERNEL 1
+#include <arm_acle.h>
+#if defined(__linux__)
+#include <sys/auxv.h>
+#ifndef HWCAP_CRC32
+#define HWCAP_CRC32 (1u << 7)
+#endif
+#endif
+#endif
+
+#include <cstring>
+
+namespace efac::checksum::detail {
+
+#if defined(EFAC_HAVE_ARM_CRC_KERNEL)
+
+namespace {
+
+__attribute__((target("+crc"))) std::uint32_t crc32_state_armv8(
+    const std::uint8_t* data, std::size_t n, std::uint32_t state) {
+  while (n >= 8) {
+    std::uint64_t word;
+    std::memcpy(&word, data, 8);
+    state = __crc32d(state, word);
+    data += 8;
+    n -= 8;
+  }
+  if (n >= 4) {
+    std::uint32_t word;
+    std::memcpy(&word, data, 4);
+    state = __crc32w(state, word);
+    data += 4;
+    n -= 4;
+  }
+  while (n-- > 0) {
+    state = __crc32b(state, *data++);
+  }
+  return state;
+}
+
+bool host_has_crc32() noexcept {
+#if defined(__linux__)
+  return (getauxval(AT_HWCAP) & HWCAP_CRC32) != 0;
+#elif defined(__ARM_FEATURE_CRC32)
+  return true;
+#else
+  return false;
+#endif
+}
+
+}  // namespace
+
+CrcBackend probe_arm_backend() noexcept {
+  if (host_has_crc32()) {
+    // Profitable from the first whole word; 16 keeps tiny inputs on the
+    // table path where call overhead dominates anyway.
+    return CrcBackend{&crc32_state_armv8, "armv8-crc", 16};
+  }
+  return CrcBackend{};
+}
+
+#else  // !EFAC_HAVE_ARM_CRC_KERNEL
+
+CrcBackend probe_arm_backend() noexcept { return CrcBackend{}; }
+
+#endif
+
+}  // namespace efac::checksum::detail

@@ -1,0 +1,34 @@
+// Internal interface between the crc32() dispatcher and its kernels.
+//
+// Every kernel advances a *raw* CRC state (already bit-inverted); the
+// public entry points in crc32.cpp apply the ~seed-in / ~state-out
+// convention once, so kernels compose for incremental use and for
+// splitting one buffer between a vector body and a scalar tail.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+namespace efac::checksum::detail {
+
+/// Kernel signature shared by all backends.
+using CrcStateFn = std::uint32_t (*)(const std::uint8_t* data, std::size_t n,
+                                     std::uint32_t state);
+
+/// Slicing-by-8 reference kernel; always available, also used by the
+/// hardware kernels for sub-block tails.
+std::uint32_t crc32_state_portable(const std::uint8_t* data, std::size_t n,
+                                   std::uint32_t state);
+
+/// A runtime-probed hardware kernel. `fn == nullptr` when the host CPU (or
+/// the build target) lacks the instructions.
+struct CrcBackend {
+  CrcStateFn fn = nullptr;
+  const char* name = "portable";
+  std::size_t min_bytes = 0;  ///< below this the portable path wins
+};
+
+CrcBackend probe_x86_backend() noexcept;  ///< PCLMULQDQ folding
+CrcBackend probe_arm_backend() noexcept;  ///< ARMv8 CRC32 instructions
+
+}  // namespace efac::checksum::detail

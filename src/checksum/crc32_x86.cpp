@@ -1,0 +1,126 @@
+// x86-64 CRC-32 kernel: carry-less-multiply folding (PCLMULQDQ).
+//
+// Folds four 128-bit lanes per iteration, then reduces 512 -> 128 -> 64 ->
+// 32 bits with a Barrett step. The fold/reduction constants are the
+// bit-reflected values for the IEEE 802.3 polynomial from Intel's "Fast
+// CRC Computation for Generic Polynomials Using PCLMULQDQ" white paper.
+// Sub-16-byte tails (and buffers too small to fold) fall through to the
+// portable slicing-by-8 kernel on the same raw state.
+#include "checksum/crc32_impl.hpp"
+
+#include <initializer_list>
+
+#if defined(__x86_64__) && defined(__GNUC__)
+#define EFAC_HAVE_PCLMUL_KERNEL 1
+#include <immintrin.h>
+#endif
+
+namespace efac::checksum::detail {
+
+#if defined(EFAC_HAVE_PCLMUL_KERNEL)
+
+namespace {
+
+// Reflected-domain constants: x^T mod P for the fold distances, plus the
+// Barrett pair (P', mu).
+alignas(16) constexpr std::uint64_t kFold512[2] = {0x0154442bd4,
+                                                   0x01c6e41596};
+alignas(16) constexpr std::uint64_t kFold128[2] = {0x01751997d0,
+                                                   0x00ccaa009e};
+alignas(16) constexpr std::uint64_t kFold64[2] = {0x0163cd6124, 0};
+alignas(16) constexpr std::uint64_t kBarrett[2] = {0x01db710641,
+                                                   0x01f7011641};
+
+/// Folds `n` bytes (n >= 64, n % 16 == 0) into a 32-bit raw state.
+__attribute__((target("pclmul,sse4.1"))) std::uint32_t fold_blocks(
+    const std::uint8_t* p, std::size_t n, std::uint32_t state) {
+  const __m128i* buf = reinterpret_cast<const __m128i*>(p);
+
+  __m128i a = _mm_loadu_si128(buf + 0);
+  __m128i b = _mm_loadu_si128(buf + 1);
+  __m128i c = _mm_loadu_si128(buf + 2);
+  __m128i d = _mm_loadu_si128(buf + 3);
+  a = _mm_xor_si128(a, _mm_cvtsi32_si128(static_cast<int>(state)));
+  buf += 4;
+  n -= 64;
+
+  __m128i k = _mm_load_si128(reinterpret_cast<const __m128i*>(kFold512));
+  while (n >= 64) {
+    const __m128i alo = _mm_clmulepi64_si128(a, k, 0x00);
+    const __m128i blo = _mm_clmulepi64_si128(b, k, 0x00);
+    const __m128i clo = _mm_clmulepi64_si128(c, k, 0x00);
+    const __m128i dlo = _mm_clmulepi64_si128(d, k, 0x00);
+    a = _mm_clmulepi64_si128(a, k, 0x11);
+    b = _mm_clmulepi64_si128(b, k, 0x11);
+    c = _mm_clmulepi64_si128(c, k, 0x11);
+    d = _mm_clmulepi64_si128(d, k, 0x11);
+    a = _mm_xor_si128(_mm_xor_si128(a, alo), _mm_loadu_si128(buf + 0));
+    b = _mm_xor_si128(_mm_xor_si128(b, blo), _mm_loadu_si128(buf + 1));
+    c = _mm_xor_si128(_mm_xor_si128(c, clo), _mm_loadu_si128(buf + 2));
+    d = _mm_xor_si128(_mm_xor_si128(d, dlo), _mm_loadu_si128(buf + 3));
+    buf += 4;
+    n -= 64;
+  }
+
+  // 512 -> 128: fold b, c, d into a.
+  k = _mm_load_si128(reinterpret_cast<const __m128i*>(kFold128));
+  for (const __m128i next : {b, c, d}) {
+    const __m128i lo = _mm_clmulepi64_si128(a, k, 0x00);
+    a = _mm_clmulepi64_si128(a, k, 0x11);
+    a = _mm_xor_si128(_mm_xor_si128(a, lo), next);
+  }
+  while (n >= 16) {
+    const __m128i lo = _mm_clmulepi64_si128(a, k, 0x00);
+    a = _mm_clmulepi64_si128(a, k, 0x11);
+    a = _mm_xor_si128(_mm_xor_si128(a, lo), _mm_loadu_si128(buf));
+    ++buf;
+    n -= 16;
+  }
+
+  // 128 -> 64.
+  const __m128i low32 = _mm_setr_epi32(~0, 0, ~0, 0);
+  __m128i t = _mm_clmulepi64_si128(a, k, 0x10);
+  a = _mm_xor_si128(_mm_srli_si128(a, 8), t);
+  k = _mm_loadl_epi64(reinterpret_cast<const __m128i*>(kFold64));
+  t = _mm_srli_si128(a, 4);
+  a = _mm_and_si128(a, low32);
+  a = _mm_xor_si128(_mm_clmulepi64_si128(a, k, 0x00), t);
+
+  // Barrett reduction 64 -> 32.
+  k = _mm_load_si128(reinterpret_cast<const __m128i*>(kBarrett));
+  t = _mm_and_si128(a, low32);
+  t = _mm_clmulepi64_si128(t, k, 0x10);
+  t = _mm_and_si128(t, low32);
+  t = _mm_clmulepi64_si128(t, k, 0x00);
+  a = _mm_xor_si128(a, t);
+  return static_cast<std::uint32_t>(_mm_extract_epi32(a, 1));
+}
+
+std::uint32_t crc32_state_pclmul(const std::uint8_t* data, std::size_t n,
+                                 std::uint32_t state) {
+  const std::size_t body = n & ~std::size_t{15};
+  if (body >= 64) {
+    state = fold_blocks(data, body, state);
+    data += body;
+    n -= body;
+  }
+  return crc32_state_portable(data, n, state);
+}
+
+}  // namespace
+
+CrcBackend probe_x86_backend() noexcept {
+  if (__builtin_cpu_supports("pclmul") && __builtin_cpu_supports("sse4.1")) {
+    // Folding needs a 64-byte body to beat the table path.
+    return CrcBackend{&crc32_state_pclmul, "pclmul", 64};
+  }
+  return CrcBackend{};
+}
+
+#else  // !EFAC_HAVE_PCLMUL_KERNEL
+
+CrcBackend probe_x86_backend() noexcept { return CrcBackend{}; }
+
+#endif
+
+}  // namespace efac::checksum::detail

@@ -1,0 +1,167 @@
+// A scheduled simulator event: a (time, sequence) key plus a tagged small
+// callable.
+//
+// The fast case — the vast majority of traffic: delays elapsing, verb
+// completions, sync-primitive wake-ups — is a bare coroutine handle: one
+// pointer in the inline buffer and a null ops table, so construction,
+// moves and dispatch never allocate or make an indirect call beyond the
+// resumption itself.
+//
+// Plain callbacks are stored in the same inline buffer when they fit
+// (kInlineBytes covers every callback the library schedules, including
+// RDMA message delivery with its ~56-byte captured payload); oversized or
+// over-aligned callables are boxed on the heap exactly once. This replaces
+// the previous std::function member, which heap-allocated for any capture
+// beyond two pointers.
+//
+// Destroying an un-fired event releases callback state but never destroys
+// coroutine frames — those are owned by their root tasks (see Simulator).
+#pragma once
+
+#include <coroutine>
+#include <cstdint>
+#include <cstring>
+#include <memory>
+#include <new>
+#include <type_traits>
+#include <utility>
+
+#include "common/types.hpp"
+
+namespace efac::sim {
+
+class Event {
+ public:
+  static constexpr std::size_t kInlineBytes = 56;
+  static constexpr std::size_t kInlineAlign = 16;
+
+  [[nodiscard]] static Event coroutine(SimTime t, std::uint64_t seq,
+                                       std::coroutine_handle<> h) noexcept {
+    Event e{t, seq};
+    ::new (static_cast<void*>(e.buf_)) void*(h.address());
+    return e;
+  }
+
+  template <typename F>
+  [[nodiscard]] static Event callback(SimTime t, std::uint64_t seq, F&& fn) {
+    using Callable = std::decay_t<F>;
+    Event e{t, seq};
+    if constexpr (sizeof(Callable) <= kInlineBytes &&
+                  alignof(Callable) <= kInlineAlign &&
+                  std::is_nothrow_move_constructible_v<Callable>) {
+      ::new (static_cast<void*>(e.buf_)) Callable(std::forward<F>(fn));
+      e.ops_ = &InlineOps<Callable>::kOps;
+    } else {
+      ::new (static_cast<void*>(e.buf_))
+          Callable*(new Callable(std::forward<F>(fn)));
+      e.ops_ = &BoxedOps<Callable>::kOps;
+    }
+    return e;
+  }
+
+  Event() noexcept = default;
+  Event(Event&& other) noexcept : t_(other.t_), seq_(other.seq_) {
+    take_payload(other);
+  }
+  Event& operator=(Event&& other) noexcept {
+    if (this != &other) {
+      reset();
+      t_ = other.t_;
+      seq_ = other.seq_;
+      take_payload(other);
+    }
+    return *this;
+  }
+  Event(const Event&) = delete;
+  Event& operator=(const Event&) = delete;
+  ~Event() { reset(); }
+
+  [[nodiscard]] SimTime time() const noexcept { return t_; }
+  [[nodiscard]] std::uint64_t seq() const noexcept { return seq_; }
+
+  /// Resume the coroutine or invoke the callback. Consumes callback state;
+  /// an event must not be fired twice.
+  void fire() {
+    if (ops_ != nullptr) {
+      const Ops* ops = std::exchange(ops_, nullptr);
+      ops->invoke_destroy(buf_);  // destroys state even if the call throws
+    } else {
+      void* address;
+      std::memcpy(&address, buf_, sizeof(address));
+      std::coroutine_handle<>::from_address(address).resume();
+    }
+  }
+
+ private:
+  struct Ops {
+    void (*invoke_destroy)(void* buf);
+    void (*relocate)(void* dst, void* src) noexcept;
+    void (*destroy)(void* buf) noexcept;
+  };
+
+  template <typename F>
+  struct InlineOps {
+    static F* at(void* buf) noexcept {
+      return std::launder(reinterpret_cast<F*>(buf));
+    }
+    static void invoke_destroy(void* buf) {
+      F* fn = at(buf);
+      struct Guard {
+        F* fn;
+        ~Guard() { fn->~F(); }
+      } guard{fn};
+      (*fn)();
+    }
+    static void relocate(void* dst, void* src) noexcept {
+      F* from = at(src);
+      ::new (dst) F(std::move(*from));
+      from->~F();
+    }
+    static void destroy(void* buf) noexcept { at(buf)->~F(); }
+    static constexpr Ops kOps{&invoke_destroy, &relocate, &destroy};
+  };
+
+  template <typename F>
+  struct BoxedOps {
+    static F* owner(void* buf) noexcept {
+      F* fn;
+      std::memcpy(&fn, buf, sizeof(fn));
+      return fn;
+    }
+    static void invoke_destroy(void* buf) {
+      std::unique_ptr<F> fn{owner(buf)};
+      (*fn)();
+    }
+    static void relocate(void* dst, void* src) noexcept {
+      std::memcpy(dst, src, sizeof(F*));
+    }
+    static void destroy(void* buf) noexcept { delete owner(buf); }
+    static constexpr Ops kOps{&invoke_destroy, &relocate, &destroy};
+  };
+
+  Event(SimTime t, std::uint64_t seq) noexcept : t_(t), seq_(seq) {}
+
+  void take_payload(Event& other) noexcept {
+    if (other.ops_ != nullptr) {
+      ops_ = std::exchange(other.ops_, nullptr);
+      ops_->relocate(buf_, other.buf_);
+    } else {
+      ops_ = nullptr;
+      std::memcpy(buf_, other.buf_, sizeof(void*));  // coroutine handle
+    }
+  }
+
+  void reset() noexcept {
+    if (ops_ != nullptr) {
+      ops_->destroy(buf_);
+      ops_ = nullptr;
+    }
+  }
+
+  SimTime t_ = 0;
+  std::uint64_t seq_ = 0;
+  const Ops* ops_ = nullptr;  ///< null: buf_ holds a coroutine handle
+  alignas(kInlineAlign) unsigned char buf_[kInlineBytes];
+};
+
+}  // namespace efac::sim

@@ -1,10 +1,19 @@
 #include "sim/simulator.hpp"
 
-#include "common/assert.hpp"
+#include <algorithm>
+#include <utility>
 
 namespace efac::sim {
 
 namespace {
+
+constexpr std::uint64_t kFnvPrime = 0x100000001b3ull;
+
+/// Strict-weak order on the far heap: earliest (time, seq) at the root.
+bool event_less(const Event& a, const Event& b) noexcept {
+  if (a.time() != b.time()) return a.time() < b.time();
+  return a.seq() < b.seq();
+}
 
 /// Eager, self-destroying coroutine used to drive a detached Task<void>.
 /// Suspends at the start so the Simulator can register the root frame
@@ -37,27 +46,92 @@ DetachedDriver drive(Simulator& sim, Task<void> task, std::uint64_t id) {
 
 }  // namespace
 
+Simulator::Simulator() : wheel_(kWheelSpan) {}
+
 Simulator::~Simulator() {
-  // Destroy the queue first: its handles point into frames owned (directly
-  // or transitively) by the root frames below, and become dangling once
-  // those are destroyed.
-  while (!queue_.empty()) queue_.pop();
+  // Drop the queued events first: their handles point into frames owned
+  // (directly or transitively) by the root frames below, and become
+  // dangling once those are destroyed.
+  for (std::vector<Event>& bucket : wheel_) bucket.clear();
+  far_.clear();
   for (auto& [id, handle] : roots_) {
     handle.destroy();  // recursively destroys children via Task destructors
   }
   roots_.clear();
 }
 
-void Simulator::schedule_at(SimTime t, std::coroutine_handle<> h) {
-  EFAC_CHECK_MSG(t >= now_, "scheduling into the past");
-  EFAC_CHECK(h);
-  queue_.push(Event{t, next_seq_++, h, nullptr});
+void Simulator::enqueue(Event&& e) {
+  ++pending_;
+  if (e.time() - now_ < kWheelSpan) {
+    // One bucket == one instant within the horizon, so appending keeps the
+    // bucket in (time, seq) order by construction.
+    const std::size_t idx = static_cast<std::size_t>(e.time()) & kWheelMask;
+    wheel_[idx].push_back(std::move(e));
+    occupancy_.set(idx);
+  } else {
+    far_.push_back(std::move(e));
+    sift_up_far(far_.size() - 1);
+  }
 }
 
-void Simulator::call_at(SimTime t, std::function<void()> fn) {
-  EFAC_CHECK_MSG(t >= now_, "scheduling into the past");
-  EFAC_CHECK(fn != nullptr);
-  queue_.push(Event{t, next_seq_++, nullptr, std::move(fn)});
+void Simulator::sift_up_far(std::size_t i) {
+  Event e = std::move(far_[i]);
+  while (i > 0) {
+    const std::size_t parent = (i - 1) >> 2;
+    if (!event_less(e, far_[parent])) break;
+    far_[i] = std::move(far_[parent]);
+    i = parent;
+  }
+  far_[i] = std::move(e);
+}
+
+Event Simulator::pop_far() {
+  Event out = std::move(far_.front());
+  Event last = std::move(far_.back());
+  far_.pop_back();
+  if (!far_.empty()) {
+    std::size_t i = 0;
+    for (;;) {
+      const std::size_t first = (i << 2) + 1;
+      if (first >= far_.size()) break;
+      std::size_t best = first;
+      const std::size_t end = std::min(first + 4, far_.size());
+      for (std::size_t c = first + 1; c < end; ++c) {
+        if (event_less(far_[c], far_[best])) best = c;
+      }
+      if (!event_less(far_[best], last)) break;
+      far_[i] = std::move(far_[best]);
+      i = best;
+    }
+    far_[i] = std::move(last);
+  }
+  return out;
+}
+
+void Simulator::close_active_bucket() {
+  wheel_[active_bucket_].clear();  // keeps capacity for reuse
+  occupancy_.clear(active_bucket_);
+  active_bucket_ = kNoBucket;
+}
+
+SimTime Simulator::peek_time() {
+  if (active_bucket_ != kNoBucket) {
+    // The active bucket holds events at exactly now_ (the instant being
+    // drained); the far heap cannot hold anything earlier or equal (see
+    // step_one's heap-first rule).
+    if (active_cursor_ < wheel_[active_bucket_].size()) return now_;
+    close_active_bucket();
+  }
+  const std::size_t start = static_cast<std::size_t>(now_) & kWheelMask;
+  const std::size_t idx = occupancy_.find_wrapped(start);
+  SimTime bucket_time = kNoTime;
+  if (idx != Occupancy::npos) {
+    bucket_time = now_ + static_cast<SimTime>((idx - start) & kWheelMask);
+  }
+  if (!far_.empty() && far_.front().time() < bucket_time) {
+    return far_.front().time();
+  }
+  return bucket_time;
 }
 
 void Simulator::spawn(Task<void> task) {
@@ -82,20 +156,56 @@ void Simulator::maybe_rethrow() {
 }
 
 void Simulator::dispatch(Event& e) {
-  now_ = e.t;
+  now_ = e.time();
   ++events_processed_;
-  if (e.handle) {
-    e.handle.resume();
-  } else {
-    e.callback();
+  --pending_;
+  dispatch_hash_ = (dispatch_hash_ ^ e.time()) * kFnvPrime;
+  dispatch_hash_ = (dispatch_hash_ ^ e.seq()) * kFnvPrime;
+  e.fire();
+}
+
+bool Simulator::step_one() {
+  // Fast path: keep draining the bucket for the current instant. Events
+  // appended to it during dispatch (delay(0), sync wake-ups) are picked up
+  // by the cursor; re-index every access because the vector may grow.
+  if (active_bucket_ != kNoBucket) {
+    if (active_cursor_ < wheel_[active_bucket_].size()) {
+      Event e = std::move(wheel_[active_bucket_][active_cursor_++]);
+      ++fast_path_;
+      dispatch(e);
+      return true;
+    }
+    close_active_bucket();
   }
+
+  const std::size_t start = static_cast<std::size_t>(now_) & kWheelMask;
+  const std::size_t idx = occupancy_.find_wrapped(start);
+  SimTime bucket_time = kNoTime;
+  if (idx != Occupancy::npos) {
+    bucket_time = now_ + static_cast<SimTime>((idx - start) & kWheelMask);
+  }
+
+  // Heap-first at ties: a far event at time T was scheduled while
+  // T - now >= kWheelSpan, i.e. strictly before any wheel event at T could
+  // be scheduled, so its sequence number is smaller.
+  if (!far_.empty() && far_.front().time() <= bucket_time) {
+    Event e = pop_far();
+    ++heap_fallback_;
+    dispatch(e);
+    return true;
+  }
+  if (bucket_time == kNoTime) return false;
+
+  active_bucket_ = idx;
+  active_cursor_ = 1;
+  Event e = std::move(wheel_[idx].front());
+  ++fast_path_;
+  dispatch(e);
+  return true;
 }
 
 bool Simulator::step() {
-  if (queue_.empty()) return false;
-  Event e = queue_.top();
-  queue_.pop();
-  dispatch(e);
+  if (!step_one()) return false;
   maybe_rethrow();
   return true;
 }
@@ -109,10 +219,10 @@ std::size_t Simulator::run() {
 std::size_t Simulator::run_until(SimTime deadline) {
   EFAC_CHECK_MSG(deadline >= now_, "run_until into the past");
   std::size_t n = 0;
-  while (!queue_.empty() && queue_.top().t <= deadline) {
-    Event e = queue_.top();
-    queue_.pop();
-    dispatch(e);
+  for (;;) {
+    const SimTime t = peek_time();
+    if (t == kNoTime || t > deadline) break;
+    step_one();
     maybe_rethrow();
     ++n;
   }

@@ -1,9 +1,27 @@
 // Deterministic discrete-event simulator with a virtual nanosecond clock.
 //
-// The Simulator owns a time-ordered event queue. Events are either coroutine
-// resumptions (the common case: a delay elapsing, a verb completing) or
-// plain callbacks. Two events scheduled for the same instant fire in FIFO
-// order of scheduling, which makes every run bit-reproducible.
+// The Simulator owns a time-ordered event queue. Events are either
+// coroutine resumptions (the common case: a delay elapsing, a verb
+// completing) or plain callbacks, stored as allocation-free tagged small
+// callables (see sim/event.hpp). Two events scheduled for the same instant
+// fire in FIFO order of scheduling, which makes every run bit-reproducible;
+// dispatch_hash() folds the dispatch order into a checksum so tests can
+// prove it.
+//
+// The queue is two-level, tuned for the simulation's actual deadline
+// distribution (fixed RDMA/NVM latencies a few microseconds out):
+//
+//   * a bucket wheel of kWheelSpan one-nanosecond buckets covering
+//     [now, now + kWheelSpan): O(1) insert, O(1) next-event lookup via a
+//     hierarchical occupancy bitmap, in-order append within a bucket (one
+//     bucket == one instant, so append order IS (time, seq) order);
+//   * a 4-ary min-heap on (time, seq) for far timers (object timeouts,
+//     settle periods) beyond the wheel horizon.
+//
+// Far events are dispatched straight from the heap when due. At an instant
+// present in both structures the heap drains first: a heap event at time T
+// was necessarily scheduled while T - now >= kWheelSpan, i.e. before any
+// wheel event at T, so heap-first preserves global same-time FIFO.
 //
 // Actors are coroutines returning sim::Task<>; detached root actors are
 // started with spawn(). The Simulator tracks unfinished root frames and
@@ -11,22 +29,29 @@
 // background-thread loop stopped by run_until) do not leak.
 #pragma once
 
+#include <array>
+#include <bit>
 #include <coroutine>
 #include <cstdint>
 #include <exception>
-#include <functional>
-#include <queue>
+#include <type_traits>
 #include <unordered_map>
 #include <vector>
 
+#include "common/assert.hpp"
 #include "common/types.hpp"
+#include "sim/event.hpp"
 #include "sim/task.hpp"
 
 namespace efac::sim {
 
 class Simulator {
  public:
-  Simulator() = default;
+  /// Wheel horizon in nanoseconds (and buckets: one bucket per ns).
+  static constexpr std::size_t kWheelBits = 13;
+  static constexpr std::size_t kWheelSpan = std::size_t{1} << kWheelBits;
+
+  Simulator();
   Simulator(const Simulator&) = delete;
   Simulator& operator=(const Simulator&) = delete;
   ~Simulator();
@@ -35,19 +60,33 @@ class Simulator {
   [[nodiscard]] SimTime now() const noexcept { return now_; }
 
   /// Schedule a coroutine resumption at absolute virtual time `t` (>= now).
-  void schedule_at(SimTime t, std::coroutine_handle<> h);
+  void schedule_at(SimTime t, std::coroutine_handle<> h) {
+    EFAC_CHECK_MSG(t >= now_, "scheduling into the past");
+    EFAC_CHECK(h);
+    enqueue(Event::coroutine(t, next_seq_++, h));
+  }
 
   /// Schedule a coroutine resumption `d` ns from now.
   void schedule_after(SimDuration d, std::coroutine_handle<> h) {
     schedule_at(now_ + d, h);
   }
 
-  /// Schedule a plain callback at absolute virtual time `t`.
-  void call_at(SimTime t, std::function<void()> fn);
+  /// Schedule a plain callback at absolute virtual time `t`. Any callable;
+  /// small captures are stored inline in the event (no allocation).
+  template <typename F>
+  void call_at(SimTime t, F&& fn) {
+    static_assert(std::is_invocable_v<std::decay_t<F>&>);
+    EFAC_CHECK_MSG(t >= now_, "scheduling into the past");
+    if constexpr (std::is_constructible_v<bool, const std::decay_t<F>&>) {
+      EFAC_CHECK(static_cast<bool>(fn));  // e.g. an empty std::function
+    }
+    enqueue(Event::callback(t, next_seq_++, std::forward<F>(fn)));
+  }
 
   /// Schedule a plain callback `d` ns from now.
-  void call_after(SimDuration d, std::function<void()> fn) {
-    call_at(now_ + d, std::move(fn));
+  template <typename F>
+  void call_after(SimDuration d, F&& fn) {
+    call_at(now_ + d, std::forward<F>(fn));
   }
 
   /// Start a detached root actor. Runs synchronously until its first
@@ -72,7 +111,7 @@ class Simulator {
 
   /// Number of events waiting in the queue.
   [[nodiscard]] std::size_t pending_events() const noexcept {
-    return queue_.size();
+    return pending_;
   }
 
   /// Total events processed since construction.
@@ -80,32 +119,117 @@ class Simulator {
     return events_processed_;
   }
 
+  /// Events dispatched from the bucket wheel (near-future fast path).
+  [[nodiscard]] std::uint64_t fast_path_dispatches() const noexcept {
+    return fast_path_;
+  }
+
+  /// Events dispatched from the far-timer 4-ary heap.
+  [[nodiscard]] std::uint64_t heap_fallback_dispatches() const noexcept {
+    return heap_fallback_;
+  }
+
+  /// Order-sensitive FNV-1a fold of every dispatched (time, seq) pair.
+  /// Two runs of the same seeded workload must produce identical hashes —
+  /// the determinism test's witness for the scheduler rewrite.
+  [[nodiscard]] std::uint64_t dispatch_hash() const noexcept {
+    return dispatch_hash_;
+  }
+
   /// Used by the detached-task driver; not for general use.
   void record_detached_exception(std::exception_ptr e) noexcept;
   void root_finished(std::uint64_t id) noexcept { roots_.erase(id); }
 
  private:
-  struct Event {
-    SimTime t;
-    std::uint64_t seq;
-    std::coroutine_handle<> handle;   // exactly one of handle / callback set
-    std::function<void()> callback;
-  };
-  struct EventLater {
-    bool operator()(const Event& a, const Event& b) const noexcept {
-      if (a.t != b.t) return a.t > b.t;
-      return a.seq > b.seq;
+  static constexpr std::size_t kWheelMask = kWheelSpan - 1;
+  static constexpr std::size_t kNoBucket = ~std::size_t{0};
+  static constexpr SimTime kNoTime = ~SimTime{0};
+
+  /// Hierarchical occupancy bitmap over the wheel: find-next-set-bit in a
+  /// handful of word operations regardless of how sparse the timeline is.
+  class Occupancy {
+   public:
+    static constexpr std::size_t npos = ~std::size_t{0};
+
+    void set(std::size_t i) noexcept {
+      l0_[i >> 6] |= bit(i & 63);
+      l1_[i >> 12] |= bit((i >> 6) & 63);
+      l2_ |= bit(i >> 12);
     }
+    void clear(std::size_t i) noexcept {
+      const std::size_t w = i >> 6;
+      if ((l0_[w] &= ~bit(i & 63)) == 0) {
+        const std::size_t g = w >> 6;
+        if ((l1_[g] &= ~bit(w & 63)) == 0) l2_ &= ~bit(g);
+      }
+    }
+    /// Lowest set index >= start, or npos.
+    [[nodiscard]] std::size_t find_from(std::size_t start) const noexcept {
+      const std::size_t w0 = start >> 6;
+      if (const std::uint64_t word = l0_[w0] & (~std::uint64_t{0}
+                                                << (start & 63))) {
+        return (w0 << 6) + static_cast<std::size_t>(std::countr_zero(word));
+      }
+      const std::size_t g0 = w0 >> 6;
+      if (const std::uint64_t gw = l1_[g0] & bits_above(w0 & 63)) {
+        const std::size_t w =
+            (g0 << 6) + static_cast<std::size_t>(std::countr_zero(gw));
+        return (w << 6) + static_cast<std::size_t>(std::countr_zero(l0_[w]));
+      }
+      if (const std::uint64_t top = l2_ & bits_above(g0)) {
+        const std::size_t g = static_cast<std::size_t>(std::countr_zero(top));
+        const std::size_t w =
+            (g << 6) + static_cast<std::size_t>(std::countr_zero(l1_[g]));
+        return (w << 6) + static_cast<std::size_t>(std::countr_zero(l0_[w]));
+      }
+      return npos;
+    }
+    /// Lowest set index in cyclic order starting from `start`, or npos.
+    [[nodiscard]] std::size_t find_wrapped(std::size_t start) const noexcept {
+      const std::size_t i = find_from(start);
+      if (i != npos || start == 0) return i;
+      return find_from(0);
+    }
+
+   private:
+    static constexpr std::uint64_t bit(std::size_t b) noexcept {
+      return std::uint64_t{1} << b;
+    }
+    /// Bits strictly above position b (empty mask for b == 63).
+    static constexpr std::uint64_t bits_above(std::size_t b) noexcept {
+      return b >= 63 ? 0 : ~std::uint64_t{0} << (b + 1);
+    }
+
+    std::array<std::uint64_t, kWheelSpan / 64> l0_{};
+    std::array<std::uint64_t, kWheelSpan / 4096> l1_{};
+    std::uint64_t l2_ = 0;
   };
 
+  void enqueue(Event&& e);
+  bool step_one();
+  /// Timestamp of the next event (kNoTime if none). Closes an exhausted
+  /// active bucket as a side effect, hence non-const.
+  SimTime peek_time();
+  void close_active_bucket();
+  Event pop_far();
+  void sift_up_far(std::size_t i);
   void dispatch(Event& e);
   void maybe_rethrow();
 
-  std::priority_queue<Event, std::vector<Event>, EventLater> queue_;
+  std::vector<std::vector<Event>> wheel_;  ///< one bucket per ns of horizon
+  Occupancy occupancy_;
+  std::vector<Event> far_;  ///< 4-ary min-heap on (time, seq)
+  std::size_t pending_ = 0;
+  std::size_t active_bucket_ = kNoBucket;  ///< bucket being drained
+  std::size_t active_cursor_ = 0;          ///< next event within it
+
   SimTime now_ = 0;
   std::uint64_t next_seq_ = 0;
   std::uint64_t next_root_id_ = 0;
   std::uint64_t events_processed_ = 0;
+  std::uint64_t fast_path_ = 0;
+  std::uint64_t heap_fallback_ = 0;
+  std::uint64_t dispatch_hash_ = 0xcbf29ce484222325ull;  // FNV-1a offset
   std::unordered_map<std::uint64_t, std::coroutine_handle<>> roots_;
   std::exception_ptr pending_exception_;
 };

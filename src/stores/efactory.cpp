@@ -30,11 +30,6 @@ std::unique_ptr<KvClient> EFactoryStore::make_client(ClientOptions options) {
   return std::make_unique<EFactoryClient>(*this, options);
 }
 
-std::unique_ptr<KvClient> EFactoryStore::make_client(bool hybrid_read) {
-  return make_client(ClientOptions{
-      hybrid_read ? ReadMode::kHybrid : ReadMode::kRpcOnly, true});
-}
-
 void EFactoryStore::start_extras() {
   sim_.spawn(background_loop());
 }

@@ -40,12 +40,6 @@ class EFactoryStore final : public StoreBase {
   [[nodiscard]] std::unique_ptr<KvClient> make_client(
       ClientOptions options = {});
 
-  /// Transitional shim for the old bool-parameter factory. No default
-  /// argument on purpose: `make_client()` must resolve to the options
-  /// overload.
-  [[deprecated("use make_client(ClientOptions) instead")]] [[nodiscard]]
-  std::unique_ptr<KvClient> make_client(bool hybrid_read);
-
   [[nodiscard]] Expected<Bytes> recover_get(BytesView key) override;
 
   /// Outcome of a full server restart (see recover()).

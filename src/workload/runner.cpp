@@ -4,6 +4,7 @@
 #include <memory>
 #include <vector>
 
+#include "checksum/crc32.hpp"
 #include "stores/efactory.hpp"
 
 namespace efac::workload {
@@ -83,6 +84,13 @@ void run_sim_until(sim::Simulator& sim, Pred done) {
 
 RunResult run_workload(sim::Simulator& sim, stores::Cluster& cluster,
                        const RunOptions& options) {
+  // Snapshot the engine counters up front so the exported metrics are
+  // per-run deltas: the CRC counters are process-global, and a repeated
+  // seeded run must export byte-identical numbers (determinism test).
+  const std::uint64_t fast0 = sim.fast_path_dispatches();
+  const std::uint64_t heap0 = sim.heap_fallback_dispatches();
+  const checksum::CrcCounters crc0 = checksum::crc_counters();
+
   Workload workload{options.workload};
   cluster.start();
 
@@ -155,6 +163,14 @@ RunResult run_workload(sim::Simulator& sim, stores::Cluster& cluster,
     result.metrics.merge_from(client->metrics());
   }
   result.metrics.merge_from(cluster.store->metrics());
+
+  const checksum::CrcCounters crc1 = checksum::crc_counters();
+  result.metrics.counter("sim.events.fast_path") +=
+      sim.fast_path_dispatches() - fast0;
+  result.metrics.counter("sim.events.heap_fallback") +=
+      sim.heap_fallback_dispatches() - heap0;
+  result.metrics.counter("crc.hw_bytes") += crc1.hw_bytes - crc0.hw_bytes;
+  result.metrics.counter("crc.sw_bytes") += crc1.sw_bytes - crc0.sw_bytes;
   return result;
 }
 

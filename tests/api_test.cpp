@@ -116,21 +116,6 @@ TEST(ClientOptionsApi, NoHrClusterHonoursAnExplicitHybridRequest) {
   EXPECT_EQ(client->stats().gets_pure_rdma, 1u);
 }
 
-TEST(ClientOptionsApi, DeprecatedBoolShimStillWorks) {
-  testutil::TestCluster tc{SystemKind::kEFactory};
-  auto* store = dynamic_cast<EFactoryStore*>(tc.cluster.store.get());
-  ASSERT_NE(store, nullptr);
-#if defined(__GNUC__) || defined(__clang__)
-#pragma GCC diagnostic push
-#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
-#endif
-  auto client = store->make_client(/*hybrid_read=*/false);
-#if defined(__GNUC__) || defined(__clang__)
-#pragma GCC diagnostic pop
-#endif
-  EXPECT_EQ(client->options().read_mode, ReadMode::kRpcOnly);
-}
-
 TEST(ClientOptionsApi, TracesOnByDefaultAndOffWhenDisabled) {
   testutil::TestCluster tc{SystemKind::kErda};
   tc.client->set_size_hint(1, 64);

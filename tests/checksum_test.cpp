@@ -90,6 +90,94 @@ TEST(Crc32, SliceBoundaryLengths) {
   }
 }
 
+// ------------------------------------------------- hardware/software agree
+
+TEST(Crc32Dispatch, BackendNameMatchesAvailability) {
+  if (crc32_hw_available()) {
+    EXPECT_STRNE(crc32_backend(), "portable");
+  } else {
+    EXPECT_STREQ(crc32_backend(), "portable");
+  }
+}
+
+TEST(Crc32Dispatch, KnownVectorsOnEveryPath) {
+  const Bytes data = to_bytes("123456789");
+  EXPECT_EQ(crc32_software(data), 0xCBF43926u);
+  EXPECT_EQ(crc32_hardware(data), 0xCBF43926u);
+  const Bytes zeros(32, 0);
+  EXPECT_EQ(crc32_software(zeros), 0x190A55ADu);
+  EXPECT_EQ(crc32_hardware(zeros), 0x190A55ADu);
+  // Large enough that the dispatched path takes the hardware kernel when
+  // one exists: 256 zero bytes.
+  const Bytes big_zeros(256, 0);
+  EXPECT_EQ(crc32(big_zeros), crc32_software(big_zeros));
+}
+
+TEST(Crc32Dispatch, HardwareMatchesSoftwareAcrossSizes) {
+  // Every length 0..4 KiB, dense near the fold/tail boundaries.
+  Rng rng{59};
+  Bytes buf(4096);
+  for (auto& b : buf) b = static_cast<std::uint8_t>(rng());
+  for (std::size_t len = 0; len <= buf.size();
+       len += (len < 160 ? 1 : 131)) {
+    const BytesView view{buf.data(), len};
+    const std::uint32_t sw = crc32_software(view);
+    EXPECT_EQ(crc32_hardware(view), sw) << "len=" << len;
+    EXPECT_EQ(crc32(view), sw) << "len=" << len;
+  }
+}
+
+TEST(Crc32Dispatch, HardwareMatchesSoftwareAtUnalignedOffsets) {
+  // Slice a larger buffer at every offset 0..16 so the vector kernel sees
+  // genuinely misaligned loads, with random lengths and seeds.
+  Rng rng{61};
+  Bytes buf(8192);
+  for (auto& b : buf) b = static_cast<std::uint8_t>(rng());
+  for (std::size_t offset = 0; offset <= 16; ++offset) {
+    for (int trial = 0; trial < 32; ++trial) {
+      const std::size_t len = rng.next_below(4097);  // 0..4096 inclusive
+      const auto seed = static_cast<std::uint32_t>(rng());
+      const BytesView view{buf.data() + offset, len};
+      EXPECT_EQ(crc32_hardware(view, seed), crc32_software(view, seed))
+          << "offset=" << offset << " len=" << len << " seed=" << seed;
+    }
+  }
+}
+
+TEST(Crc32Dispatch, IncrementalAcrossMixedKernels) {
+  // A CRC continued from a software-computed prefix through the hardware
+  // kernel (and vice versa) must match the one-shot value.
+  Rng rng{67};
+  Bytes data(3000);
+  for (auto& b : data) b = static_cast<std::uint8_t>(rng());
+  const std::uint32_t whole = crc32_software(data);
+  for (std::size_t split : {1u, 63u, 64u, 65u, 1024u, 2999u}) {
+    const BytesView head{data.data(), split};
+    const BytesView tail{data.data() + split, data.size() - split};
+    EXPECT_EQ(crc32_hardware(tail, crc32_software(head)), whole)
+        << "sw->hw split at " << split;
+    EXPECT_EQ(crc32_software(tail, crc32_hardware(head)), whole)
+        << "hw->sw split at " << split;
+  }
+}
+
+TEST(Crc32Dispatch, CountersAttributeBytesToAKernel) {
+  const CrcCounters before = crc_counters();
+  Bytes big(1024, 7);
+  Bytes small(8, 7);
+  (void)crc32(big);
+  (void)crc32(small);
+  const CrcCounters after = crc_counters();
+  const std::uint64_t total =
+      (after.hw_bytes - before.hw_bytes) + (after.sw_bytes - before.sw_bytes);
+  EXPECT_EQ(total, big.size() + small.size());
+  if (crc32_hw_available()) {
+    EXPECT_GE(after.hw_bytes - before.hw_bytes, big.size());
+  } else {
+    EXPECT_EQ(after.hw_bytes, before.hw_bytes);
+  }
+}
+
 // ------------------------------------------------------------- cost model
 
 TEST(CrcCost, FourKikibyteCostMatchesPaper) {
