@@ -44,6 +44,9 @@ for b in build/bench/*; do
     bench_json_check) continue ;;  # validator CLI, needs a file argument
     engine_bench)
       [ "$SMOKE" -eq 1 ] && args+=(--smoke) ;;
+    fault_matrix)
+      # Reduced plan matrix; exits nonzero on any consistency violation.
+      [ "$SMOKE" -eq 1 ] && args+=(--smoke) ;;
     ablation_efactory)
       [ "$SMOKE" -eq 1 ] && args+=("--benchmark_filter=crc_rate/1.05") ;;
     fig11_log_cleaning)

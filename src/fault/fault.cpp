@@ -1,0 +1,249 @@
+#include "fault/fault.hpp"
+
+#include <charconv>
+#include <cstdlib>
+#include <sstream>
+#include <vector>
+
+namespace efac::fault {
+namespace {
+
+constexpr const char* kSiteNames[kSiteCount] = {
+    "write_torn",     "write_drop_completion",
+    "write_duplicate", "send_drop",
+    "send_delay",     "send_duplicate",
+    "resp_drop",      "resp_delay",
+    "persist_drop",   "persist_delay",
+};
+
+[[nodiscard]] std::string_view trim(std::string_view s) {
+  while (!s.empty() && (s.front() == ' ' || s.front() == '\t')) {
+    s.remove_prefix(1);
+  }
+  while (!s.empty() && (s.back() == ' ' || s.back() == '\t' ||
+                        s.back() == '\r')) {
+    s.remove_suffix(1);
+  }
+  return s;
+}
+
+[[nodiscard]] bool parse_u64(std::string_view s, std::uint64_t& out) {
+  s = trim(s);
+  if (s.empty()) return false;
+  int base = 10;
+  if (s.size() > 2 && s[0] == '0' && (s[1] == 'x' || s[1] == 'X')) {
+    s.remove_prefix(2);
+    base = 16;
+  }
+  const auto [ptr, ec] =
+      std::from_chars(s.data(), s.data() + s.size(), out, base);
+  return ec == std::errc{} && ptr == s.data() + s.size();
+}
+
+[[nodiscard]] bool parse_f64(std::string_view s, double& out) {
+  s = trim(s);
+  if (s.empty()) return false;
+  // std::from_chars for double is not universally available; strtod on a
+  // bounded copy is fine for config-sized input.
+  std::string buf{s};
+  char* end = nullptr;
+  out = std::strtod(buf.c_str(), &end);
+  return end == buf.c_str() + buf.size();
+}
+
+[[nodiscard]] bool parse_bool(std::string_view s, bool& out) {
+  s = trim(s);
+  if (s == "true" || s == "1") {
+    out = true;
+    return true;
+  }
+  if (s == "false" || s == "0") {
+    out = false;
+    return true;
+  }
+  return false;
+}
+
+[[nodiscard]] Status bad_plan(std::string_view line, const char* why) {
+  return Status{StatusCode::kInvalidArgument,
+                std::string{"fault plan: "} + why + ": '" +
+                    std::string{line} + "'"};
+}
+
+/// Split on whitespace.
+[[nodiscard]] std::vector<std::string_view> tokens(std::string_view s) {
+  std::vector<std::string_view> out;
+  std::size_t i = 0;
+  while (i < s.size()) {
+    while (i < s.size() && (s[i] == ' ' || s[i] == '\t')) ++i;
+    std::size_t j = i;
+    while (j < s.size() && s[j] != ' ' && s[j] != '\t') ++j;
+    if (j > i) out.push_back(s.substr(i, j - i));
+    i = j;
+  }
+  return out;
+}
+
+}  // namespace
+
+const char* to_string(Site site) noexcept {
+  const auto i = static_cast<std::size_t>(site);
+  return i < kSiteCount ? kSiteNames[i] : "unknown";
+}
+
+bool site_from_string(std::string_view name, Site& out) noexcept {
+  for (std::size_t i = 0; i < kSiteCount; ++i) {
+    if (name == kSiteNames[i]) {
+      out = static_cast<Site>(i);
+      return true;
+    }
+  }
+  return false;
+}
+
+bool FaultPlan::empty() const noexcept {
+  if (crash_at_ns != 0) return false;
+  for (const FaultSpec& spec : sites) {
+    if (spec.active()) return false;
+  }
+  return true;
+}
+
+Expected<FaultPlan> FaultPlan::parse(std::string_view text) {
+  FaultPlan plan;
+  std::size_t pos = 0;
+  while (pos <= text.size()) {
+    const std::size_t nl = text.find('\n', pos);
+    std::string_view line = text.substr(
+        pos, nl == std::string_view::npos ? text.size() - pos : nl - pos);
+    pos = nl == std::string_view::npos ? text.size() + 1 : nl + 1;
+    line = trim(line);
+    if (line.empty() || line.front() == '#') continue;
+
+    if (line.substr(0, 6) == "fault ") {
+      const std::vector<std::string_view> parts = tokens(line.substr(6));
+      if (parts.empty()) return bad_plan(line, "missing site");
+      Site site{};
+      if (!site_from_string(parts[0], site)) {
+        return bad_plan(line, "unknown site");
+      }
+      FaultSpec& spec = plan.at(site);
+      for (std::size_t i = 1; i < parts.size(); ++i) {
+        const std::string_view kv = parts[i];
+        const std::size_t eq = kv.find('=');
+        if (eq == std::string_view::npos) return bad_plan(line, "expected k=v");
+        const std::string_view k = kv.substr(0, eq);
+        const std::string_view v = kv.substr(eq + 1);
+        std::uint64_t u = 0;
+        double d = 0.0;
+        if (k == "p" && parse_f64(v, d)) {
+          spec.probability = d;
+        } else if (k == "every" && parse_u64(v, u)) {
+          spec.period = u;
+        } else if (k == "phase" && parse_u64(v, u)) {
+          spec.phase = u;
+        } else if (k == "skip" && parse_u64(v, u)) {
+          spec.skip = u;
+        } else if (k == "max" && parse_u64(v, u)) {
+          spec.max_fires = u;
+        } else if (k == "mag" && parse_f64(v, d)) {
+          spec.magnitude = d;
+        } else if (k == "delay_us" && parse_u64(v, u)) {
+          spec.delay_ns =
+              static_cast<SimDuration>(u) * timeconst::kMicrosecond;
+        } else if (k == "delay_ns" && parse_u64(v, u)) {
+          spec.delay_ns = static_cast<SimDuration>(u);
+        } else {
+          return bad_plan(line, "bad fault parameter");
+        }
+      }
+      continue;
+    }
+
+    const std::size_t eq = line.find('=');
+    if (eq == std::string_view::npos) return bad_plan(line, "expected key = value");
+    const std::string_view key = trim(line.substr(0, eq));
+    const std::string_view value = trim(line.substr(eq + 1));
+    std::uint64_t u = 0;
+    bool b = false;
+    if (key == "name") {
+      plan.name = std::string{value};
+    } else if (key == "seed" && parse_u64(value, u)) {
+      plan.seed = u;
+    } else if (key == "crash_at_ns" && parse_u64(value, u)) {
+      plan.crash_at_ns = static_cast<SimTime>(u);
+    } else if (key == "crash_at_us" && parse_u64(value, u)) {
+      plan.crash_at_ns =
+          static_cast<SimTime>(u) * timeconst::kMicrosecond;
+    } else if (key == "restart" && parse_bool(value, b)) {
+      plan.restart = b;
+    } else if (key == "compromises_durability" && parse_bool(value, b)) {
+      plan.compromises_durability = b;
+    } else {
+      return bad_plan(line, "unknown key");
+    }
+  }
+  return plan;
+}
+
+std::string FaultPlan::encode() const {
+  std::ostringstream out;
+  out << "name = " << name << "\n";
+  out << "seed = " << seed << "\n";
+  if (crash_at_ns != 0) out << "crash_at_ns = " << crash_at_ns << "\n";
+  if (restart) out << "restart = true\n";
+  if (compromises_durability) out << "compromises_durability = true\n";
+  for (std::size_t i = 0; i < kSiteCount; ++i) {
+    const FaultSpec& spec = sites[i];
+    if (!spec.active()) continue;
+    out << "fault " << kSiteNames[i];
+    if (spec.probability > 0.0) out << " p=" << spec.probability;
+    if (spec.period != 0) out << " every=" << spec.period;
+    if (spec.phase != 0) out << " phase=" << spec.phase;
+    if (spec.skip != 0) out << " skip=" << spec.skip;
+    if (spec.max_fires != 0) out << " max=" << spec.max_fires;
+    out << " mag=" << spec.magnitude;
+    out << " delay_ns=" << spec.delay_ns;
+    out << "\n";
+  }
+  return std::move(out).str();
+}
+
+void Injector::configure(const FaultPlan& plan,
+                         metrics::MetricsRegistry& registry) {
+  plan_ = plan;
+  enabled_ = !plan.empty();
+  Rng root{plan.seed ^ 0xFA177EA57ULL};
+  for (std::size_t i = 0; i < kSiteCount; ++i) {
+    state_[i].rng = root.fork();
+    state_[i].occurrences = 0;
+    state_[i].fires = 0;
+    if (enabled_) {
+      state_[i].injected = &registry.counter(
+          std::string{"fault.injected."} + kSiteNames[i]);
+    }
+  }
+}
+
+bool Injector::fire(Site site) {
+  if (!enabled_) return false;
+  const FaultSpec& spec = plan_.at(site);
+  if (!spec.active()) return false;
+  SiteState& st = state_[static_cast<std::size_t>(site)];
+  const std::uint64_t occ = st.occurrences++;
+  // The Bernoulli draw happens on every counted occurrence so that the
+  // per-site RNG stream is a pure function of the occurrence index.
+  bool hit = spec.probability > 0.0 && st.rng.next_bool(spec.probability);
+  if (occ < spec.skip) return false;
+  if (spec.max_fires != 0 && st.fires >= spec.max_fires) return false;
+  if (!hit && spec.period != 0 &&
+      (occ - spec.skip) % spec.period == spec.phase % spec.period) {
+    hit = true;
+  }
+  if (!hit) return false;
+  ++st.fires;
+  if (st.injected != nullptr) ++*st.injected;
+  return true;
+}
+
+}  // namespace efac::fault

@@ -1,0 +1,156 @@
+// Deterministic fault injection for the simulated cluster.
+//
+// A FaultPlan names a set of injection sites (torn writes, lost WRITE
+// completions, RPC loss/delay, dropped persists, ...) and, per site, a
+// deterministic firing rule: every Nth occurrence (period/phase), a seeded
+// Bernoulli draw (probability), or both, bounded by skip/max_fires. Plans
+// are plain text (see parse()/encode() and docs/FAULTS.md) so a failing
+// CI run can be replayed from its BENCH_fault.json artifact.
+//
+// The Injector is consulted from the hot paths of the RDMA QP, the RPC
+// connection and the NVM arena. With no plan configured, enabled() is
+// false and every hook is a single predictable branch: no RNG draws, no
+// counters, no extra events — seeded clean runs stay bit-identical.
+//
+// Crash+restart is *not* an Injector site: whole-server crashes are driven
+// by the harness (bench/fault_matrix.cpp) from FaultPlan::crash_at_ns, via
+// StoreBase::crash()/restart(), because only the harness can re-create
+// clients and re-drive load afterwards.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+#include "common/rng.hpp"
+#include "common/status.hpp"
+#include "common/types.hpp"
+#include "metrics/metrics.hpp"
+
+namespace efac::fault {
+
+/// Where a fault can be injected. Keep to_string() in sync.
+enum class Site : std::uint8_t {
+  kWriteTorn = 0,         ///< awaited WRITE: payload truncated + ack lost
+  kWriteDropCompletion,   ///< awaited WRITE: data lands, ack lost
+  kWriteDuplicate,        ///< WRITE payload re-applied later (retransmit)
+  kSendDrop,              ///< two-sided SEND / IMM notification lost
+  kSendDelay,             ///< two-sided SEND / IMM notification delayed
+  kSendDuplicate,         ///< two-sided SEND delivered twice
+  kRespDrop,              ///< RPC response lost on the reverse path
+  kRespDelay,             ///< RPC response delayed on the reverse path
+  kPersistDrop,           ///< flush silently skipped (lost persist)
+  kPersistDelay,          ///< flush deferred by delay_ns
+  kCount,
+};
+
+inline constexpr std::size_t kSiteCount = static_cast<std::size_t>(Site::kCount);
+
+[[nodiscard]] const char* to_string(Site site) noexcept;
+/// Inverse of to_string(); returns false for unknown names.
+[[nodiscard]] bool site_from_string(std::string_view name, Site& out) noexcept;
+
+/// Firing rule for one site. A site fires on occurrence `i` (0-based,
+/// counted after `skip`) when `i % period == phase % period`, or when the
+/// per-site seeded RNG draws below `probability`; at most `max_fires`
+/// times (0 = unlimited).
+struct FaultSpec {
+  double probability = 0.0;
+  std::uint64_t period = 0;  ///< 0 disables the periodic rule
+  std::uint64_t phase = 0;
+  std::uint64_t skip = 0;    ///< ignore the first N occurrences entirely
+  std::uint64_t max_fires = 0;
+  /// Torn writes: fraction of the payload that still lands ([0, 1]).
+  double magnitude = 0.5;
+  /// Delay sites: extra latency; drop-completion sites: how long after the
+  /// normal completion instant the requester reports the timeout.
+  SimDuration delay_ns = 8 * timeconst::kMicrosecond;
+
+  [[nodiscard]] bool active() const noexcept {
+    return probability > 0.0 || period != 0;
+  }
+};
+
+/// A complete, reproducible fault scenario.
+struct FaultPlan {
+  std::string name = "clean";
+  std::uint64_t seed = 0xFA17;
+  /// Harness-driven whole-server power failure (0 = none).
+  SimTime crash_at_ns = 0;
+  /// After the crash, attempt StoreBase::restart() and keep driving load.
+  bool restart = false;
+  /// True for plans that may legitimately lose acknowledged-durable data
+  /// (lost persists); relaxes the durable-at-ack oracle in the harness.
+  bool compromises_durability = false;
+  std::array<FaultSpec, kSiteCount> sites{};
+
+  [[nodiscard]] FaultSpec& at(Site s) noexcept {
+    return sites[static_cast<std::size_t>(s)];
+  }
+  [[nodiscard]] const FaultSpec& at(Site s) const noexcept {
+    return sites[static_cast<std::size_t>(s)];
+  }
+  /// True when the plan injects nothing at all (pass-through).
+  [[nodiscard]] bool empty() const noexcept;
+
+  /// Parse the line-oriented plan format (see docs/FAULTS.md):
+  ///
+  ///   # comment
+  ///   name = torn-write
+  ///   seed = 0xF0
+  ///   crash_at_us = 350        (also: crash_at_ns)
+  ///   restart = true
+  ///   compromises_durability = false
+  ///   fault write_torn every=5 phase=1 mag=0.5
+  ///   fault resp_drop p=0.05 skip=2 max=10 delay_us=40
+  [[nodiscard]] static Expected<FaultPlan> parse(std::string_view text);
+  /// Serialize back to the parse() format (round-trips).
+  [[nodiscard]] std::string encode() const;
+};
+
+/// Per-cluster fault decision engine. One per StoreBase; reached from the
+/// QP/RPC hot paths through the Fabric and from the arena directly.
+class Injector {
+ public:
+  Injector() = default;
+  Injector(const Injector&) = delete;
+  Injector& operator=(const Injector&) = delete;
+
+  /// Arm the injector. Registers one `fault.injected.<site>` counter per
+  /// site in `registry`. Calling with an empty plan leaves it disabled.
+  void configure(const FaultPlan& plan, metrics::MetricsRegistry& registry);
+
+  [[nodiscard]] bool enabled() const noexcept { return enabled_; }
+  [[nodiscard]] const FaultPlan& plan() const noexcept { return plan_; }
+  [[nodiscard]] const FaultSpec& spec(Site s) const noexcept {
+    return plan_.at(s);
+  }
+
+  /// Count one occurrence of `site` and decide whether the fault fires.
+  /// Deterministic: depends only on the plan, the seed and the per-site
+  /// occurrence index.
+  [[nodiscard]] bool fire(Site site);
+
+  /// Occurrences / fires observed so far (testing & reporting).
+  [[nodiscard]] std::uint64_t occurrences(Site s) const noexcept {
+    return state_[static_cast<std::size_t>(s)].occurrences;
+  }
+  [[nodiscard]] std::uint64_t fires(Site s) const noexcept {
+    return state_[static_cast<std::size_t>(s)].fires;
+  }
+
+ private:
+  struct SiteState {
+    Rng rng{0};
+    std::uint64_t occurrences = 0;
+    std::uint64_t fires = 0;
+    metrics::Counter* injected = nullptr;
+  };
+
+  FaultPlan plan_{};
+  bool enabled_ = false;
+  std::array<SiteState, kSiteCount> state_{};
+};
+
+}  // namespace efac::fault

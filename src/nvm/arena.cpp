@@ -98,6 +98,22 @@ std::uint64_t Arena::load_u64(MemOffset off) {
 
 void Arena::flush(MemOffset off, std::size_t len) {
   if (len == 0) return;
+  if (injector_ != nullptr && injector_->enabled()) {
+    if (injector_->fire(fault::Site::kPersistDrop)) return;
+    if (injector_->fire(fault::Site::kPersistDelay)) {
+      // The CLWB is deferred: the caller believes the data is durable, but
+      // the lines reach the media only delay_ns later — a crash in between
+      // loses them (unless naturally evicted).
+      const SimDuration d =
+          injector_->spec(fault::Site::kPersistDelay).delay_ns;
+      sim_.call_after(d, [this, off, len] { flush_now(off, len); });
+      return;
+    }
+  }
+  flush_now(off, len);
+}
+
+void Arena::flush_now(MemOffset off, std::size_t len) {
   check_range(off, len);
   resolve_dma(sim_.now());
   const std::size_t first = off / kLine;

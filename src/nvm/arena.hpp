@@ -32,6 +32,7 @@
 #include "common/bytes.hpp"
 #include "common/rng.hpp"
 #include "common/types.hpp"
+#include "fault/fault.hpp"
 #include "metrics/metrics.hpp"
 #include "sim/simulator.hpp"
 
@@ -123,7 +124,15 @@ class Arena {
   /// persisted image and clears their dirty bits. Instantaneous; charge
   /// cost().flush_cost(len) + cost().fence_ns at the call site. For
   /// crash-during-flush experiments, flush line-by-line with delays.
+  /// An armed fault injector may silently drop (kPersistDrop) or defer
+  /// (kPersistDelay) the persist while the caller still observes success.
   void flush(MemOffset off, std::size_t len);
+
+  /// Arm fault injection on the persist path (nullptr disarms). The
+  /// injector must outlive the arena.
+  void set_injector(fault::Injector* injector) noexcept {
+    injector_ = injector;
+  }
 
   /// True if any byte of [off, off+len) is dirty (not yet persisted).
   [[nodiscard]] bool is_dirty(MemOffset off, std::size_t len);
@@ -182,6 +191,7 @@ class Arena {
   };
 
   void check_range(MemOffset off, std::size_t len) const;
+  void flush_now(MemOffset off, std::size_t len);
   void mark_dirty(MemOffset off, std::size_t len);
   /// Apply every DMA chunk that has arrived by `now`.
   void resolve_dma(SimTime now);
@@ -195,6 +205,7 @@ class Arena {
   std::vector<bool> dirty_lines_;
   std::vector<Placement> pending_;
   Rng rng_;
+  fault::Injector* injector_ = nullptr;
   // Declaration order matters: owned_metrics_ (if any) must outlive the
   // Counter references in stats_.
   std::unique_ptr<metrics::MetricsRegistry> owned_metrics_;

@@ -12,6 +12,7 @@
 
 #include "common/rng.hpp"
 #include "common/types.hpp"
+#include "fault/fault.hpp"
 #include "nvm/arena.hpp"
 
 namespace efac::rdma {
@@ -59,9 +60,20 @@ class Fabric {
   /// Fork a deterministic per-component RNG (e.g. for crash instants).
   [[nodiscard]] Rng fork_rng() noexcept { return rng_.fork(); }
 
+  /// Arm fault injection on every QP/RPC using this fabric (nullptr
+  /// disarms). The injector must outlive the fabric.
+  void set_injector(fault::Injector* injector) noexcept {
+    injector_ = injector;
+  }
+  /// Armed injector, or nullptr. Callers must also check enabled().
+  [[nodiscard]] fault::Injector* injector() const noexcept {
+    return injector_;
+  }
+
  private:
   FabricConfig config_;
   Rng rng_;
+  fault::Injector* injector_ = nullptr;
 };
 
 }  // namespace efac::rdma

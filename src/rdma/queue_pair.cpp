@@ -29,6 +29,25 @@ void QueuePair::deliver_at(SimTime when, InboundMessage message) {
   });
 }
 
+void QueuePair::deliver_message(SimTime when, InboundMessage message) {
+  if (fault::Injector* inj = fabric_.injector();
+      inj != nullptr && inj->enabled()) {
+    if (inj->fire(fault::Site::kSendDrop)) return;
+    if (inj->fire(fault::Site::kSendDelay)) {
+      when += inj->spec(fault::Site::kSendDelay).delay_ns;
+      message.arrived_at = when;
+    }
+    if (inj->fire(fault::Site::kSendDuplicate)) {
+      InboundMessage copy = message;
+      const SimTime later =
+          when + inj->spec(fault::Site::kSendDuplicate).delay_ns;
+      copy.arrived_at = later;
+      deliver_at(later, std::move(copy));
+    }
+  }
+  deliver_at(when, std::move(message));
+}
+
 sim::Task<Expected<Bytes>> QueuePair::read(std::uint32_t rkey,
                                            MemOffset offset,
                                            std::size_t length) {
@@ -74,6 +93,16 @@ Expected<SimTime> QueuePair::post_write(std::uint32_t rkey, MemOffset offset,
 
 sim::Task<Expected<Unit>> QueuePair::write(std::uint32_t rkey,
                                            MemOffset offset, BytesView data) {
+  if (fault::Injector* inj = fabric_.injector();
+      inj != nullptr && inj->enabled()) {
+    const bool torn = inj->fire(fault::Site::kWriteTorn);
+    const bool lost_ack = inj->fire(fault::Site::kWriteDropCompletion);
+    const bool dup = inj->fire(fault::Site::kWriteDuplicate);
+    if (torn || lost_ack || dup) {
+      co_return co_await write_faulted(rkey, offset, data, torn, lost_ack,
+                                       dup);
+    }
+  }
   Expected<SimTime> done = post_write(rkey, offset, data);
   if (!done) {
     // Model the NAK round trip for invalid access.
@@ -82,6 +111,61 @@ sim::Task<Expected<Unit>> QueuePair::write(std::uint32_t rkey,
     co_return done.status();
   }
   co_await sim::delay(sim_, *done - sim_.now());
+  co_return Unit{};
+}
+
+sim::Task<Expected<Unit>> QueuePair::write_faulted(std::uint32_t rkey,
+                                                   MemOffset offset,
+                                                   BytesView data, bool torn,
+                                                   bool lost_ack, bool dup) {
+  const Expected<MemOffset> abs =
+      target_.translate(rkey, offset, data.size(), Access::kWrite);
+  if (!abs) {
+    const Timing t = plan(32, 0);
+    co_await sim::delay(sim_, t.done - sim_.now());
+    co_return abs.status();
+  }
+  ++stats_.writes;
+  stats_.write_bytes += data.size();
+  const Timing t = plan(data.size(), 0);
+  const SimTime place_begin = std::min<SimTime>(
+      t.arrive, t.depart + fabric_.config().one_way_ns +
+                    fabric_.config().nic_process_ns);
+  fault::Injector& inj = *fabric_.injector();
+  BytesView placed = data;
+  if (torn) {
+    // Only the leading fraction of the payload reaches the target before
+    // the (modelled) transport gives up — the canonical torn remote write.
+    const double keep = std::clamp(
+        inj.spec(fault::Site::kWriteTorn).magnitude, 0.0, 1.0);
+    placed = data.first(static_cast<std::size_t>(
+        keep * static_cast<double>(data.size())));
+  }
+  if (!placed.empty()) {
+    target_.arena().dma_write(*abs, placed, place_begin, t.arrive,
+                              fabric_.config().placement);
+  }
+  if (dup) {
+    // Spurious retransmission: the same bytes land a second time later.
+    const SimTime later =
+        t.arrive + inj.spec(fault::Site::kWriteDuplicate).delay_ns;
+    sim_.call_at(later, [node = &target_, off = *abs,
+                         payload = Bytes(placed.begin(), placed.end()), later,
+                         order = fabric_.config().placement] {
+      node->arena().dma_write(off, payload, later, later, order);
+    });
+  }
+  if (torn || lost_ack) {
+    // No completion arrives; the requester notices only after its local
+    // grace period past the instant the ack would normally have landed.
+    const SimDuration grace =
+        inj.spec(torn ? fault::Site::kWriteTorn
+                      : fault::Site::kWriteDropCompletion)
+            .delay_ns;
+    co_await sim::delay(sim_, t.done - sim_.now() + grace);
+    co_return Status{StatusCode::kTimeout, "WRITE completion lost"};
+  }
+  co_await sim::delay(sim_, t.done - sim_.now());
   co_return Unit{};
 }
 
@@ -106,8 +190,8 @@ sim::Task<Expected<Unit>> QueuePair::write_with_imm(std::uint32_t rkey,
                             fabric_.config().placement);
   // The immediate notification is delivered when the message executes,
   // strictly after the payload placement (same WR).
-  deliver_at(t.arrive, InboundMessage{Bytes{}, imm, /*has_imm=*/true, id_,
-                                      t.arrive});
+  deliver_message(t.arrive, InboundMessage{Bytes{}, imm, /*has_imm=*/true,
+                                           id_, t.arrive});
   co_await sim::delay(sim_, t.done - sim_.now());
   co_return Unit{};
 }
@@ -116,8 +200,8 @@ sim::Task<void> QueuePair::send(Bytes payload) {
   ++stats_.sends;
   stats_.send_bytes += payload.size();
   const Timing t = plan(payload.size(), 0);
-  deliver_at(t.arrive, InboundMessage{std::move(payload), 0,
-                                      /*has_imm=*/false, id_, t.arrive});
+  deliver_message(t.arrive, InboundMessage{std::move(payload), 0,
+                                           /*has_imm=*/false, id_, t.arrive});
   co_await sim::delay(sim_, t.done - sim_.now());
 }
 
@@ -125,8 +209,8 @@ void QueuePair::post_send(Bytes payload) {
   ++stats_.sends;
   stats_.send_bytes += payload.size();
   const Timing t = plan(payload.size(), 0);
-  deliver_at(t.arrive, InboundMessage{std::move(payload), 0,
-                                      /*has_imm=*/false, id_, t.arrive});
+  deliver_message(t.arrive, InboundMessage{std::move(payload), 0,
+                                           /*has_imm=*/false, id_, t.arrive});
 }
 
 Expected<SimTime> QueuePair::post_commit(std::uint32_t rkey,

@@ -85,6 +85,9 @@ class QueuePair {
 
   /// One-sided WRITE, awaited to completion (ack received). Completion does
   /// NOT imply durability: the payload sits in the volatile tier (DDIO).
+  /// This is the verb an armed fault injector can tear (partial payload,
+  /// completion lost) or whose completion it can drop; both surface as
+  /// StatusCode::kTimeout after the requester's local grace period.
   sim::Task<Expected<Unit>> write(std::uint32_t rkey, MemOffset offset,
                                   BytesView data);
 
@@ -166,6 +169,15 @@ class QueuePair {
 
   /// Deliver a message into the target's receive queue at `when`.
   void deliver_at(SimTime when, InboundMessage message);
+
+  /// deliver_at with the fabric's fault injector consulted first (message
+  /// drop / delay / duplication).
+  void deliver_message(SimTime when, InboundMessage message);
+
+  /// Slow path of write() taken only when a fault fired for this WR.
+  sim::Task<Expected<Unit>> write_faulted(std::uint32_t rkey,
+                                          MemOffset offset, BytesView data,
+                                          bool torn, bool lost_ack, bool dup);
 
   sim::Simulator& sim_;
   Fabric& fabric_;

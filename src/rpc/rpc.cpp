@@ -36,35 +36,63 @@ Connection::Connection(sim::Simulator& sim, rdma::Fabric& fabric,
 Connection::~Connection() { directory_.remove(qp_.id()); }
 
 sim::Task<Bytes> Connection::call(std::uint16_t opcode, Bytes args) {
+  Expected<Bytes> response =
+      co_await call_timeout(opcode, std::move(args), /*timeout_ns=*/0);
+  // Without a timeout the slot is only ever fulfilled with a payload.
+  EFAC_CHECK(response.has_value());
+  co_return std::move(response).take();
+}
+
+sim::Task<Expected<Bytes>> Connection::call_timeout(std::uint16_t opcode,
+                                                    Bytes args,
+                                                    SimDuration timeout_ns) {
   const std::uint64_t call_id = next_call_id_++;
   ByteWriter writer{args.size() + 16};
   writer.put_u16(opcode);
   writer.put_u64(call_id);
   writer.put_blob(args);
 
-  sim::OneShot<Bytes> slot{sim_};
+  sim::OneShot<Expected<Bytes>> slot{sim_};
   pending_.emplace(call_id, &slot);
+  if (timeout_ns > 0) {
+    sim_.call_after(timeout_ns, [this, call_id] {
+      const auto it = pending_.find(call_id);
+      // Already answered (possibly in this very instant) or already torn
+      // down: the timer is stale.
+      if (it == pending_.end() || it->second->ready()) return;
+      it->second->set(Status{StatusCode::kTimeout, "rpc timeout"});
+    });
+  }
   co_await qp_.send(std::move(writer).take());
-  Bytes response = co_await slot.wait();
+  Expected<Bytes> response = co_await slot.wait();
   pending_.erase(call_id);
-  ++calls_completed_;
+  if (response.has_value()) ++calls_completed_;
   co_return response;
 }
 
 void Connection::deliver_reply(std::uint64_t call_id, Bytes payload) {
+  SimDuration fault_extra = 0;
+  if (fault::Injector* inj = fabric_.injector();
+      inj != nullptr && inj->enabled()) {
+    if (inj->fire(fault::Site::kRespDrop)) return;
+    if (inj->fire(fault::Site::kRespDelay)) {
+      fault_extra = inj->spec(fault::Site::kRespDelay).delay_ns;
+    }
+  }
   const rdma::FabricConfig& cfg = fabric_.config();
   // Reverse path: one-way + response serialization + requester completion.
   // The server's CPU cost of posting the SEND is charged by the server
   // worker (it is part of the handler's service time), not here.
   const SimDuration latency = fabric_.one_way() +
                               cfg.wire_cost(payload.size()) +
-                              cfg.completion_ns;
+                              cfg.completion_ns + fault_extra;
   sim_.call_after(latency, [this, call_id, p = std::move(payload)]() mutable {
     const auto it = pending_.find(call_id);
     // Late replies for calls that no longer exist are dropped (client gave
-    // up / crashed); mirrors a stale completion.
-    if (it == pending_.end()) return;
-    it->second->set(std::move(p));
+    // up / crashed); mirrors a stale completion. A call already fulfilled
+    // in this instant (duplicate reply, or a racing timeout) is left alone.
+    if (it == pending_.end() || it->second->ready()) return;
+    it->second->set(Expected<Bytes>{std::move(p)});
   });
 }
 

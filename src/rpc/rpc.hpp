@@ -90,8 +90,18 @@ class Connection {
   Connection(const Connection&) = delete;
   Connection& operator=(const Connection&) = delete;
 
-  /// Issue a request and await the response payload.
+  /// Issue a request and await the response payload. Never times out: if
+  /// the request or response is lost (only possible under an armed fault
+  /// injector) the caller suspends forever — use call_timeout under fault
+  /// plans.
   sim::Task<Bytes> call(std::uint16_t opcode, Bytes args);
+
+  /// Issue a request and await the response, giving up with
+  /// StatusCode::kTimeout after `timeout_ns` (0 = wait forever, in which
+  /// case this is equivalent to call()). A late response for a timed-out
+  /// call is dropped, like a stale completion on a real RC connection.
+  sim::Task<Expected<Bytes>> call_timeout(std::uint16_t opcode, Bytes args,
+                                          SimDuration timeout_ns);
 
   [[nodiscard]] rdma::QueuePair& qp() noexcept { return qp_; }
   [[nodiscard]] std::uint64_t qp_id() const noexcept { return qp_.id(); }
@@ -112,7 +122,7 @@ class Connection {
   rdma::QueuePair qp_;
   std::uint64_t next_call_id_ = 1;
   std::uint64_t calls_completed_ = 0;
-  std::unordered_map<std::uint64_t, sim::OneShot<Bytes>*> pending_;
+  std::unordered_map<std::uint64_t, sim::OneShot<Expected<Bytes>>*> pending_;
 };
 
 }  // namespace efac::rpc

@@ -162,7 +162,7 @@ class TwoReadClient : public KvClient {
         conn_(store.simulator(), store.fabric(), store.node(),
               store.directory(), store.next_qp_id(), &metrics_) {}
 
-  sim::Task<Expected<Bytes>> get(Bytes key) override {
+  sim::Task<Expected<Bytes>> get_attempt(Bytes key) override {
     ++stats_.gets;
     TRACE_SPAN(tracer_, "get.total");
     const std::uint64_t key_hash = kv::hash_key(key);
@@ -213,7 +213,7 @@ class SawClient final : public TwoReadClient {
   SawClient(SawStore& store, const ClientOptions& options)
       : TwoReadClient(store, store.dir(), options) {}
 
-  sim::Task<Status> put(Bytes key, Bytes value) override {
+  sim::Task<Status> put_attempt(Bytes key, Bytes value) override {
     ++stats_.puts;
     TRACE_SPAN(tracer_, "put.total");
     AllocRequest req;
@@ -224,9 +224,11 @@ class SawClient final : public TwoReadClient {
     req.crc = kv::object_crc(kv::hash_key(key), req.klen, req.vlen, value);
     req.key = key;
     metrics::Span alloc_span{tracer_, "put.alloc_rpc"};
-    const Bytes raw = co_await conn_.call(kAlloc, req.encode());
+    const Expected<Bytes> raw = co_await conn_.call_timeout(
+        kAlloc, req.encode(), options_.retry.rpc_timeout_ns);
     alloc_span.finish();
-    const AllocResponse resp = AllocResponse::decode(raw);
+    if (!raw) co_return raw.status();
+    const AllocResponse resp = AllocResponse::decode(*raw);
     if (resp.status != StatusCode::kOk) co_return Status{resp.status};
 
     // WRITE posted fire-and-forget, then the persist SEND on the same QP:
@@ -244,9 +246,11 @@ class SawClient final : public TwoReadClient {
     // The persist RPC rides behind the posted WRITE, so its duration
     // covers data landing + server flush + ack — SAW's durability wait.
     metrics::Span persist_span{tracer_, "put.persist_rpc"};
-    const Bytes ack = co_await conn_.call(kPersist, persist.encode());
+    const Expected<Bytes> ack = co_await conn_.call_timeout(
+        kPersist, persist.encode(), options_.retry.rpc_timeout_ns);
     persist_span.finish();
-    co_return Status{decode_status(ack)};
+    if (!ack) co_return ack.status();
+    co_return Status{decode_status(*ack)};
   }
 };
 
@@ -258,14 +262,32 @@ std::unique_ptr<KvClient> SawStore::make_client(ClientOptions options) {
 
 // ===================================================================== IMM
 
+void ImmAckHub::arm(std::uint32_t token, sim::OneShot<StatusCode>* slot,
+                    SimDuration timeout_ns) {
+  EFAC_CHECK(waiting_.emplace(token, slot).second);
+  if (timeout_ns > 0) {
+    sim_.call_after(timeout_ns, [this, token] {
+      const auto it = waiting_.find(token);
+      if (it == waiting_.end() || it->second->ready()) return;
+      sim::OneShot<StatusCode>* s = it->second;
+      waiting_.erase(it);
+      s->set(StatusCode::kTimeout);
+    });
+  }
+}
+
 void ImmAckHub::complete(std::uint32_t token, StatusCode status) {
-  const auto it = waiting_.find(token);
-  if (it == waiting_.end()) return;  // client gave up / crashed
-  sim::OneShot<StatusCode>* slot = it->second;
-  waiting_.erase(it);
   const SimDuration ack_latency =
       fabric_.one_way() + fabric_.config().completion_ns;
-  sim_.call_after(ack_latency, [slot, status] { slot->set(status); });
+  // Look the waiter up when the ack *lands*, not when it is sent: the
+  // client may time out and free its slot while the ack is in flight.
+  sim_.call_after(ack_latency, [this, token, status] {
+    const auto it = waiting_.find(token);
+    if (it == waiting_.end()) return;  // client gave up / crashed
+    sim::OneShot<StatusCode>* slot = it->second;
+    waiting_.erase(it);
+    if (!slot->ready()) slot->set(status);
+  });
 }
 
 ImmStore::ImmStore(sim::Simulator& sim, StoreConfig config)
@@ -350,7 +372,7 @@ class ImmClient final : public TwoReadClient {
   ImmClient(ImmStore& store, const ClientOptions& options)
       : TwoReadClient(store, store.dir(), options), imm_store_(store) {}
 
-  sim::Task<Status> put(Bytes key, Bytes value) override {
+  sim::Task<Status> put_attempt(Bytes key, Bytes value) override {
     ++stats_.puts;
     TRACE_SPAN(tracer_, "put.total");
     AllocRequest req;
@@ -360,13 +382,18 @@ class ImmClient final : public TwoReadClient {
                              value);  // bookkeeping only, no time charged
     req.key = key;
     metrics::Span alloc_span{tracer_, "put.alloc_rpc"};
-    const Bytes raw = co_await conn_.call(kAlloc, req.encode());
+    const Expected<Bytes> raw = co_await conn_.call_timeout(
+        kAlloc, req.encode(), options_.retry.rpc_timeout_ns);
     alloc_span.finish();
-    const AllocResponse resp = AllocResponse::decode(raw);
+    if (!raw) co_return raw.status();
+    const AllocResponse resp = AllocResponse::decode(*raw);
     if (resp.status != StatusCode::kOk) co_return Status{resp.status};
 
     sim::OneShot<StatusCode> ack{store_.simulator()};
-    imm_store_.ack_hub().arm(resp.token, &ack);
+    // The durability ack itself can be lost (stale token, injected drop of
+    // the IMM notification): bound the wait by the same RPC timeout.
+    imm_store_.ack_hub().arm(resp.token, &ack,
+                             options_.retry.rpc_timeout_ns);
     const MemOffset value_off = resp.object_off +
                                 kv::ObjectLayout::kHeaderSize + key.size() -
                                 store_.pool_a().base();
@@ -460,7 +487,7 @@ class ErdaClient final : public KvClient {
         conn_(store.simulator(), store.fabric(), store.node(),
               store.directory(), store.next_qp_id(), &metrics_) {}
 
-  sim::Task<Status> put(Bytes key, Bytes value) override {
+  sim::Task<Status> put_attempt(Bytes key, Bytes value) override {
     ++stats_.puts;
     TRACE_SPAN(tracer_, "put.total");
     // The client computes the CRC it embeds in the object.
@@ -474,9 +501,11 @@ class ErdaClient final : public KvClient {
     req.crc = kv::object_crc(kv::hash_key(key), req.klen, req.vlen, value);
     req.key = key;
     metrics::Span alloc_span{tracer_, "put.alloc_rpc"};
-    const Bytes raw = co_await conn_.call(kAlloc, req.encode());
+    const Expected<Bytes> raw = co_await conn_.call_timeout(
+        kAlloc, req.encode(), options_.retry.rpc_timeout_ns);
     alloc_span.finish();
-    const AllocResponse resp = AllocResponse::decode(raw);
+    if (!raw) co_return raw.status();
+    const AllocResponse resp = AllocResponse::decode(*raw);
     if (resp.status != StatusCode::kOk) co_return Status{resp.status};
     const MemOffset value_off = resp.object_off +
                                 kv::ObjectLayout::kHeaderSize + key.size() -
@@ -488,7 +517,7 @@ class ErdaClient final : public KvClient {
     co_return wr.status();
   }
 
-  sim::Task<Expected<Bytes>> get(Bytes key) override {
+  sim::Task<Expected<Bytes>> get_attempt(Bytes key) override {
     ++stats_.gets;
     TRACE_SPAN(tracer_, "get.total");
     const std::uint64_t key_hash = kv::hash_key(key);
@@ -665,7 +694,7 @@ class ForcaClient final : public KvClient {
         conn_(store.simulator(), store.fabric(), store.node(),
               store.directory(), store.next_qp_id(), &metrics_) {}
 
-  sim::Task<Status> put(Bytes key, Bytes value) override {
+  sim::Task<Status> put_attempt(Bytes key, Bytes value) override {
     ++stats_.puts;
     TRACE_SPAN(tracer_, "put.total");
     metrics::Span crc_span{tracer_, "put.crc"};
@@ -678,9 +707,11 @@ class ForcaClient final : public KvClient {
     req.crc = kv::object_crc(kv::hash_key(key), req.klen, req.vlen, value);
     req.key = key;
     metrics::Span alloc_span{tracer_, "put.alloc_rpc"};
-    const Bytes raw = co_await conn_.call(kAlloc, req.encode());
+    const Expected<Bytes> raw = co_await conn_.call_timeout(
+        kAlloc, req.encode(), options_.retry.rpc_timeout_ns);
     alloc_span.finish();
-    const AllocResponse resp = AllocResponse::decode(raw);
+    if (!raw) co_return raw.status();
+    const AllocResponse resp = AllocResponse::decode(*raw);
     if (resp.status != StatusCode::kOk) co_return Status{resp.status};
     const MemOffset value_off = resp.object_off +
                                 kv::ObjectLayout::kHeaderSize + key.size() -
@@ -692,7 +723,7 @@ class ForcaClient final : public KvClient {
     co_return wr.status();
   }
 
-  sim::Task<Expected<Bytes>> get(Bytes key) override {
+  sim::Task<Expected<Bytes>> get_attempt(Bytes key) override {
     ++stats_.gets;
     ++stats_.gets_rpc_path;  // Forca reads always involve the server
     TRACE_SPAN(tracer_, "get.total");
@@ -700,9 +731,11 @@ class ForcaClient final : public KvClient {
     GetLocRequest req;
     req.key = key;
     metrics::Span rpc_span{tracer_, "get.loc_rpc"};
-    const Bytes raw = co_await conn_.call(kGetLoc, req.encode());
+    const Expected<Bytes> raw = co_await conn_.call_timeout(
+        kGetLoc, req.encode(), options_.retry.rpc_timeout_ns);
     rpc_span.finish();
-    const LocResponse resp = LocResponse::decode(raw);
+    if (!raw) co_return raw.status();
+    const LocResponse resp = LocResponse::decode(*raw);
     if (resp.status != StatusCode::kOk) co_return Status{resp.status};
     const std::size_t total =
         kv::ObjectLayout::total_size(resp.klen, resp.vlen);
@@ -826,28 +859,32 @@ class RpcStoreClient final : public KvClient {
         conn_(store.simulator(), store.fabric(), store.node(),
               store.directory(), store.next_qp_id(), &metrics_) {}
 
-  sim::Task<Status> put(Bytes key, Bytes value) override {
+  sim::Task<Status> put_attempt(Bytes key, Bytes value) override {
     ++stats_.puts;
     TRACE_SPAN(tracer_, "put.total");
     PutInlineRequest req;
     req.key = std::move(key);
     req.value = std::move(value);
     metrics::Span rpc_span{tracer_, "put.rpc"};
-    const Bytes raw = co_await conn_.call(kPutInline, req.encode());
+    const Expected<Bytes> raw = co_await conn_.call_timeout(
+        kPutInline, req.encode(), options_.retry.rpc_timeout_ns);
     rpc_span.finish();
-    co_return Status{decode_status(raw)};
+    if (!raw) co_return raw.status();
+    co_return Status{decode_status(*raw)};
   }
 
-  sim::Task<Expected<Bytes>> get(Bytes key) override {
+  sim::Task<Expected<Bytes>> get_attempt(Bytes key) override {
     ++stats_.gets;
     ++stats_.gets_rpc_path;
     TRACE_SPAN(tracer_, "get.total");
     GetLocRequest req;
     req.key = std::move(key);
     metrics::Span rpc_span{tracer_, "get.rpc"};
-    const Bytes raw = co_await conn_.call(kGetInline, req.encode());
+    const Expected<Bytes> raw = co_await conn_.call_timeout(
+        kGetInline, req.encode(), options_.retry.rpc_timeout_ns);
     rpc_span.finish();
-    ValueResponse resp = ValueResponse::decode(raw);
+    if (!raw) co_return raw.status();
+    ValueResponse resp = ValueResponse::decode(*raw);
     if (resp.status != StatusCode::kOk) co_return Status{resp.status};
     co_return std::move(resp.value);
   }
@@ -932,7 +969,7 @@ class InPlaceClient final : public TwoReadClient {
   InPlaceClient(InPlaceStore& store, const ClientOptions& options)
       : TwoReadClient(store, store.dir(), options) {}
 
-  sim::Task<Status> put(Bytes key, Bytes value) override {
+  sim::Task<Status> put_attempt(Bytes key, Bytes value) override {
     ++stats_.puts;
     TRACE_SPAN(tracer_, "put.total");
     AllocRequest req;
@@ -942,9 +979,11 @@ class InPlaceClient final : public TwoReadClient {
                              value);  // recovery bookkeeping only
     req.key = key;
     metrics::Span alloc_span{tracer_, "put.alloc_rpc"};
-    const Bytes raw = co_await conn_.call(kAlloc, req.encode());
+    const Expected<Bytes> raw = co_await conn_.call_timeout(
+        kAlloc, req.encode(), options_.retry.rpc_timeout_ns);
     alloc_span.finish();
-    const AllocResponse resp = AllocResponse::decode(raw);
+    if (!raw) co_return raw.status();
+    const AllocResponse resp = AllocResponse::decode(*raw);
     if (resp.status != StatusCode::kOk) co_return Status{resp.status};
     // The overwrite lands on the LIVE bytes: a crash mid-flight tears the
     // only copy of this value.
@@ -1017,7 +1056,7 @@ class CaClient final : public TwoReadClient {
   CaClient(CaStore& store, const ClientOptions& options)
       : TwoReadClient(store, store.dir(), options) {}
 
-  sim::Task<Status> put(Bytes key, Bytes value) override {
+  sim::Task<Status> put_attempt(Bytes key, Bytes value) override {
     ++stats_.puts;
     TRACE_SPAN(tracer_, "put.total");
     AllocRequest req;
@@ -1027,9 +1066,11 @@ class CaClient final : public TwoReadClient {
                              value);  // bookkeeping only
     req.key = key;
     metrics::Span alloc_span{tracer_, "put.alloc_rpc"};
-    const Bytes raw = co_await conn_.call(kAlloc, req.encode());
+    const Expected<Bytes> raw = co_await conn_.call_timeout(
+        kAlloc, req.encode(), options_.retry.rpc_timeout_ns);
     alloc_span.finish();
-    const AllocResponse resp = AllocResponse::decode(raw);
+    if (!raw) co_return raw.status();
+    const AllocResponse resp = AllocResponse::decode(*raw);
     if (resp.status != StatusCode::kOk) co_return Status{resp.status};
     const MemOffset value_off = resp.object_off +
                                 kv::ObjectLayout::kHeaderSize + key.size() -

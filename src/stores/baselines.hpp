@@ -63,13 +63,16 @@ class ImmAckHub {
   ImmAckHub(sim::Simulator& sim, rdma::Fabric& fabric)
       : sim_(sim), fabric_(fabric) {}
 
-  void arm(std::uint32_t token, sim::OneShot<StatusCode>* slot) {
-    EFAC_CHECK(waiting_.emplace(token, slot).second);
-  }
+  /// Register a waiter. With timeout_ns > 0 the slot is completed with
+  /// kTimeout if the server's ack has not landed by then (the ack itself
+  /// may be lost under a fault plan); 0 waits forever.
+  void arm(std::uint32_t token, sim::OneShot<StatusCode>* slot,
+           SimDuration timeout_ns = 0);
   void disarm(std::uint32_t token) { waiting_.erase(token); }
 
   /// Called by the server at its durability point; the ack lands at the
-  /// client one network hop later.
+  /// client one network hop later. Acks for tokens that already timed out
+  /// are dropped.
   void complete(std::uint32_t token, StatusCode status);
 
  private:

@@ -13,6 +13,7 @@
 
 #include "checksum/crc32.hpp"
 #include "common/types.hpp"
+#include "fault/fault.hpp"
 #include "kv/erda_table.hpp"
 #include "kv/hash_dir.hpp"
 #include "nvm/arena.hpp"
@@ -92,6 +93,9 @@ struct StoreConfig {
   // ---- fabric / failure ----
   rdma::FabricConfig fabric;
   nvm::CrashPolicy crash_policy;
+  /// Deterministic fault scenario (default: empty = no injection; the
+  /// fault hooks stay inert and schedules are bit-identical).
+  fault::FaultPlan fault_plan;
   std::uint64_t seed = 0xEFAC;
 
   [[nodiscard]] SimDuration recv_cost() const noexcept {

@@ -301,7 +301,7 @@ sim::Task<void> EFactoryStore::background_loop() {
       continue;
     }
     // Incomplete: either the RDMA WRITE is still in flight, or it died.
-    if (sim_.now() >= meta.write_time + config_.object_timeout_ns) {
+    if (timed_out(sim_.now(), meta.write_time, config_.object_timeout_ns)) {
       // Identity re-check: the CRC attempt suspended, and a recovery /
       // cleaning round may have recycled this offset for a new object in
       // the meantime — never invalidate somebody else's version.
@@ -386,7 +386,7 @@ sim::Task<bool> EFactoryStore::await_verifiable(MemOffset off) {
     ++stats_.crc_checks;
     co_await charge(config_.crc.cost(meta.vlen));
     if (obj.verify_crc()) co_return true;
-    if (sim_.now() >= meta.write_time + config_.object_timeout_ns) {
+    if (timed_out(sim_.now(), meta.write_time, config_.object_timeout_ns)) {
       obj.set_valid(false);
       co_return false;
     }
@@ -656,7 +656,7 @@ EFactoryClient::EFactoryClient(EFactoryStore& store,
             store.directory(), store.next_qp_id(), &metrics_),
       hybrid_(options.read_mode != ReadMode::kRpcOnly) {}
 
-sim::Task<Status> EFactoryClient::put(Bytes key, Bytes value) {
+sim::Task<Status> EFactoryClient::put_attempt(Bytes key, Bytes value) {
   ++stats_.puts;
   TRACE_SPAN(tracer_, "put.total");
   // Client computes the CRC that rides in the alloc request.
@@ -671,9 +671,11 @@ sim::Task<Status> EFactoryClient::put(Bytes key, Bytes value) {
   req.key = key;
 
   metrics::Span alloc_span{tracer_, "put.alloc_rpc"};
-  const Bytes raw = co_await conn_.call(kAlloc, req.encode());
+  const Expected<Bytes> raw = co_await conn_.call_timeout(
+      kAlloc, req.encode(), options_.retry.rpc_timeout_ns);
   alloc_span.finish();
-  const AllocResponse resp = AllocResponse::decode(raw);
+  if (!raw) co_return raw.status();
+  const AllocResponse resp = AllocResponse::decode(*raw);
   if (resp.status != StatusCode::kOk) co_return Status{resp.status};
 
   // One-sided transfer of the value into the returned region.
@@ -718,14 +720,16 @@ sim::Task<Expected<Bytes>> EFactoryClient::read_object_at(
                   raw->begin() + kv::ObjectLayout::kHeaderSize + klen + vlen);
 }
 
-sim::Task<Status> EFactoryClient::del(Bytes key) {
+sim::Task<Status> EFactoryClient::del_attempt(Bytes key) {
   GetLocRequest req;
   req.key = std::move(key);
-  const Bytes raw = co_await conn_.call(kDelete, req.encode());
-  co_return Status{decode_status(raw)};
+  const Expected<Bytes> raw = co_await conn_.call_timeout(
+      kDelete, req.encode(), options_.retry.rpc_timeout_ns);
+  if (!raw) co_return raw.status();
+  co_return Status{decode_status(*raw)};
 }
 
-sim::Task<Expected<Bytes>> EFactoryClient::get(Bytes key) {
+sim::Task<Expected<Bytes>> EFactoryClient::get_attempt(Bytes key) {
   ++stats_.gets;
   TRACE_SPAN(tracer_, "get.total");
   const std::uint64_t key_hash = kv::hash_key(key);
@@ -770,9 +774,11 @@ sim::Task<Expected<Bytes>> EFactoryClient::get(Bytes key) {
   GetLocRequest req;
   req.key = key;
   metrics::Span rpc_span{tracer_, "get.rpc_fallback"};
-  const Bytes raw = co_await conn_.call(kGetLoc, req.encode());
+  const Expected<Bytes> raw = co_await conn_.call_timeout(
+      kGetLoc, req.encode(), options_.retry.rpc_timeout_ns);
   rpc_span.finish();
-  const LocResponse resp = LocResponse::decode(raw);
+  if (!raw) co_return raw.status();
+  const LocResponse resp = LocResponse::decode(*raw);
   if (resp.status != StatusCode::kOk) co_return Status{resp.status};
   co_return co_await read_object_at(resp.object_off, resp.klen, resp.vlen,
                                     key_hash, /*require_flag=*/false);

@@ -82,6 +82,23 @@ class EFactoryStore final : public StoreBase {
   /// Kick off a cleaning round immediately (tests / Fig. 11 bench).
   void force_log_cleaning();
 
+  /// §3.3 timeout rule: an unverifiable object expires only strictly
+  /// *after* write_time + timeout. An object whose payload completes
+  /// exactly at the deadline is still verifiable and must not be
+  /// invalidated (boundary semantics pinned by fault_test and
+  /// docs/FAULTS.md).
+  [[nodiscard]] static constexpr bool timed_out(SimTime now,
+                                                SimTime write_time,
+                                                SimDuration timeout) noexcept {
+    return now > write_time + timeout;
+  }
+
+  /// Online restart: StoreBase::restart() in terms of recover().
+  bool restart() override {
+    recover();
+    return true;
+  }
+
  protected:
   sim::Task<void> handle(rdma::InboundMessage msg) override;
   void start_extras() override;
@@ -153,9 +170,10 @@ class EFactoryClient final : public KvClient {
  public:
   EFactoryClient(EFactoryStore& store, const ClientOptions& options);
 
-  sim::Task<Status> put(Bytes key, Bytes value) override;
-  sim::Task<Expected<Bytes>> get(Bytes key) override;
-  sim::Task<Status> del(Bytes key) override;
+ protected:
+  sim::Task<Status> put_attempt(Bytes key, Bytes value) override;
+  sim::Task<Expected<Bytes>> get_attempt(Bytes key) override;
+  sim::Task<Status> del_attempt(Bytes key) override;
 
  private:
   /// One-sided read of a whole object; returns the value on success.

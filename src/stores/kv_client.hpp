@@ -21,6 +21,7 @@
 #include "metrics/trace.hpp"
 #include "sim/simulator.hpp"
 #include "sim/task.hpp"
+#include "stores/retry.hpp"
 
 namespace efac::stores {
 
@@ -51,6 +52,9 @@ struct ClientOptions {
   ReadMode read_mode = ReadMode::kDefault;
   /// Record per-phase span histograms on this client's tracer.
   bool collect_traces = true;
+  /// Retry/backoff behaviour of the public put/get/del wrappers. The
+  /// default (single attempt, no RPC timeout) is a pass-through.
+  RetryPolicy retry;
 };
 
 /// Snapshot of a client's operation counters (view over the registry).
@@ -66,6 +70,10 @@ struct ClientStats {
   std::uint64_t version_rereads = 0;
   /// Client-side CRC verifications performed (Erda read path).
   std::uint64_t client_crc_checks = 0;
+  /// Attempts beyond the first made by the retry wrappers.
+  std::uint64_t retries = 0;
+  /// Operations abandoned after exhausting the retry budget.
+  std::uint64_t giveups = 0;
 };
 
 class KvClient {
@@ -74,18 +82,69 @@ class KvClient {
   KvClient(const KvClient&) = delete;
   KvClient& operator=(const KvClient&) = delete;
 
+  // The public operations wrap the system-specific *_attempt coroutines in
+  // the ClientOptions retry loop: transient failures (kTimeout,
+  // kUnavailable) are retried up to the attempt budget with capped
+  // exponential backoff + seeded jitter; exhaustion surfaces the last
+  // status and counts a give-up. With the default single-attempt policy
+  // the wrappers delegate directly (no RNG draws, no extra events).
+
   /// Durable-or-consistent PUT per the semantics of the concrete system.
-  virtual sim::Task<Status> put(Bytes key, Bytes value) = 0;
+  sim::Task<Status> put(Bytes key, Bytes value) {
+    const RetryPolicy& policy = options_.retry;
+    if (!policy.enabled()) {
+      co_return co_await put_attempt(std::move(key), std::move(value));
+    }
+    for (int attempt = 1;; ++attempt) {
+      Status status = co_await put_attempt(key, value);
+      if (status.is_ok() || !RetryPolicy::retryable(status.code())) {
+        co_return status;
+      }
+      if (attempt >= policy.max_attempts) {
+        ++stats_.giveups;
+        co_return status;
+      }
+      ++stats_.retries;
+      co_await sim::delay(sim_, policy.backoff(attempt, retry_rng_));
+    }
+  }
 
   /// GET; returns the value bytes.
-  virtual sim::Task<Expected<Bytes>> get(Bytes key) = 0;
+  sim::Task<Expected<Bytes>> get(Bytes key) {
+    const RetryPolicy& policy = options_.retry;
+    if (!policy.enabled()) co_return co_await get_attempt(std::move(key));
+    for (int attempt = 1;; ++attempt) {
+      Expected<Bytes> result = co_await get_attempt(key);
+      if (result.has_value() || !RetryPolicy::retryable(result.code())) {
+        co_return result;
+      }
+      if (attempt >= policy.max_attempts) {
+        ++stats_.giveups;
+        co_return result;
+      }
+      ++stats_.retries;
+      co_await sim::delay(sim_, policy.backoff(attempt, retry_rng_));
+    }
+  }
 
   /// DELETE. Log-structured systems append a tombstone version whose
-  /// space is reclaimed by log cleaning. Default: not supported.
-  virtual sim::Task<Status> del(Bytes key) {
-    static_cast<void>(key);
-    co_return Status{StatusCode::kUnimplemented,
-                     "delete not supported by this system"};
+  /// space is reclaimed by log cleaning. Unsupported systems return
+  /// kUnimplemented (never retried).
+  sim::Task<Status> del(Bytes key) {
+    const RetryPolicy& policy = options_.retry;
+    if (!policy.enabled()) co_return co_await del_attempt(std::move(key));
+    for (int attempt = 1;; ++attempt) {
+      Status status = co_await del_attempt(key);
+      if (status.is_ok() || !RetryPolicy::retryable(status.code())) {
+        co_return status;
+      }
+      if (attempt >= policy.max_attempts) {
+        ++stats_.giveups;
+        co_return status;
+      }
+      ++stats_.retries;
+      co_await sim::delay(sim_, policy.backoff(attempt, retry_rng_));
+    }
   }
 
   /// Object geometry of the workload (for one-sided reads).
@@ -97,7 +156,8 @@ class KvClient {
   [[nodiscard]] ClientStats stats() const noexcept {
     return ClientStats{stats_.puts,          stats_.gets,
                        stats_.gets_pure_rdma, stats_.gets_rpc_path,
-                       stats_.version_rereads, stats_.client_crc_checks};
+                       stats_.version_rereads, stats_.client_crc_checks,
+                       stats_.retries,        stats_.giveups};
   }
 
   [[nodiscard]] const ClientOptions& options() const noexcept {
@@ -113,7 +173,18 @@ class KvClient {
 
  protected:
   KvClient(sim::Simulator& sim, ClientOptions options)
-      : options_(options), tracer_(sim, metrics_, options.collect_traces) {}
+      : sim_(sim),
+        options_(options),
+        tracer_(sim, metrics_, options.collect_traces) {}
+
+  /// One try of the operation, per the concrete system's protocol.
+  virtual sim::Task<Status> put_attempt(Bytes key, Bytes value) = 0;
+  virtual sim::Task<Expected<Bytes>> get_attempt(Bytes key) = 0;
+  virtual sim::Task<Status> del_attempt(Bytes key) {
+    static_cast<void>(key);
+    co_return Status{StatusCode::kUnimplemented,
+                     "delete not supported by this system"};
+  }
 
   /// Registry-backed counters; field names mirror ClientStats so existing
   /// `++stats_.gets` sites read identically.
@@ -124,21 +195,28 @@ class KvClient {
           gets_pure_rdma(r.counter("client.gets_pure_rdma")),
           gets_rpc_path(r.counter("client.gets_rpc_path")),
           version_rereads(r.counter("client.version_rereads")),
-          client_crc_checks(r.counter("client.client_crc_checks")) {}
+          client_crc_checks(r.counter("client.client_crc_checks")),
+          retries(r.counter("client.retries")),
+          giveups(r.counter("client.giveups")) {}
     metrics::Counter& puts;
     metrics::Counter& gets;
     metrics::Counter& gets_pure_rdma;
     metrics::Counter& gets_rpc_path;
     metrics::Counter& version_rereads;
     metrics::Counter& client_crc_checks;
+    metrics::Counter& retries;
+    metrics::Counter& giveups;
   };
 
   std::size_t klen_hint_ = 0;
   std::size_t vlen_hint_ = 0;
+  sim::Simulator& sim_;
   ClientOptions options_;
   metrics::MetricsRegistry metrics_;
   Counters stats_{metrics_};
   metrics::Tracer tracer_;
+  /// Jitter stream for retry backoff (deterministic per client).
+  Rng retry_rng_{options_.retry.seed};
 };
 
 }  // namespace efac::stores

@@ -67,7 +67,7 @@ class RcommitClient final : public KvClient {
         conn_(store.simulator(), store.fabric(), store.node(),
               store.directory(), store.next_qp_id(), &metrics_) {}
 
-  sim::Task<Status> put(Bytes key, Bytes value) override {
+  sim::Task<Status> put_attempt(Bytes key, Bytes value) override {
     ++stats_.puts;
     TRACE_SPAN(tracer_, "put.total");
     AllocRequest req;
@@ -77,9 +77,11 @@ class RcommitClient final : public KvClient {
                              value);  // recovery bookkeeping, no time
     req.key = key;
     metrics::Span alloc_span{tracer_, "put.alloc_rpc"};
-    const Bytes raw = co_await conn_.call(kAlloc, req.encode());
+    const Expected<Bytes> raw = co_await conn_.call_timeout(
+        kAlloc, req.encode(), options_.retry.rpc_timeout_ns);
     alloc_span.finish();
-    const AllocResponse resp = AllocResponse::decode(raw);
+    if (!raw) co_return raw.status();
+    const AllocResponse resp = AllocResponse::decode(*raw);
     if (resp.status != StatusCode::kOk) co_return Status{resp.status};
 
     // Pipelined one-sided chain; RC ordering serializes the four WRs.
@@ -112,7 +114,7 @@ class RcommitClient final : public KvClient {
     co_return c2.status();
   }
 
-  sim::Task<Expected<Bytes>> get(Bytes key) override {
+  sim::Task<Expected<Bytes>> get_attempt(Bytes key) override {
     ++stats_.gets;
     TRACE_SPAN(tracer_, "get.total");
     const std::uint64_t key_hash = kv::hash_key(key);

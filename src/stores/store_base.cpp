@@ -25,6 +25,15 @@ StoreBase::StoreBase(sim::Simulator& sim, StoreConfig config,
                                         config_.seed ^ 0xA7E4A, &metrics_);
   node_ = std::make_unique<rdma::Node>(sim_, arena_.get());
 
+  // Arm fault injection only when the plan asks for it: with an empty plan
+  // the injector stays disabled and every hook reduces to one branch, so
+  // seeded clean runs are bit-identical to a build without any plan.
+  if (!config_.fault_plan.empty()) {
+    injector_.configure(config_.fault_plan, metrics_);
+    fabric_.set_injector(&injector_);
+    arena_->set_injector(&injector_);
+  }
+
   pool_a_ = std::make_unique<kv::DataPool>(*arena_, hash_bytes,
                                            config_.pool_bytes);
   if (config_.second_pool) {

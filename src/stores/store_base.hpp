@@ -19,6 +19,7 @@
 #include <memory>
 
 #include "common/status.hpp"
+#include "fault/fault.hpp"
 #include "kv/data_pool.hpp"
 #include "kv/object.hpp"
 #include "metrics/metrics.hpp"
@@ -63,6 +64,13 @@ class StoreBase {
   /// with recover_get().
   void crash();
 
+  /// Attempt a full restart after crash(): rebuild volatile server state
+  /// from the persisted image and resume service. Returns false for
+  /// systems without an online recovery procedure (default); they can only
+  /// be inspected via recover_get(). EFactoryStore overrides this with its
+  /// recover() walk.
+  virtual bool restart() { return false; }
+
   /// Post-crash lookup against the surviving (persisted) state, following
   /// the system's recovery procedure. No virtual time is charged: recovery
   /// correctness, not speed, is what the paper argues about.
@@ -100,6 +108,10 @@ class StoreBase {
     return *pool_b_;
   }
   [[nodiscard]] bool crashed() const noexcept { return crashed_; }
+
+  /// Cluster-wide fault injector (armed iff config().fault_plan is
+  /// non-empty; disabled injectors are inert).
+  [[nodiscard]] fault::Injector& injector() noexcept { return injector_; }
 
   /// Allocate a unique QP id for a new client connection.
   [[nodiscard]] std::uint64_t next_qp_id() noexcept { return next_qp_id_++; }
@@ -158,8 +170,10 @@ class StoreBase {
   sim::Simulator& sim_;
   StoreConfig config_;
   // metrics_ must precede arena_ (the arena registers its counters here)
-  // and stats_/tracer_ (which hold references into it).
+  // and stats_/tracer_ (which hold references into it); injector_ must
+  // precede arena_/fabric_ too (both hold a pointer to it).
   metrics::MetricsRegistry metrics_;
+  fault::Injector injector_;
   std::unique_ptr<nvm::Arena> arena_;
   rdma::Fabric fabric_;
   std::unique_ptr<rdma::Node> node_;
