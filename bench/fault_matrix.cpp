@@ -43,6 +43,7 @@ namespace {
 using stores::SystemKind;
 
 bool g_smoke = false;
+bool g_analysis = false;
 int g_violations = 0;
 
 constexpr int kKeys = 8;
@@ -166,6 +167,17 @@ TrialTally run_trial(SystemKind kind, const fault::FaultPlan& plan,
   config.seed = 0xFA0 + static_cast<std::uint64_t>(trial);
   config.crash_policy.eviction_probability = 0.5;
   config.fault_plan = plan;
+  if (g_analysis) {
+    config.analysis.enabled = true;
+    // Plans that legitimately lose persists trip the durability lint by
+    // design, and so do duplicated one-sided writes: the spurious
+    // retransmission re-dirties already-flushed bytes (same content, but
+    // the lint tracks writes, not values). The race rules stay armed
+    // regardless.
+    config.analysis.allow_unflushed_durability =
+        plan.compromises_durability ||
+        plan.at(fault::Site::kWriteDuplicate).active();
+  }
 
   stores::ClientOptions options;
   options.retry.max_attempts = 4;
@@ -278,6 +290,18 @@ TrialTally run_trial(SystemKind kind, const fault::FaultPlan& plan,
            << " but recovery returned v" << rver;
       report_violation(plan, kind, trial, what.str());
       ++tally.violations;
+    }
+  }
+
+  if (analysis::Checker* checker = cluster.store->checker();
+      checker != nullptr) {
+    const std::uint64_t flagged =
+        checker->unguarded_races() + checker->durability_violations();
+    if (flagged != 0) {
+      report_violation(plan, kind, trial,
+                       "conflict sanitizer flagged the trial:\n" +
+                           checker->report());
+      tally.violations += static_cast<int>(flagged);
     }
   }
 
@@ -408,6 +432,10 @@ int main(int argc, char** argv) {
   for (int i = 0; i < argc; ++i) {
     if (std::strcmp(argv[i], "--smoke") == 0) {
       efac::bench::g_smoke = true;
+    } else if (std::strcmp(argv[i], "--analysis") == 0) {
+      // Run every trial under the conflict sanitizer; checker verdicts
+      // (unguarded races, durability-lint hits) count as violations.
+      efac::bench::g_analysis = true;
     } else if (std::strncmp(argv[i], "--plan=", 7) == 0) {
       const char* path = argv[i] + 7;
       std::ifstream in{path};

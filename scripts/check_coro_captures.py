@@ -1,0 +1,93 @@
+#!/usr/bin/env python3
+"""Lint: lambda coroutines must not have a capture list.
+
+A lambda whose body is a coroutine (declared `-> Task<...>` /
+`-> sim::Task<...>`) stores its captures in the closure object, NOT in the
+coroutine frame. The closure is a temporary that dies at the end of the
+full expression that spawned the coroutine, so every capture — by
+reference or by value — dangles across the first suspension point. The
+codebase idiom is a captureless lambda taking its context as parameters,
+immediately invoked:
+
+    sim.spawn([](Simulator& s, Client& c) -> Task<void> {
+      co_await c.put(...);
+    }(sim, client));
+
+Parameters live in the coroutine frame and stay valid. This script flags
+any lambda with a non-empty capture list and a coroutine return type.
+
+A finding can be waived with a `// coro-capture-ok: <reason>` comment on
+the line of the capture list or the line above it; the reason is
+mandatory (e.g. the closure is provably kept alive in a member).
+
+Usage: scripts/check_coro_captures.py [root ...]   (default: src tests bench)
+Exit code 1 if any unwaived finding exists.
+"""
+
+import pathlib
+import re
+import sys
+
+# Non-empty capture list, optional parameter list / specifiers, then a
+# coroutine task return type. [^\]]* / [^)]* deliberately span newlines so
+# multi-line signatures match.
+LAMBDA_CORO = re.compile(
+    r"\[(?P<captures>[^\[\]]+)\]\s*"
+    r"(?:\((?P<params>[^()]*)\)\s*)?"
+    r"(?:mutable\s*)?(?:noexcept\s*)?"
+    r"->\s*(?:efac::)?(?:sim::)?Task<"
+)
+
+WAIVER = "coro-capture-ok:"
+
+SOURCE_GLOBS = ("*.cpp", "*.hpp", "*.cc", "*.h")
+
+
+def find_violations(path: pathlib.Path) -> list[tuple[int, str]]:
+    text = path.read_text(encoding="utf-8", errors="replace")
+    lines = text.splitlines()
+    violations = []
+    for match in LAMBDA_CORO.finditer(text):
+        captures = match.group("captures").strip()
+        if not captures:
+            continue
+        line_no = text.count("\n", 0, match.start()) + 1  # 1-indexed
+        context = lines[max(0, line_no - 2): line_no]
+        if any(WAIVER in line for line in context):
+            continue
+        violations.append((line_no, captures))
+    return violations
+
+
+def main(argv: list[str]) -> int:
+    repo = pathlib.Path(__file__).resolve().parent.parent
+    if argv[1:]:
+        roots = [pathlib.Path(r) for r in argv[1:]]
+    else:
+        roots = [repo / r for r in ("src", "tests", "bench")]
+    total = 0
+    for root in roots:
+        for glob in SOURCE_GLOBS:
+            for path in sorted(root.rglob(glob)):
+                for line_no, captures in find_violations(path):
+                    total += 1
+                    try:
+                        rel = path.relative_to(repo)
+                    except ValueError:
+                        rel = path
+                    print(
+                        f"{rel}:{line_no}: lambda coroutine captures "
+                        f"[{captures}] — captures live in the closure "
+                        f"object and dangle across suspension; pass them "
+                        f"as parameters instead (or waive with "
+                        f"'// {WAIVER} <reason>')"
+                    )
+    if total:
+        print(f"\n{total} coroutine-capture finding(s)", file=sys.stderr)
+        return 1
+    print("coroutine-capture lint: clean")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))

@@ -37,6 +37,7 @@ class DataPool {
 
   /// Drop all allocations (after this pool's contents were migrated away).
   void reset() noexcept {
+    arena_->forget_shadow(base_, capacity_);
     used_ = 0;
     allocations_ = 0;
   }

@@ -4,6 +4,7 @@
 #include <cmath>
 #include <cstring>
 
+#include "analysis/checker.hpp"
 #include "common/assert.hpp"
 
 namespace efac::nvm {
@@ -65,6 +66,7 @@ void Arena::store(MemOffset off, BytesView data) {
   mark_dirty(off, data.size());
   ++stats_.cpu_stores;
   stats_.cpu_store_bytes += data.size();
+  if (checker_ != nullptr) checker_->on_cpu_write(off, data.size());
 }
 
 void Arena::store_u64(MemOffset off, std::uint64_t value) {
@@ -81,6 +83,7 @@ void Arena::load(MemOffset off, MutableBytesView out) {
   std::memcpy(out.data(), current_.data() + off, out.size());
   ++stats_.cpu_loads;
   stats_.cpu_load_bytes += out.size();
+  if (checker_ != nullptr) checker_->on_read(off, out.size());
 }
 
 Bytes Arena::load(MemOffset off, std::size_t len) {
@@ -127,6 +130,11 @@ void Arena::flush_now(MemOffset off, std::size_t len) {
     ++stats_.flushed_lines;
   }
   ++stats_.flushes;
+  if (checker_ != nullptr) {
+    // The checker sees the line-expanded range: neighbours sharing a
+    // flushed line really did persist.
+    checker_->on_flush(first * kLine, (last - first + 1) * kLine);
+  }
 }
 
 bool Arena::is_dirty(MemOffset off, std::size_t len) {
@@ -159,6 +167,9 @@ void Arena::dma_write(MemOffset off, BytesView data, SimTime start,
   if (data.empty()) return;
   ++stats_.dma_writes;
   stats_.dma_bytes += data.size();
+  if (checker_ != nullptr) {
+    checker_->on_dma_write(off, data.size(), start, end);
+  }
   pending_.push_back(Placement{off, Bytes(data.begin(), data.end()), start,
                                end, order, rng_(), 0});
   resolve_dma(sim_.now());
@@ -253,6 +264,11 @@ void Arena::crash(const CrashPolicy& policy) {
   // 3. The post-crash contents are exactly the persisted image.
   current_ = persisted_;
   ++stats_.crashes;
+  if (checker_ != nullptr) checker_->on_crash();
+}
+
+void Arena::forget_shadow(MemOffset off, std::size_t len) noexcept {
+  if (checker_ != nullptr) checker_->forget_region(off, len);
 }
 
 Bytes Arena::persisted_bytes(MemOffset off, std::size_t len) const {

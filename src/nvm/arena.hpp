@@ -36,6 +36,10 @@
 #include "metrics/metrics.hpp"
 #include "sim/simulator.hpp"
 
+namespace efac::analysis {
+class Checker;
+}  // namespace efac::analysis
+
 namespace efac::nvm {
 
 /// Virtual-time costs of NVM operations (defaults follow DRAM-emulated
@@ -134,6 +138,18 @@ class Arena {
     injector_ = injector;
   }
 
+  /// Attach the conflict sanitizer (nullptr detaches). Every store / load /
+  /// DMA / flush / crash is mirrored into its shadow memory. The checker
+  /// must outlive the arena.
+  void set_checker(analysis::Checker* checker) noexcept {
+    checker_ = checker;
+  }
+
+  /// Drop the sanitizer's shadow stamps for [off, off+len) — call when a
+  /// region is recycled (pool reset) so stale records of retired data never
+  /// conflict with fresh allocations at the same offsets.
+  void forget_shadow(MemOffset off, std::size_t len) noexcept;
+
   /// True if any byte of [off, off+len) is dirty (not yet persisted).
   [[nodiscard]] bool is_dirty(MemOffset off, std::size_t len);
 
@@ -206,6 +222,7 @@ class Arena {
   std::vector<Placement> pending_;
   Rng rng_;
   fault::Injector* injector_ = nullptr;
+  analysis::Checker* checker_ = nullptr;
   // Declaration order matters: owned_metrics_ (if any) must outlive the
   // Counter references in stats_.
   std::unique_ptr<metrics::MetricsRegistry> owned_metrics_;

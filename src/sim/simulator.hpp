@@ -41,6 +41,7 @@
 #include "common/assert.hpp"
 #include "common/types.hpp"
 #include "sim/event.hpp"
+#include "sim/hb.hpp"
 #include "sim/task.hpp"
 
 namespace efac::sim {
@@ -135,6 +136,21 @@ class Simulator {
   [[nodiscard]] std::uint64_t dispatch_hash() const noexcept {
     return dispatch_hash_;
   }
+
+  /// Attach happens-before hooks (the conflict sanitizer). With hooks
+  /// attached, every scheduled event remembers the actor that scheduled it
+  /// and restores that attribution at dispatch. nullptr detaches; with no
+  /// hooks every instrumentation site reduces to one pointer test.
+  void set_hb_hooks(HbHooks* hb) noexcept { hb_ = hb; }
+  [[nodiscard]] HbHooks* hb_hooks() const noexcept { return hb_; }
+
+  /// Resume `h` at the current instant attributed to `actor` (sync
+  /// primitive wake-ups: the waiter must run under its own actor, not the
+  /// releaser's). With no hooks attached this is exactly
+  /// schedule_after(0, h); with hooks it consumes the same single sequence
+  /// number at the same instant, so dispatch_hash() is identical either
+  /// way — the determinism witness for the sanitizer.
+  void schedule_actor_resume(std::uint32_t actor, std::coroutine_handle<> h);
 
   /// Used by the detached-task driver; not for general use.
   void record_detached_exception(std::exception_ptr e) noexcept;
@@ -232,6 +248,10 @@ class Simulator {
   std::uint64_t dispatch_hash_ = 0xcbf29ce484222325ull;  // FNV-1a offset
   std::unordered_map<std::uint64_t, std::coroutine_handle<>> roots_;
   std::exception_ptr pending_exception_;
+  HbHooks* hb_ = nullptr;
+  /// seq -> scheduling actor; populated only while hooks are attached (and
+  /// only for non-zero actors), consumed at dispatch.
+  std::unordered_map<std::uint64_t, std::uint32_t> event_actor_;
 };
 
 /// Awaitable that suspends the current coroutine for `d` virtual ns.

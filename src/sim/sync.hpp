@@ -18,11 +18,21 @@
 #include <utility>
 
 #include "common/assert.hpp"
+#include "sim/hb.hpp"
 #include "sim/simulator.hpp"
 
 namespace efac::sim {
 
-/// Single-value future. Exactly one set(); at most one concurrent waiter.
+/// Single-value future. Exactly one set() per value; at most one
+/// concurrent waiter.
+///
+/// Single-consumer contract: at most one coroutine may be suspended in
+/// wait() at a time. A second wait() while the first waiter is still
+/// suspended throws efac::CheckFailure from wait() itself (not from deep
+/// inside the awaiter machinery) — callers that need fan-out want a Gate
+/// or a Channel, not a OneShot. After the value is consumed the slot is
+/// empty again and may be re-set and re-awaited (the RPC layer reuses
+/// slots this way).
 template <typename T>
 class OneShot {
  public:
@@ -33,25 +43,35 @@ class OneShot {
   /// Fulfil the future. The waiter (if any) resumes at the current instant.
   void set(T value) {
     EFAC_CHECK_MSG(!value_.has_value(), "OneShot set twice");
+    if (HbHooks* hb = sim_.hb_hooks()) hb->release(clock_);
     value_.emplace(std::move(value));
     if (waiter_) {
-      sim_.schedule_after(0, std::exchange(waiter_, {}));
+      sim_.schedule_actor_resume(waiter_actor_, std::exchange(waiter_, {}));
     }
   }
 
   [[nodiscard]] bool ready() const noexcept { return value_.has_value(); }
 
   /// Awaitable: suspends until set(), then yields the value (moved out).
+  /// Throws efac::CheckFailure if a waiter is already suspended (see the
+  /// single-consumer contract above).
   auto wait() {
+    EFAC_CHECK_MSG(!waiter_,
+                   "OneShot::wait(): a second waiter attached while the "
+                   "first is still suspended — OneShot is single-consumer; "
+                   "use a Gate (broadcast) or Channel (queue) for fan-out");
     struct Awaiter {
       OneShot& self;
       bool await_ready() const noexcept { return self.value_.has_value(); }
       void await_suspend(std::coroutine_handle<> h) {
-        EFAC_CHECK_MSG(!self.waiter_, "OneShot already has a waiter");
+        if (HbHooks* hb = self.sim_.hb_hooks()) {
+          self.waiter_actor_ = hb->current_actor();
+        }
         self.waiter_ = h;
       }
       T await_resume() {
         EFAC_CHECK(self.value_.has_value());
+        if (HbHooks* hb = self.sim_.hb_hooks()) hb->acquire(self.clock_);
         T out = std::move(*self.value_);
         self.value_.reset();
         return out;
@@ -64,6 +84,8 @@ class OneShot {
   Simulator& sim_;
   std::optional<T> value_;
   std::coroutine_handle<> waiter_;
+  VectorClock clock_;  ///< carries the setter's clock to the consumer
+  std::uint32_t waiter_actor_ = 0;
 };
 
 /// Manual-reset broadcast event. wait() suspends while closed; set() wakes
@@ -76,7 +98,10 @@ class Gate {
 
   void open() {
     open_ = true;
-    for (std::coroutine_handle<> h : waiters_) sim_.schedule_after(0, h);
+    if (HbHooks* hb = sim_.hb_hooks()) hb->release(clock_);
+    for (const Waiter& w : waiters_) {
+      sim_.schedule_actor_resume(w.actor, w.handle);
+    }
     waiters_.clear();
   }
 
@@ -89,17 +114,27 @@ class Gate {
       Gate& self;
       bool await_ready() const noexcept { return self.open_; }
       void await_suspend(std::coroutine_handle<> h) {
-        self.waiters_.push_back(h);
+        std::uint32_t actor = 0;
+        if (HbHooks* hb = self.sim_.hb_hooks()) actor = hb->current_actor();
+        self.waiters_.push_back(Waiter{h, actor});
       }
-      void await_resume() const noexcept {}
+      void await_resume() const {
+        if (HbHooks* hb = self.sim_.hb_hooks()) hb->acquire(self.clock_);
+      }
     };
     return Awaiter{*this};
   }
 
  private:
+  struct Waiter {
+    std::coroutine_handle<> handle;
+    std::uint32_t actor;
+  };
+
   Simulator& sim_;
   bool open_;
-  std::deque<std::coroutine_handle<>> waiters_;
+  std::deque<Waiter> waiters_;
+  VectorClock clock_;  ///< carries the opener's clock to the waiters
 };
 
 /// Counting semaphore with FIFO ordering. release() hands the permit
@@ -115,13 +150,14 @@ class Semaphore {
   auto acquire() { return AcquireAwaiter{.self = *this}; }
 
   void release() {
+    if (HbHooks* hb = sim_.hb_hooks()) hb->release(clock_);
     if (!waiters_.empty()) {
       // Direct hand-off: the permit never becomes visible to other acquirers
       // and cannot be double-counted by the resuming waiter.
       AcquireAwaiter* w = waiters_.front();
       waiters_.pop_front();
       w->handed_off = true;
-      sim_.schedule_after(0, w->handle);
+      sim_.schedule_actor_resume(w->actor, w->handle);
     } else {
       EFAC_CHECK_MSG(available_ < capacity_, "Semaphore over-released");
       ++available_;
@@ -139,13 +175,16 @@ class Semaphore {
     Semaphore& self;
     bool handed_off = false;
     std::coroutine_handle<> handle{};
+    std::uint32_t actor = 0;
 
     bool await_ready() const noexcept { return self.available_ > 0; }
     void await_suspend(std::coroutine_handle<> h) {
+      if (HbHooks* hb = self.sim_.hb_hooks()) actor = hb->current_actor();
       handle = h;
       self.waiters_.push_back(this);
     }
-    void await_resume() const noexcept {
+    void await_resume() const {
+      if (HbHooks* hb = self.sim_.hb_hooks()) hb->acquire(self.clock_);
       if (!handed_off) {
         // Ready path: consume an available permit atomically (the DES is
         // cooperative, so nothing interleaves between ready and resume).
@@ -158,6 +197,7 @@ class Semaphore {
   std::size_t available_;
   std::size_t capacity_;
   std::deque<AcquireAwaiter*> waiters_;
+  VectorClock clock_;  ///< accumulated releaser clocks
 };
 
 /// RAII permit holder usable from coroutines:
@@ -205,13 +245,20 @@ class Channel {
   Channel& operator=(const Channel&) = delete;
 
   void push(T value) {
+    HbHooks* const hb = sim_.hb_hooks();
+    VectorClock clock;
+    if (hb != nullptr) hb->release(clock);
     if (!waiters_.empty()) {
       PopAwaiter* w = waiters_.front();
       waiters_.pop_front();
       w->slot.emplace(std::move(value));
-      sim_.schedule_after(0, w->handle);
+      if (hb != nullptr) w->slot_clock = std::move(clock);
+      sim_.schedule_actor_resume(w->actor, w->handle);
     } else {
       items_.push_back(std::move(value));
+      // item_clocks_ mirrors items_ only while hooks are attached (they
+      // are attached before any traffic and never detached mid-run).
+      if (hb != nullptr) item_clocks_.push_back(std::move(clock));
     }
   }
 
@@ -229,25 +276,35 @@ class Channel {
     Channel& self;
     std::optional<T> slot{};
     std::coroutine_handle<> handle{};
+    VectorClock slot_clock{};
+    std::uint32_t actor = 0;
 
     bool await_ready() const noexcept { return !self.items_.empty(); }
     void await_suspend(std::coroutine_handle<> h) {
+      if (HbHooks* hb = self.sim_.hb_hooks()) actor = hb->current_actor();
       handle = h;
       self.waiters_.push_back(this);
     }
     T await_resume() {
+      HbHooks* const hb = self.sim_.hb_hooks();
       if (slot.has_value()) {
+        if (hb != nullptr) hb->acquire(slot_clock);
         return std::move(*slot);  // direct hand-off path
       }
       EFAC_CHECK(!self.items_.empty());
       T out = std::move(self.items_.front());
       self.items_.pop_front();
+      if (hb != nullptr && !self.item_clocks_.empty()) {
+        hb->acquire(self.item_clocks_.front());
+        self.item_clocks_.pop_front();
+      }
       return out;
     }
   };
 
   Simulator& sim_;
   std::deque<T> items_;
+  std::deque<VectorClock> item_clocks_;  ///< pusher clocks, per queued item
   std::deque<PopAwaiter*> waiters_;
 };
 

@@ -4,6 +4,8 @@
 #include <array>
 #include <vector>
 
+#include "analysis/checker.hpp"
+
 namespace efac::stores {
 
 namespace {
@@ -50,7 +52,14 @@ Expected<Bytes> value_from_raw(const Bytes& raw, std::size_t klen,
 }  // namespace
 
 Expected<Bytes> recover_via_dir(nvm::Arena& arena, kv::HashDir& dir,
-                                const StoreBase& store, BytesView key) {
+                                StoreBase& store, BytesView key) {
+  // Recovery reads arbitrary (possibly torn) bytes left behind by clients;
+  // every candidate is CRC-re-verified, which is the recovery-scan guard.
+  analysis::Checker* const checker = store.checker();
+  analysis::ActorScope scope(
+      checker, checker != nullptr ? checker->server_actor() : 0);
+  analysis::AccessGuard guard(checker, analysis::Guard::kRecoveryScan,
+                              "recover.dir_scan");
   const std::uint64_t key_hash = kv::hash_key(key);
   const Expected<std::size_t> slot = dir.find(key_hash);
   if (!slot) return Status{StatusCode::kNotFound};
@@ -135,6 +144,12 @@ sim::Task<void> SawStore::handle(rdma::InboundMessage msg) {
     } else {
       status = StatusCode::kInternal;
     }
+    // The OK ack is SAW's durability promise: value landed (RC ordering
+    // put the persist SEND behind the payload WRITE) and flush completed.
+    if (status == StatusCode::kOk) {
+      assert_object_durable(checker_.get(), persist.object_off, total,
+                            "saw.persist_ack");
+    }
     co_await charge(cost + config_.cpu.send_post_ns);
     rpc::Replier{directory_, req.src_qp, req.call_id}.reply(
         encode_status(status));
@@ -149,18 +164,26 @@ Expected<Bytes> SawStore::recover_get(BytesView key) {
 
 namespace {
 
-/// Shared "entry read + object read" GET used by SAW, IMM, and CA. These
-/// systems trust the index (or, for CA, simply hope), so no verification
-/// happens client-side.
+/// Shared "entry read + object read" GET used by SAW, IMM, InPlace, and
+/// CA. These systems trust the index (or, for CA, simply hope), so no
+/// verification happens client-side. Each subclass states how its object
+/// read tolerates racing writers: SAW/IMM index only after the persist
+/// point and value_from_raw re-validates the header (kMetaRevalidate);
+/// CA/InPlace give no such guarantee and declare the race (kDeclaredRacy
+/// — torn reads are exactly the flaw the motivation suite demonstrates).
 class TwoReadClient : public KvClient {
  public:
   TwoReadClient(StoreBase& store, kv::HashDir& dir,
-                const ClientOptions& options)
+                const ClientOptions& options, analysis::Guard object_guard,
+                const char* entry_site, const char* object_site)
       : KvClient(store.simulator(), options),
         store_(store),
         dir_(dir),
         conn_(store.simulator(), store.fabric(), store.node(),
-              store.directory(), store.next_qp_id(), &metrics_) {}
+              store.directory(), store.next_qp_id(), &metrics_),
+        object_guard_(object_guard),
+        entry_site_(entry_site),
+        object_site_(object_site) {}
 
   sim::Task<Expected<Bytes>> get_attempt(Bytes key) override {
     ++stats_.gets;
@@ -172,21 +195,27 @@ class TwoReadClient : public KvClient {
     kv::HashDir::Entry entry;
     bool found = false;
     std::size_t slot = dir_.ideal_slot(key_hash);
-    for (std::size_t probe = 0; probe < kClientProbeLimit; ++probe) {
-      metrics::Span entry_span{tracer_, "get.entry_read"};
-      const Expected<Bytes> raw_entry =
-          co_await conn_.qp().read(store_.index_rkey(),
-                                   dir_.entry_offset(slot),
-                                   kv::HashDir::kEntrySize);
-      entry_span.finish();
-      if (!raw_entry) co_return raw_entry.status();
-      entry = kv::HashDir::decode(*raw_entry);
-      if (entry.key_hash == key_hash) {
-        found = true;
-        break;
+    {
+      // Entry reads race with the server's index updates; the decoded
+      // entry is validated against the key hash before it is trusted.
+      analysis::AccessGuard entry_guard(
+          checker_, analysis::Guard::kMetaRevalidate, entry_site_);
+      for (std::size_t probe = 0; probe < kClientProbeLimit; ++probe) {
+        metrics::Span entry_span{tracer_, "get.entry_read"};
+        const Expected<Bytes> raw_entry =
+            co_await conn_.qp().read(store_.index_rkey(),
+                                     dir_.entry_offset(slot),
+                                     kv::HashDir::kEntrySize);
+        entry_span.finish();
+        if (!raw_entry) co_return raw_entry.status();
+        entry = kv::HashDir::decode(*raw_entry);
+        if (entry.key_hash == key_hash) {
+          found = true;
+          break;
+        }
+        if (entry.empty()) break;
+        slot = (slot + 1) & (dir_.bucket_count() - 1);
       }
-      if (entry.empty()) break;
-      slot = (slot + 1) & (dir_.bucket_count() - 1);
     }
     if (!found || entry.current() == 0) {
       co_return Status{StatusCode::kNotFound};
@@ -194,6 +223,7 @@ class TwoReadClient : public KvClient {
     const std::size_t total =
         kv::ObjectLayout::total_size(klen_hint_, vlen_hint_);
     metrics::Span read_span{tracer_, "get.object_read"};
+    analysis::AccessGuard read_guard(checker_, object_guard_, object_site_);
     const Expected<Bytes> raw_obj = co_await conn_.qp().read(
         store_.pool_rkey(), entry.current() - store_.pool_a().base(), total);
     read_span.finish();
@@ -206,12 +236,17 @@ class TwoReadClient : public KvClient {
   StoreBase& store_;
   kv::HashDir& dir_;
   rpc::Connection conn_;
+  analysis::Guard object_guard_;
+  const char* entry_site_;
+  const char* object_site_;
 };
 
 class SawClient final : public TwoReadClient {
  public:
   SawClient(SawStore& store, const ClientOptions& options)
-      : TwoReadClient(store, store.dir(), options) {}
+      : TwoReadClient(store, store.dir(), options,
+                      analysis::Guard::kMetaRevalidate, "saw.get.entry_read",
+                      "saw.get.object_read") {}
 
   sim::Task<Status> put_attempt(Bytes key, Bytes value) override {
     ++stats_.puts;
@@ -327,6 +362,12 @@ sim::Task<void> ImmStore::handle(rdma::InboundMessage msg) {
     } else {
       status = StatusCode::kInternal;
     }
+    // The OK ack is IMM's durability promise: the immediate arrived after
+    // the payload (RC ordering) and the flush above completed.
+    if (status == StatusCode::kOk) {
+      assert_object_durable(checker_.get(), pw.object_off, total,
+                            "imm.durability_ack");
+    }
     co_await charge(cost + config_.cpu.send_post_ns);
     ack_hub_.complete(msg.imm, status);
     co_return;
@@ -370,7 +411,10 @@ namespace {
 class ImmClient final : public TwoReadClient {
  public:
   ImmClient(ImmStore& store, const ClientOptions& options)
-      : TwoReadClient(store, store.dir(), options), imm_store_(store) {}
+      : TwoReadClient(store, store.dir(), options,
+                      analysis::Guard::kMetaRevalidate, "imm.get.entry_read",
+                      "imm.get.object_read"),
+        imm_store_(store) {}
 
   sim::Task<Status> put_attempt(Bytes key, Bytes value) override {
     ++stats_.puts;
@@ -460,6 +504,11 @@ sim::Task<void> ErdaStore::handle(rdma::InboundMessage msg) {
 }
 
 Expected<Bytes> ErdaStore::recover_get(BytesView key) {
+  analysis::ActorScope scope(
+      checker_.get(),
+      checker_ != nullptr ? checker_->server_actor() : 0);
+  analysis::AccessGuard guard(checker_.get(), analysis::Guard::kRecoveryScan,
+                              "erda.recover");
   const std::uint64_t key_hash = kv::hash_key(key);
   const Expected<std::size_t> slot = table_.find(key_hash);
   if (!slot) return Status{StatusCode::kNotFound};
@@ -524,6 +573,10 @@ class ErdaClient final : public KvClient {
     kv::ErdaTable& table = store_.table();
     const std::size_t home = table.ideal_slot(key_hash);
     metrics::Span entry_span{tracer_, "get.entry_read"};
+    // The neighborhood scan races with the server's atomic-region index
+    // stores; scan_neighborhood re-validates hashes before trusting it.
+    analysis::AccessGuard hood_guard(
+        checker_, analysis::Guard::kMetaRevalidate, "erda.get.entry_read");
     const Expected<Bytes> raw_hood = co_await conn_.qp().read(
         store_.index_rkey(), table.bucket_offset(home),
         kv::ErdaTable::neighborhood_bytes());
@@ -536,6 +589,10 @@ class ErdaClient final : public KvClient {
     ++stats_.gets_pure_rdma;
 
     bool first = true;
+    // Erda tolerates reading in-flight writes precisely because every
+    // read is CRC-verified before the value is returned (Fig. 2's cost).
+    analysis::AccessGuard crc_guard(checker_, analysis::Guard::kCrcVerify,
+                                    "erda.get.object_read");
     const std::array<MemOffset, 2> candidates{versions->cur, versions->prev};
     for (const MemOffset off : candidates) {
       if (off == 0) continue;
@@ -653,7 +710,16 @@ sim::Task<void> ForcaStore::handle_get_loc(rpc::ParsedRequest req) {
       ++stats_.crc_checks;
       tracer_.record("server.get_crc", config_.crc.cost(meta.vlen));
       co_await charge(config_.crc.cost(meta.vlen));
-      if (obj.verify_crc()) {
+      // The CRC pass reads bytes a client DMA may still be landing into;
+      // a torn version fails the check and falls back, which is the guard.
+      bool intact = false;
+      {
+        analysis::AccessGuard crc_guard(checker_.get(),
+                                        analysis::Guard::kCrcVerify,
+                                        "forca.get_loc.verify");
+        intact = obj.verify_crc();
+      }
+      if (intact) {
         const std::size_t total =
             kv::ObjectLayout::total_size(meta.klen, meta.vlen);
         // Persist only if a previous read has not already done so (the
@@ -666,6 +732,10 @@ sim::Task<void> ForcaStore::handle_get_loc(rpc::ParsedRequest req) {
                           arena_->cost().flush_cost(kv::HashDir::kEntrySize) +
                           arena_->cost().fence_ns);
         }
+        // Returning the location is Forca's durability promise: the
+        // object was verified intact and persisted before the reply.
+        assert_object_durable(checker_.get(), off, total,
+                              "forca.get_loc.reply");
         resp.status = StatusCode::kOk;
         resp.object_off = off;
         resp.klen = meta.klen;
@@ -740,6 +810,10 @@ class ForcaClient final : public KvClient {
     const std::size_t total =
         kv::ObjectLayout::total_size(resp.klen, resp.vlen);
     metrics::Span read_span{tracer_, "get.object_read"};
+    // The server CRC-verified and persisted this object before handing
+    // out its location; the raw read still re-validates the header.
+    analysis::AccessGuard read_guard(
+        checker_, analysis::Guard::kMetaRevalidate, "forca.get.object_read");
     const Expected<Bytes> raw_obj = co_await conn_.qp().read(
         store_.pool_rkey(), resp.object_off - store_.pool_a().base(), total);
     read_span.finish();
@@ -811,6 +885,8 @@ sim::Task<void> RpcStore::handle(rdma::InboundMessage msg) {
                 arena_->cost().flush_cost(total) +
                 arena_->cost().flush_cost(kv::HashDir::kEntrySize) +
                 arena_->cost().fence_ns;
+        // The OK reply promises the whole object persisted server-side.
+        assert_object_durable(checker_.get(), *off, total, "rpc.put_ack");
       }
     }
     co_await charge(cost + config_.cpu.send_post_ns);
@@ -967,7 +1043,9 @@ namespace {
 class InPlaceClient final : public TwoReadClient {
  public:
   InPlaceClient(InPlaceStore& store, const ClientOptions& options)
-      : TwoReadClient(store, store.dir(), options) {}
+      : TwoReadClient(store, store.dir(), options,
+                      analysis::Guard::kDeclaredRacy, "inplace.get.entry_read",
+                      "inplace.get.object_read") {}
 
   sim::Task<Status> put_attempt(Bytes key, Bytes value) override {
     ++stats_.puts;
@@ -986,11 +1064,14 @@ class InPlaceClient final : public TwoReadClient {
     const AllocResponse resp = AllocResponse::decode(*raw);
     if (resp.status != StatusCode::kOk) co_return Status{resp.status};
     // The overwrite lands on the LIVE bytes: a crash mid-flight tears the
-    // only copy of this value.
+    // only copy of this value, and concurrent writers of the same key
+    // race by construction — the failure mode this system exists to show.
     const MemOffset value_off = resp.object_off +
                                 kv::ObjectLayout::kHeaderSize + key.size() -
                                 store_.pool_a().base();
     metrics::Span write_span{tracer_, "put.data_write"};
+    analysis::AccessGuard write_guard(
+        checker_, analysis::Guard::kDeclaredRacy, "inplace.put.overwrite");
     const Expected<Unit> wr =
         co_await conn_.qp().write(store_.pool_rkey(), value_off, value);
     write_span.finish();
@@ -1054,7 +1135,9 @@ namespace {
 class CaClient final : public TwoReadClient {
  public:
   CaClient(CaStore& store, const ClientOptions& options)
-      : TwoReadClient(store, store.dir(), options) {}
+      : TwoReadClient(store, store.dir(), options,
+                      analysis::Guard::kDeclaredRacy, "ca.get.entry_read",
+                      "ca.get.object_read") {}
 
   sim::Task<Status> put_attempt(Bytes key, Bytes value) override {
     ++stats_.puts;

@@ -30,10 +30,11 @@ namespace efac::stores {
 
 /// Post-crash lookup shared by the HashDir-based systems: walk every
 /// plausible version reachable from the entry, newest first, and return
-/// the first CRC-intact valid one.
+/// the first CRC-intact valid one. Runs under the server clock domain
+/// with a recovery-scan guard when the conflict sanitizer is attached.
 [[nodiscard]] Expected<Bytes> recover_via_dir(nvm::Arena& arena,
                                               kv::HashDir& dir,
-                                              const StoreBase& store,
+                                              StoreBase& store,
                                               BytesView key);
 
 // ---------------------------------------------------------------- SAW

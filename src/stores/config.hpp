@@ -11,6 +11,7 @@
 
 #include <algorithm>
 
+#include "analysis/options.hpp"
 #include "checksum/crc32.hpp"
 #include "common/types.hpp"
 #include "fault/fault.hpp"
@@ -96,6 +97,9 @@ struct StoreConfig {
   /// Deterministic fault scenario (default: empty = no injection; the
   /// fault hooks stay inert and schedules are bit-identical).
   fault::FaultPlan fault_plan;
+  /// Conflict sanitizer (default: disabled = no shadow memory, no vector
+  /// clocks; every instrumentation site reduces to one pointer test).
+  analysis::AnalysisOptions analysis;
   std::uint64_t seed = 0xEFAC;
 
   [[nodiscard]] SimDuration recv_cost() const noexcept {

@@ -217,6 +217,11 @@ sim::Task<Expected<LocResponse>> EFactoryStore::locate_verified(
     // read) already persisted it, answer without touching the data.
     if (obj.is_durable(meta.klen, meta.vlen)) {
       ++stats_.get_durability_hits;
+      // flag==1 promises exactly this: header+key+value are persisted.
+      assert_object_durable(
+          checker_.get(), off,
+          kv::ObjectLayout::flag_offset(meta.klen, meta.vlen),
+          "efactory.get.durability_hit");
       co_return resp;
     }
     // Selective durability guarantee: verify + persist + flag.
@@ -252,11 +257,21 @@ sim::Task<bool> EFactoryStore::verify_and_persist(MemOffset off) {
 
   ++stats_.crc_checks;
   co_await charge(config_.crc.cost(meta.vlen));
-  if (!obj.verify_crc()) co_return false;
+  {
+    // The verify read races with the client's in-flight RDMA WRITE by
+    // design; a CRC mismatch on torn bytes is the expected outcome.
+    analysis::AccessGuard guard(checker_.get(), analysis::Guard::kCrcVerify,
+                                "efactory.verify_crc");
+    if (!obj.verify_crc()) co_return false;
+  }
 
   const std::size_t total = kv::ObjectLayout::total_size(meta.klen, meta.vlen);
   obj.flush_all(meta.klen, meta.vlen);
   co_await charge(arena_->cost().flush_cost(total) + arena_->cost().fence_ns);
+  // The flag covers header+key+value only — itself it stays volatile.
+  assert_object_durable(checker_.get(), off,
+                        kv::ObjectLayout::flag_offset(meta.klen, meta.vlen),
+                        "efactory.verify_and_persist.flag");
   // The flag is set only after the payload is persisted. The flag itself
   // stays volatile: flag==1 promises "bytes are durable", and recovery
   // never trusts flags (it re-verifies by CRC), so losing a set flag in a
@@ -346,7 +361,14 @@ sim::Task<MemOffset> EFactoryStore::copy_object(MemOffset src,
   if (!dst) co_return 0;
 
   const bool source_flagged = source.is_durable(meta.klen, meta.vlen);
-  const Bytes bytes = arena_->load(src, total);
+  Bytes bytes;
+  {
+    // The cleaner may copy an object whose RDMA WRITE is still in flight;
+    // a torn copy is caught by the CRC check below (or re-queued).
+    analysis::AccessGuard guard(checker_.get(), analysis::Guard::kCrcVerify,
+                                "efactory.clean.copy");
+    bytes = arena_->load(src, total);
+  }
   arena_->store(*dst, bytes);
   kv::ObjectRef copy{*arena_, *dst};
   copy.set_durable(meta.klen, meta.vlen, false);  // never inherit the flag
@@ -359,15 +381,22 @@ sim::Task<MemOffset> EFactoryStore::copy_object(MemOffset src,
   co_await charge(config_.cpu.memcpy_cost(total) +
                   arena_->cost().flush_cost(total) +
                   arena_->cost().fence_ns);
+  const auto assert_copy_durable = [&] {
+    assert_object_durable(checker_.get(), *dst,
+                          kv::ObjectLayout::flag_offset(meta.klen, meta.vlen),
+                          "efactory.clean.copy_flag");
+  };
   if (source_flagged) {
     // The source was already verified + persisted; an atomic CPU copy of
     // intact bytes is intact, so re-verification would be wasted work.
+    assert_copy_durable();
     copy.set_durable(meta.klen, meta.vlen, true);
   } else {
     // Unverified source: only a CRC-valid copy earns the durability flag.
     ++stats_.crc_checks;
     co_await charge(config_.crc.cost(meta.vlen));
     if (copy.verify_crc()) {
+      assert_copy_durable();
       copy.set_durable(meta.klen, meta.vlen, true);  // volatile, like verify
     } else {
       verify_queue_.push_back(*dst);
@@ -518,6 +547,13 @@ sim::Task<void> EFactoryStore::cleaning_task() {
 // --------------------------------------------------------------- recovery
 
 Expected<Bytes> EFactoryStore::recover_get(BytesView key) {
+  // Recovery runs under the server clock domain; every candidate version
+  // is CRC-re-verified, which is what makes reading the wreckage safe.
+  analysis::ActorScope scope(checker_.get(),
+                             checker_ != nullptr ? checker_->server_actor()
+                                                 : 0);
+  analysis::AccessGuard guard(checker_.get(), analysis::Guard::kRecoveryScan,
+                              "efactory.recover_get");
   const std::uint64_t key_hash = kv::hash_key(key);
   const Expected<std::size_t> slot = dir_.find(key_hash);
   if (!slot) return Status{StatusCode::kNotFound};
@@ -535,6 +571,11 @@ Expected<Bytes> EFactoryStore::recover_get(BytesView key) {
 }
 
 EFactoryStore::RecoveryReport EFactoryStore::recover() {
+  analysis::ActorScope scope(checker_.get(),
+                             checker_ != nullptr ? checker_->server_actor()
+                                                 : 0);
+  analysis::AccessGuard guard(checker_.get(), analysis::Guard::kRecoveryScan,
+                              "efactory.recover");
   RecoveryReport report;
 
   // 1. Harvest: newest intact version per key from the surviving state.
@@ -610,6 +651,10 @@ EFactoryStore::RecoveryReport EFactoryStore::recover() {
     arena_->store(*off + kv::ObjectLayout::kHeaderSize + s.meta.klen,
                   s.value);
     arena_->flush(*off, total);
+    assert_object_durable(
+        checker_.get(), *off,
+        kv::ObjectLayout::flag_offset(s.meta.klen, s.meta.vlen),
+        "efactory.recover.compact_flag");
     obj.set_durable(s.meta.klen, s.meta.vlen, true);  // verified above
 
     kv::HashDir::Entry entry{};
@@ -693,6 +738,16 @@ sim::Task<Expected<Bytes>> EFactoryClient::read_object_at(
     MemOffset off, std::size_t klen, std::size_t vlen,
     std::uint64_t expect_hash, bool require_flag, bool* tombstoned) {
   const std::size_t total = kv::ObjectLayout::total_size(klen, vlen);
+  // One-sided object reads race with server writes and other clients' DMA
+  // by design. What makes them safe differs by path: the optimistic read
+  // trusts nothing until the durability flag says the bytes are immutable
+  // and persisted; the post-RPC read holds a server-verified location and
+  // re-validates the header against the expected identity.
+  analysis::AccessGuard read_guard(
+      checker_,
+      require_flag ? analysis::Guard::kDurabilityFlag
+                   : analysis::Guard::kMetaRevalidate,
+      require_flag ? "efactory.get.flagged_read" : "efactory.get.located_read");
   metrics::Span read_span{tracer_, "get.object_read"};
   const Expected<Bytes> raw = co_await conn_.qp().read(
       store_.pool_rkey(), off - store_.pool_a().base(), total);
@@ -740,6 +795,11 @@ sim::Task<Expected<Bytes>> EFactoryClient::get_attempt(Bytes key) {
     constexpr std::size_t kClientProbeLimit = 16;
     std::size_t slot = store_.dir().ideal_slot(key_hash);
     for (std::size_t probe = 0; probe < kClientProbeLimit; ++probe) {
+      // Index entries are read racily and re-validated by key hash; a torn
+      // or stale entry at worst sends us to the RPC fallback.
+      analysis::AccessGuard entry_guard(checker_,
+                                        analysis::Guard::kMetaRevalidate,
+                                        "efactory.get.entry_read");
       metrics::Span entry_span{tracer_, "get.entry_read"};
       const Expected<Bytes> raw = co_await conn_.qp().read(
           store_.index_rkey(), store_.dir().entry_offset(slot),

@@ -51,10 +51,14 @@ struct Cluster {
 
   /// Build a client with the given options (kDefault read mode resolves to
   /// the system's natural protocol; for kEFactoryNoHr it resolves to
-  /// kRpcOnly, which is the whole point of that ablation).
+  /// kRpcOnly, which is the whole point of that ablation). When the
+  /// conflict sanitizer is on, the client is registered as its own clock
+  /// domain.
   [[nodiscard]] std::unique_ptr<KvClient> make_client(
       const ClientOptions& options = {}) const {
-    return client_factory(options);
+    std::unique_ptr<KvClient> client = client_factory(options);
+    client->attach_checker(store->checker());
+    return client;
   }
 
   /// Convenience: start the server actors.

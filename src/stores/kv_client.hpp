@@ -15,6 +15,7 @@
 
 #include <cstdint>
 
+#include "analysis/checker.hpp"
 #include "common/bytes.hpp"
 #include "common/status.hpp"
 #include "metrics/metrics.hpp"
@@ -91,6 +92,7 @@ class KvClient {
 
   /// Durable-or-consistent PUT per the semantics of the concrete system.
   sim::Task<Status> put(Bytes key, Bytes value) {
+    switch_to("put");
     const RetryPolicy& policy = options_.retry;
     if (!policy.enabled()) {
       co_return co_await put_attempt(std::move(key), std::move(value));
@@ -111,6 +113,7 @@ class KvClient {
 
   /// GET; returns the value bytes.
   sim::Task<Expected<Bytes>> get(Bytes key) {
+    switch_to("get");
     const RetryPolicy& policy = options_.retry;
     if (!policy.enabled()) co_return co_await get_attempt(std::move(key));
     for (int attempt = 1;; ++attempt) {
@@ -131,6 +134,7 @@ class KvClient {
   /// space is reclaimed by log cleaning. Unsupported systems return
   /// kUnimplemented (never retried).
   sim::Task<Status> del(Bytes key) {
+    switch_to("del");
     const RetryPolicy& policy = options_.retry;
     if (!policy.enabled()) co_return co_await del_attempt(std::move(key));
     for (int attempt = 1;; ++attempt) {
@@ -171,6 +175,19 @@ class KvClient {
   }
   [[nodiscard]] metrics::Tracer& tracer() noexcept { return tracer_; }
 
+  /// Register this client as its own clock domain with the cluster's
+  /// conflict sanitizer. Call once, before issuing operations; a client
+  /// never attached runs as the untracked external actor.
+  void attach_checker(analysis::Checker* checker) {
+    checker_ = checker;
+    if (checker_ != nullptr) actor_id_ = checker_->register_client_actor();
+  }
+
+  /// This client's sanitizer handle (nullptr when analysis is off).
+  [[nodiscard]] analysis::Checker* checker() const noexcept {
+    return checker_;
+  }
+
  protected:
   KvClient(sim::Simulator& sim, ClientOptions options)
       : sim_(sim),
@@ -208,8 +225,17 @@ class KvClient {
     metrics::Counter& giveups;
   };
 
+  /// Enter this client's clock domain, labelling the operation for
+  /// reports. Set-only: event attribution keeps the actor current across
+  /// suspensions, and the caller (the harness) is the untracked actor 0.
+  void switch_to(const char* label) noexcept {
+    if (checker_ != nullptr) checker_->switch_to(actor_id_, label);
+  }
+
   std::size_t klen_hint_ = 0;
   std::size_t vlen_hint_ = 0;
+  analysis::Checker* checker_ = nullptr;
+  std::uint32_t actor_id_ = 0;
   sim::Simulator& sim_;
   ClientOptions options_;
   metrics::MetricsRegistry metrics_;

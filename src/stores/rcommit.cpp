@@ -98,19 +98,31 @@ class RcommitClient final : public KvClient {
         store_.pool_rkey(), resp.object_off - store_.pool_a().base(), total);
     if (!c1) co_return c1.status();
     // Metadata: flip the entry's head-offset word (off_old, +8 into the
-    // entry) and commit it — durable, ordered after the data commit.
+    // entry) and commit it — durable, ordered after the data commit. The
+    // 8-byte head word is the RDMA/NVM atomicity unit: concurrent
+    // same-key committers race on it last-writer-wins by design.
     std::uint8_t head_word[8];
     store_u64_le(head_word, resp.object_off);
     const MemOffset word_off = resp.entry_off + 8;
-    const Expected<SimTime> w2 = qp.post_write(
-        store_.entry_rkey(), word_off, BytesView{head_word, 8});
-    if (!w2) co_return w2.status();
+    {
+      analysis::AccessGuard head_guard(
+          checker_, analysis::Guard::kAtomicWord, "rcommit.put.head_word");
+      const Expected<SimTime> w2 = qp.post_write(
+          store_.entry_rkey(), word_off, BytesView{head_word, 8});
+      if (!w2) co_return w2.status();
+    }
     // The awaited tail of the WRITE→COMMIT→WRITE→COMMIT pipeline: its
     // duration is the durability wait the rcommit verb buys down.
     metrics::Span commit_span{tracer_, "put.commit_chain"};
     const Expected<Unit> c2 =
         co_await qp.commit(store_.entry_rkey(), word_off, 8);
     commit_span.finish();
+    // Commit completion is the durability promise: RC ordering placed the
+    // data COMMIT (c1) before this one, so the whole object is persisted.
+    if (c2.has_value()) {
+      assert_object_durable(checker_, resp.object_off, total,
+                            "rcommit.put.commit");
+    }
     co_return c2.status();
   }
 
@@ -123,20 +135,27 @@ class RcommitClient final : public KvClient {
     std::size_t slot = dir.ideal_slot(key_hash);
     kv::HashDir::Entry entry;
     bool found = false;
-    for (std::size_t probe = 0; probe < kClientProbeLimit; ++probe) {
-      metrics::Span entry_span{tracer_, "get.entry_read"};
-      const Expected<Bytes> raw = co_await conn_.qp().read(
-          store_.index_rkey(), dir.entry_offset(slot),
-          kv::HashDir::kEntrySize);
-      entry_span.finish();
-      if (!raw) co_return raw.status();
-      entry = kv::HashDir::decode(*raw);
-      if (entry.key_hash == key_hash) {
-        found = true;
-        break;
+    {
+      // Entry reads race with server claims and other clients' head-word
+      // commits; the decoded entry is validated against the key hash.
+      analysis::AccessGuard entry_guard(checker_,
+                                        analysis::Guard::kMetaRevalidate,
+                                        "rcommit.get.entry_read");
+      for (std::size_t probe = 0; probe < kClientProbeLimit; ++probe) {
+        metrics::Span entry_span{tracer_, "get.entry_read"};
+        const Expected<Bytes> raw = co_await conn_.qp().read(
+            store_.index_rkey(), dir.entry_offset(slot),
+            kv::HashDir::kEntrySize);
+        entry_span.finish();
+        if (!raw) co_return raw.status();
+        entry = kv::HashDir::decode(*raw);
+        if (entry.key_hash == key_hash) {
+          found = true;
+          break;
+        }
+        if (entry.empty()) break;
+        slot = (slot + 1) & (dir.bucket_count() - 1);
       }
-      if (entry.empty()) break;
-      slot = (slot + 1) & (dir.bucket_count() - 1);
     }
     if (!found || entry.current() == 0) {
       co_return Status{StatusCode::kNotFound};
@@ -144,6 +163,11 @@ class RcommitClient final : public KvClient {
     const std::size_t total =
         kv::ObjectLayout::total_size(klen_hint_, vlen_hint_);
     metrics::Span read_span{tracer_, "get.object_read"};
+    // The head word flips only after the data COMMIT, so a located object
+    // is complete; the header is still re-validated below before use.
+    analysis::AccessGuard read_guard(checker_,
+                                     analysis::Guard::kMetaRevalidate,
+                                     "rcommit.get.object_read");
     const Expected<Bytes> raw_obj = co_await conn_.qp().read(
         store_.pool_rkey(), entry.current() - store_.pool_a().base(), total);
     read_span.finish();

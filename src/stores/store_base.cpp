@@ -21,8 +21,16 @@ StoreBase::StoreBase(sim::Simulator& sim, StoreConfig config,
   const std::size_t arena_size =
       (hash_bytes + pools + line - 1) / line * line;
 
+  // The sanitizer attaches to the Simulator before the arena exists so
+  // that every access the store ever makes is observed.
+  if (config_.analysis.enabled) {
+    checker_ = std::make_unique<analysis::Checker>(sim_, config_.analysis,
+                                                   &metrics_);
+  }
+
   arena_ = std::make_unique<nvm::Arena>(sim_, arena_size, config_.nvm,
                                         config_.seed ^ 0xA7E4A, &metrics_);
+  if (checker_ != nullptr) arena_->set_checker(checker_.get());
   node_ = std::make_unique<rdma::Node>(sim_, arena_.get());
 
   // Arm fault injection only when the plan asks for it: with an empty plan
@@ -50,6 +58,12 @@ StoreBase::StoreBase(sim::Simulator& sim, StoreConfig config,
 }
 
 void StoreBase::start() {
+  // Spawn (and run until first suspension) under the server clock domain:
+  // all server-side coroutines share one actor — the cooperative DES
+  // scheduler is real synchronization between them.
+  analysis::ActorScope scope(
+      checker_.get(),
+      checker_ != nullptr ? checker_->server_actor() : 0);
   for (std::size_t i = 0; i < config_.server_workers; ++i) {
     sim_.spawn([](StoreBase& self) -> sim::Task<void> {
       for (;;) {

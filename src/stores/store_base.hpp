@@ -18,6 +18,7 @@
 
 #include <memory>
 
+#include "analysis/checker.hpp"
 #include "common/status.hpp"
 #include "fault/fault.hpp"
 #include "kv/data_pool.hpp"
@@ -47,6 +48,19 @@ struct ServerStats {
   std::uint64_t cleanings = 0;         ///< completed log-cleaning rounds
   std::uint64_t cleaned_objects = 0;   ///< objects migrated by cleaning
 };
+
+/// Durability-lint over an object's recovery-meaningful bytes: the span
+/// starting at `off` (header + key + value, optionally the flag word),
+/// minus the advisory next_ptr word. Linking a newer version rewrites the
+/// previous header's next_ptr in place, unflushed — it is a volatile hint
+/// recovery never trusts, so a durability claim must not cover that word.
+inline void assert_object_durable(analysis::Checker* checker, MemOffset off,
+                                  std::size_t span, const char* site) {
+  if (checker == nullptr) return;
+  constexpr std::size_t kResume = kv::ObjectLayout::kNextPtrFieldOff + 8;
+  checker->assert_durable(off, kv::ObjectLayout::kNextPtrFieldOff, site);
+  checker->assert_durable(off + kResume, span - kResume, site);
+}
 
 class StoreBase {
  public:
@@ -113,6 +127,12 @@ class StoreBase {
   /// non-empty; disabled injectors are inert).
   [[nodiscard]] fault::Injector& injector() noexcept { return injector_; }
 
+  /// Conflict sanitizer, or nullptr when config().analysis.enabled is
+  /// false (the common case: disabled costs one pointer test per site).
+  [[nodiscard]] analysis::Checker* checker() noexcept {
+    return checker_.get();
+  }
+
   /// Allocate a unique QP id for a new client connection.
   [[nodiscard]] std::uint64_t next_qp_id() noexcept { return next_qp_id_++; }
 
@@ -174,6 +194,9 @@ class StoreBase {
   // precede arena_/fabric_ too (both hold a pointer to it).
   metrics::MetricsRegistry metrics_;
   fault::Injector injector_;
+  // checker_ must precede arena_ (the arena holds a pointer to it) and is
+  // destroyed after it; ~Checker also detaches itself from the Simulator.
+  std::unique_ptr<analysis::Checker> checker_;
   std::unique_ptr<nvm::Arena> arena_;
   rdma::Fabric fabric_;
   std::unique_ptr<rdma::Node> node_;

@@ -258,12 +258,12 @@ TEST_F(RcommitFixture, DurableWriteBeatsSawLatency) {
   // The whole point of the proposed verb: a durable write without the
   // send-after-write round trip and server flush.
   auto measure = [](SystemKind kind) {
-    TestCluster tc{kind};
-    tc.client->set_size_hint(32, 1024);
+    TestCluster probe{kind};
+    probe.client->set_size_hint(32, 1024);
     const Bytes key = to_bytes("latency-key-00000000000000000000");
     SimTime latency = 0;
-    tc.sim.spawn([](sim::Simulator& s, KvClient& c, Bytes k,
-                    SimTime* out) -> sim::Task<void> {
+    probe.sim.spawn([](sim::Simulator& s, KvClient& c, Bytes k,
+                       SimTime* out) -> sim::Task<void> {
       // Warm up (first PUT claims the slot), then measure in-coroutine so
       // the result is exact virtual time, not run-slice-quantized.
       static_cast<void>(co_await c.put(Bytes(k), make_value(1024, 1)));
@@ -271,8 +271,8 @@ TEST_F(RcommitFixture, DurableWriteBeatsSawLatency) {
       const Status st = co_await c.put(std::move(k), make_value(1024, 2));
       EXPECT_TRUE(st.is_ok());
       *out = s.now() - start;
-    }(tc.sim, *tc.client, key, &latency));
-    tc.run_until_done([&] { return latency != 0; });
+    }(probe.sim, *probe.client, key, &latency));
+    probe.run_until_done([&] { return latency != 0; });
     return latency;
   };
   const SimTime rcommit_ns = measure(SystemKind::kRcommit);

@@ -36,8 +36,8 @@ INSTANTIATE_TEST_SUITE_P(
                       SystemKind::kSaw, SystemKind::kImm, SystemKind::kErda,
                       SystemKind::kForca, SystemKind::kRpc,
                       SystemKind::kRcommit),
-    [](const ::testing::TestParamInfo<SystemKind>& info) {
-      std::string name{to_string(info.param)};
+    [](const ::testing::TestParamInfo<SystemKind>& pinfo) {
+      std::string name{to_string(pinfo.param)};
       for (char& c : name) {
         if (!std::isalnum(static_cast<unsigned char>(c))) c = '_';
       }

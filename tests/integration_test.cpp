@@ -51,10 +51,10 @@ INSTANTIATE_TEST_SUITE_P(
                           SystemKind::kErda, SystemKind::kForca),
         ::testing::Values(Mix::kReadOnly, Mix::kReadIntensive,
                           Mix::kWriteIntensive, Mix::kUpdateOnly)),
-    [](const auto& info) {
-      std::string name{stores::to_string(std::get<0>(info.param))};
+    [](const auto& pinfo) {
+      std::string name{stores::to_string(std::get<0>(pinfo.param))};
       name += "_";
-      switch (std::get<1>(info.param)) {
+      switch (std::get<1>(pinfo.param)) {
         case Mix::kReadOnly: name += "C"; break;
         case Mix::kReadIntensive: name += "B"; break;
         case Mix::kWriteIntensive: name += "A"; break;

@@ -47,9 +47,9 @@ INSTANTIATE_TEST_SUITE_P(
                           SystemKind::kRpc, SystemKind::kCaNoPersist,
                           SystemKind::kRcommit),
         ::testing::Values(8u, 64u, 100u, 512u, 2048u, 4096u)),
-    [](const auto& info) {
-      std::string name{to_string(std::get<0>(info.param))};
-      name += "_" + std::to_string(std::get<1>(info.param)) + "B";
+    [](const auto& pinfo) {
+      std::string name{to_string(std::get<0>(pinfo.param))};
+      name += "_" + std::to_string(std::get<1>(pinfo.param)) + "B";
       for (char& c : name) {
         if (!std::isalnum(static_cast<unsigned char>(c))) c = '_';
       }
@@ -102,11 +102,11 @@ std::vector<CrashParams> crash_matrix() {
 
 INSTANTIATE_TEST_SUITE_P(
     Matrix, CrashMatrix, ::testing::ValuesIn(crash_matrix()),
-    [](const ::testing::TestParamInfo<CrashParams>& info) {
-      std::string name{to_string(info.param.kind)};
+    [](const ::testing::TestParamInfo<CrashParams>& pinfo) {
+      std::string name{to_string(pinfo.param.kind)};
       name += "_e" + std::to_string(static_cast<int>(
-                         info.param.eviction * 100));
-      name += "_t" + std::to_string(info.param.instant);
+                         pinfo.param.eviction * 100));
+      name += "_t" + std::to_string(pinfo.param.instant);
       for (char& c : name) {
         if (!std::isalnum(static_cast<unsigned char>(c))) c = '_';
       }
