@@ -3,8 +3,10 @@
 #include <fstream>
 #include <iostream>
 #include <memory>
+#include <utility>
 
 #include "stores/efactory.hpp"
+#include "trace/chrome.hpp"
 
 namespace efac::bench {
 
@@ -40,6 +42,11 @@ std::string point_prefix(std::string_view op, SystemKind kind,
   return prefix;
 }
 
+// --trace-out= state: the export path (empty = tracing off) and the
+// snapshots adopted from each traced run, in measurement order.
+std::string g_trace_path;
+std::vector<trace::EventLog::Snapshot> g_trace_snapshots;
+
 }  // namespace
 
 metrics::MetricsRegistry& metrics_sink() {
@@ -47,11 +54,24 @@ metrics::MetricsRegistry& metrics_sink() {
   return sink;
 }
 
+bool trace_requested() { return !g_trace_path.empty(); }
+
+void maybe_enable_trace(stores::StoreConfig& config) {
+  if (trace_requested()) config.trace.enabled = true;
+}
+
+void maybe_adopt_trace(stores::StoreBase& store, std::string label) {
+  trace::EventLog* log = store.trace_log();
+  if (log == nullptr) return;
+  g_trace_snapshots.push_back(log->snapshot(std::move(label)));
+}
+
 Histogram measure_put_latency(SystemKind kind, std::size_t value_len,
                               std::size_t ops, std::uint64_t seed) {
   auto sim = std::make_unique<sim::Simulator>();
-  Cluster cluster = stores::make_cluster(
-      *sim, kind, latency_config(value_len, ops, seed));
+  stores::StoreConfig config = latency_config(value_len, ops, seed);
+  maybe_enable_trace(config);
+  Cluster cluster = stores::make_cluster(*sim, kind, config);
   cluster.start();
   auto client = cluster.make_client();
   client->set_size_hint(kKeyLen, value_len);
@@ -81,6 +101,7 @@ Histogram measure_put_latency(SystemKind kind, std::size_t value_len,
   const std::string prefix = point_prefix("put", kind, value_len);
   metrics_sink().merge_from(client->metrics(), prefix);
   metrics_sink().merge_from(cluster.store->metrics(), prefix);
+  maybe_adopt_trace(*cluster.store, prefix);
   sim.reset();
   return hist;
 }
@@ -88,8 +109,9 @@ Histogram measure_put_latency(SystemKind kind, std::size_t value_len,
 Histogram measure_get_latency(SystemKind kind, std::size_t value_len,
                               std::size_t ops, std::uint64_t seed) {
   auto sim = std::make_unique<sim::Simulator>();
-  Cluster cluster = stores::make_cluster(
-      *sim, kind, latency_config(value_len, 512, seed));
+  stores::StoreConfig config = latency_config(value_len, 512, seed);
+  maybe_enable_trace(config);
+  Cluster cluster = stores::make_cluster(*sim, kind, config);
   cluster.start();
   auto client = cluster.make_client();
   client->set_size_hint(kKeyLen, value_len);
@@ -138,6 +160,7 @@ Histogram measure_get_latency(SystemKind kind, std::size_t value_len,
   const std::string prefix = point_prefix("get", kind, value_len);
   metrics_sink().merge_from(client->metrics(), prefix);
   metrics_sink().merge_from(cluster.store->metrics(), prefix);
+  maybe_adopt_trace(*cluster.store, prefix);
   sim.reset();
   return hist;
 }
@@ -157,9 +180,18 @@ workload::RunResult throughput_run(SystemKind kind, workload::Mix mix,
   options.ops_per_client = ops_per_client;
 
   auto sim = std::make_unique<sim::Simulator>();
-  Cluster cluster =
-      stores::make_cluster(*sim, kind, sized_store_config(options));
+  stores::StoreConfig config = workload::sized_store_config(options);
+  maybe_enable_trace(config);
+  Cluster cluster = stores::make_cluster(*sim, kind, config);
   workload::RunResult result = workload::run_workload(*sim, cluster, options);
+  std::string label = "run/";
+  label += workload::to_string(mix);
+  label += "/";
+  label += stores::to_string(kind);
+  label += "/";
+  label += size_label(value_len);
+  label += "/";
+  maybe_adopt_trace(*cluster.store, std::move(label));
   sim.reset();
   return result;
 }
@@ -304,13 +336,22 @@ Expected<std::string> system_filter(std::string_view arg) {
 
 int bench_main(int argc, char** argv, std::string_view figure) {
   // Rewrite our --system= convenience flag into google-benchmark's filter
-  // before Initialize() sees the argument list.
+  // and strip --trace-out= before Initialize() sees the argument list.
   std::vector<char*> args;
   std::string filter_arg;
   args.reserve(static_cast<std::size_t>(argc) + 1);
   for (int i = 0; i < argc; ++i) {
     const std::string_view arg{argv[i]};
     constexpr std::string_view kSystemFlag = "--system=";
+    constexpr std::string_view kTraceFlag = "--trace-out=";
+    if (arg.rfind(kTraceFlag, 0) == 0) {
+      g_trace_path = std::string{arg.substr(kTraceFlag.size())};
+      if (g_trace_path.empty()) {
+        std::cerr << "--trace-out= needs a path" << std::endl;
+        return 1;
+      }
+      continue;
+    }
     if (arg.rfind(kSystemFlag, 0) == 0) {
       const Expected<std::string> filter =
           system_filter(arg.substr(kSystemFlag.size()));
@@ -346,6 +387,28 @@ int bench_main(int argc, char** argv, std::string_view figure) {
     return 1;
   }
   std::cout << "metrics exported to " << path << std::endl;
+
+  if (trace_requested()) {
+    // Self-check the export against the golden schema before writing: a
+    // malformed trace should fail the bench run, not the Perfetto load.
+    const std::string doc = trace::to_chrome_trace(g_trace_snapshots);
+    if (const Status valid = trace::validate_chrome_trace(doc);
+        !valid.is_ok()) {
+      std::cerr << "trace export failed validation: " << valid.to_string()
+                << std::endl;
+      return 1;
+    }
+    std::ofstream trace_out{g_trace_path};
+    trace_out << doc << "\n";
+    std::ofstream bin_out{g_trace_path + ".bin", std::ios::binary};
+    trace::write_binary(bin_out, g_trace_snapshots);
+    if (!trace_out || !bin_out) {
+      std::cerr << "failed to write " << g_trace_path << std::endl;
+      return 1;
+    }
+    std::cout << g_trace_snapshots.size() << " trace snapshot(s) exported to "
+              << g_trace_path << " (+ .bin)" << std::endl;
+  }
   return 0;
 }
 

@@ -43,6 +43,20 @@ inline std::string size_label(std::size_t bytes) {
 /// prefixes; bench_main() writes the whole sink to BENCH_<figure>.json.
 metrics::MetricsRegistry& metrics_sink();
 
+/// --trace-out=<path> support (the flag is parsed by bench_main): when
+/// active, the measurement helpers run their clusters with the flight
+/// recorder enabled and adopt one labelled snapshot of each run's event
+/// log; bench_main writes the Chrome trace-event JSON to <path> and the
+/// compact binary dump (bench/trace_inspect's input) to <path>.bin.
+/// Combine with --system= filters to keep the export small.
+bool trace_requested();
+
+/// Turn the flight recorder on in `config` iff --trace-out is active.
+void maybe_enable_trace(stores::StoreConfig& config);
+
+/// Snapshot the store's event log under `label` (no-op unless tracing).
+void maybe_adopt_trace(stores::StoreBase& store, std::string label);
+
 /// Latency of single-client durable PUTs (Fig. 1 methodology).
 Histogram measure_put_latency(stores::SystemKind kind, std::size_t value_len,
                               std::size_t ops = 1200,

@@ -174,12 +174,14 @@ void fig9_style(benchmark::State& state) {
 
   for (auto _ : state) {
     sim::Simulator sim;
-    stores::Cluster cluster =
-        stores::make_cluster(sim, stores::SystemKind::kEFactory,
-                             workload::sized_store_config(options));
+    stores::StoreConfig config = workload::sized_store_config(options);
+    maybe_enable_trace(config);
+    stores::Cluster cluster = stores::make_cluster(
+        sim, stores::SystemKind::kEFactory, config);
     const auto start = std::chrono::steady_clock::now();
     const workload::RunResult result =
         workload::run_workload(sim, cluster, options);
+    maybe_adopt_trace(*cluster.store, "engine/fig9_style/");
     const double secs = wall_seconds(start);
     const double events_per_sec =
         static_cast<double>(sim.events_processed()) / secs;

@@ -167,6 +167,7 @@ TrialTally run_trial(SystemKind kind, const fault::FaultPlan& plan,
   config.seed = 0xFA0 + static_cast<std::uint64_t>(trial);
   config.crash_policy.eviction_probability = 0.5;
   config.fault_plan = plan;
+  maybe_enable_trace(config);
   if (g_analysis) {
     config.analysis.enabled = true;
     // Plans that legitimately lose persists trip the durability lint by
@@ -323,6 +324,7 @@ TrialTally run_trial(SystemKind kind, const fault::FaultPlan& plan,
   metrics_sink().merge_from(client->metrics(), prefix);
   if (client2) metrics_sink().merge_from(client2->metrics(), prefix);
   metrics_sink().merge_from(cluster.store->metrics(), prefix);
+  maybe_adopt_trace(*cluster.store, prefix + "trial" + std::to_string(trial));
   return tally;
 }
 

@@ -93,7 +93,6 @@ int main(int argc, char** argv) {
   report("GET", result.get_latency);
 
   std::printf("\n");
-  stores::print_cluster_report(std::cout, *cluster.store,
-                               result.client_stats);
+  stores::print_cluster_report(std::cout, result.metrics);
   return 0;
 }

@@ -42,6 +42,11 @@ for b in build/bench/*; do
   args=()
   case "$name" in
     bench_json_check) continue ;;  # validator CLI, needs a file argument
+    trace_inspect) continue ;;     # inspector CLI, runs after the benches
+    fig2_get_breakdown)
+      # Also produce a flight-recorder export (validated below).
+      args+=(--trace-out=TRACE_fig2.json)
+      [ "$SMOKE" -eq 1 ] && args+=(--system=Erda) ;;
     engine_bench)
       [ "$SMOKE" -eq 1 ] && args+=(--smoke) ;;
     fault_matrix)
@@ -70,4 +75,13 @@ for name in "${!pids[@]}"; do
     status=1
   fi
 done
+
+# fig2 ran with --trace-out: validate its Chrome export against the
+# golden schema and print the tail-latency attribution for the slowest
+# ops (see docs/OBSERVABILITY.md).
+if [ "$status" -eq 0 ]; then
+  ./build/bench/trace_inspect validate build/bench/TRACE_fig2.json
+  ./build/bench/trace_inspect explain --slowest=5 \
+    build/bench/TRACE_fig2.json.bin
+fi
 exit "$status"

@@ -1,0 +1,166 @@
+// Minimal recursive-descent JSON reader shared by the schema validators
+// (metrics/json.cpp for efac.bench.v1, trace/chrome.cpp for the Chrome
+// trace-event export). Just enough to type-check documents we write
+// ourselves: strings, numbers (classified integral vs not so validators
+// can insist counters are whole numbers), and skipping unknown values.
+#pragma once
+
+#include <cctype>
+#include <cmath>
+#include <cstdlib>
+#include <string>
+#include <string_view>
+
+namespace efac::json {
+
+struct Parser {
+  std::string_view doc;
+  std::size_t pos = 0;
+  std::string error;
+
+  [[nodiscard]] bool failed() const noexcept { return !error.empty(); }
+  void fail(std::string message) {
+    if (error.empty()) {
+      error = std::move(message);
+      error += " at byte ";
+      error += std::to_string(pos);
+    }
+  }
+
+  void skip_ws() {
+    while (pos < doc.size() &&
+           std::isspace(static_cast<unsigned char>(doc[pos])) != 0) {
+      ++pos;
+    }
+  }
+
+  [[nodiscard]] bool consume(char c) {
+    skip_ws();
+    if (pos < doc.size() && doc[pos] == c) {
+      ++pos;
+      return true;
+    }
+    return false;
+  }
+
+  bool expect(char c) {
+    if (consume(c)) return true;
+    fail(std::string{"expected '"} + c + "'");
+    return false;
+  }
+
+  /// Parse a JSON string; returns its unescaped value.
+  std::string parse_string() {
+    std::string out;
+    if (!expect('"')) return out;
+    while (pos < doc.size()) {
+      const char c = doc[pos++];
+      if (c == '"') return out;
+      if (c == '\\') {
+        if (pos >= doc.size()) break;
+        const char esc = doc[pos++];
+        switch (esc) {
+          case '"': out += '"'; break;
+          case '\\': out += '\\'; break;
+          case '/': out += '/'; break;
+          case 'n': out += '\n'; break;
+          case 't': out += '\t'; break;
+          case 'r': out += '\r'; break;
+          case 'b': out += '\b'; break;
+          case 'f': out += '\f'; break;
+          case 'u':
+            if (doc.size() - pos < 4) {
+              fail("truncated \\u escape");
+              return out;
+            }
+            // Escaped code points only appear for control characters in
+            // our own output; keep the replacement cheap and lossless
+            // enough for validation purposes.
+            out += '?';
+            pos += 4;
+            break;
+          default:
+            fail("bad escape");
+            return out;
+        }
+      } else {
+        out += c;
+      }
+    }
+    fail("unterminated string");
+    return out;
+  }
+
+  struct Number {
+    double value = 0.0;
+    bool integral = false;
+  };
+
+  Number parse_number() {
+    skip_ws();
+    const std::size_t begin = pos;
+    if (pos < doc.size() && (doc[pos] == '-' || doc[pos] == '+')) ++pos;
+    bool fractional = false;
+    while (pos < doc.size()) {
+      const char c = doc[pos];
+      if (std::isdigit(static_cast<unsigned char>(c)) != 0) {
+        ++pos;
+      } else if (c == '.' || c == 'e' || c == 'E' || c == '-' || c == '+') {
+        fractional = fractional || c == '.' || c == 'e' || c == 'E';
+        ++pos;
+      } else {
+        break;
+      }
+    }
+    if (pos == begin) {
+      fail("expected number");
+      return {};
+    }
+    Number out;
+    out.value = std::strtod(std::string{doc.substr(begin, pos - begin)}.c_str(),
+                            nullptr);
+    out.integral = !fractional && std::isfinite(out.value);
+    return out;
+  }
+
+  /// Skip any JSON value (used for forward-compatible unknown keys).
+  void skip_value() {
+    skip_ws();
+    if (pos >= doc.size()) {
+      fail("unexpected end of document");
+      return;
+    }
+    const char c = doc[pos];
+    if (c == '"') {
+      parse_string();
+    } else if (c == '{') {
+      ++pos;
+      if (consume('}')) return;
+      do {
+        parse_string();
+        if (!expect(':')) return;
+        skip_value();
+        if (failed()) return;
+      } while (consume(','));
+      expect('}');
+    } else if (c == '[') {
+      ++pos;
+      if (consume(']')) return;
+      do {
+        skip_value();
+        if (failed()) return;
+      } while (consume(','));
+      expect(']');
+    } else if (doc.compare(pos, 4, "true") == 0) {
+      pos += 4;
+    } else if (doc.compare(pos, 5, "false") == 0) {
+      pos += 5;
+    } else if (doc.compare(pos, 4, "null") == 0) {
+      pos += 4;
+    } else {
+      parse_number();
+    }
+  }
+};
+
+}  // namespace efac::json

@@ -243,6 +243,10 @@ bool Injector::fire(Site site) {
   if (!hit) return false;
   ++st.fires;
   if (st.injected != nullptr) ++*st.injected;
+  if (recorder_ != nullptr) {
+    recorder_->emit(trace::EventType::kFault,
+                    static_cast<std::uint8_t>(site), occ);
+  }
   return true;
 }
 

@@ -27,6 +27,7 @@
 #include "common/status.hpp"
 #include "common/types.hpp"
 #include "metrics/metrics.hpp"
+#include "trace/event_log.hpp"
 
 namespace efac::fault {
 
@@ -132,6 +133,10 @@ class Injector {
   /// occurrence index.
   [[nodiscard]] bool fire(Site site);
 
+  /// Flight-recorder hook: fired faults emit kFault events through `rec`
+  /// (which may be detached — emissions are then single-branch no-ops).
+  void set_recorder(const trace::Recorder* rec) noexcept { recorder_ = rec; }
+
   /// Occurrences / fires observed so far (testing & reporting).
   [[nodiscard]] std::uint64_t occurrences(Site s) const noexcept {
     return state_[static_cast<std::size_t>(s)].occurrences;
@@ -150,6 +155,7 @@ class Injector {
 
   FaultPlan plan_{};
   bool enabled_ = false;
+  const trace::Recorder* recorder_ = nullptr;
   std::array<SiteState, kSiteCount> state_{};
 };
 

@@ -55,6 +55,7 @@ sim::Task<Expected<Bytes>> QueuePair::read(std::uint32_t rkey,
   stats_.read_bytes += length;
   // READ request is a small header; the payload rides the response.
   const Timing t = plan(/*request_payload=*/32, /*response_payload=*/length);
+  record_verb(trace::Verb::kRead, t.done, length);
 
   co_await sim::delay(sim_, t.arrive - sim_.now());
   const Expected<MemOffset> abs =
@@ -81,6 +82,7 @@ Expected<SimTime> QueuePair::post_write(std::uint32_t rkey, MemOffset offset,
   stats_.write_bytes += data.size();
   const Timing t = plan(/*request_payload=*/data.size(),
                         /*response_payload=*/0);
+  record_verb(trace::Verb::kWrite, t.done, data.size());
   // First byte reaches the media interface one_way after departure; the
   // last lands at the execution instant.
   const SimTime place_begin = std::min<SimTime>(
@@ -162,9 +164,11 @@ sim::Task<Expected<Unit>> QueuePair::write_faulted(std::uint32_t rkey,
         inj.spec(torn ? fault::Site::kWriteTorn
                       : fault::Site::kWriteDropCompletion)
             .delay_ns;
+    record_verb(trace::Verb::kWriteFaulted, t.done + grace, data.size());
     co_await sim::delay(sim_, t.done - sim_.now() + grace);
     co_return Status{StatusCode::kTimeout, "WRITE completion lost"};
   }
+  record_verb(trace::Verb::kWriteFaulted, t.done, data.size());
   co_await sim::delay(sim_, t.done - sim_.now());
   co_return Unit{};
 }
@@ -183,6 +187,7 @@ sim::Task<Expected<Unit>> QueuePair::write_with_imm(std::uint32_t rkey,
   ++stats_.writes_with_imm;
   stats_.write_bytes += data.size();
   const Timing t = plan(data.size(), 0);
+  record_verb(trace::Verb::kWriteImm, t.done, data.size());
   const SimTime place_begin = std::min<SimTime>(
       t.arrive, t.depart + fabric_.config().one_way_ns +
                     fabric_.config().nic_process_ns);
@@ -200,6 +205,7 @@ sim::Task<void> QueuePair::send(Bytes payload) {
   ++stats_.sends;
   stats_.send_bytes += payload.size();
   const Timing t = plan(payload.size(), 0);
+  record_verb(trace::Verb::kSend, t.done, payload.size());
   deliver_message(t.arrive, InboundMessage{std::move(payload), 0,
                                            /*has_imm=*/false, id_, t.arrive});
   co_await sim::delay(sim_, t.done - sim_.now());
@@ -209,6 +215,7 @@ void QueuePair::post_send(Bytes payload) {
   ++stats_.sends;
   stats_.send_bytes += payload.size();
   const Timing t = plan(payload.size(), 0);
+  record_verb(trace::Verb::kSend, t.done, payload.size());
   deliver_message(t.arrive, InboundMessage{std::move(payload), 0,
                                            /*has_imm=*/false, id_, t.arrive});
 }
@@ -230,6 +237,7 @@ Expected<SimTime> QueuePair::post_commit(std::uint32_t rkey,
     node->arena().flush(off, length);
   });
   last_arrive_ = t.arrive + flush_time;
+  record_verb(trace::Verb::kCommit, t.done + flush_time, length);
   return t.done + flush_time;
 }
 
@@ -251,6 +259,7 @@ sim::Task<Expected<std::uint64_t>> QueuePair::fetch_add(std::uint32_t rkey,
                                                         std::uint64_t addend) {
   ++stats_.cas_ops;  // both one-sided atomics share the counter
   const Timing t = plan(/*request_payload=*/40, /*response_payload=*/8);
+  record_verb(trace::Verb::kFetchAdd, t.done, 8);
   co_await sim::delay(sim_, t.arrive - sim_.now());
   const Expected<MemOffset> abs =
       target_.translate(rkey, offset, 8, Access::kAtomic);
@@ -270,6 +279,7 @@ sim::Task<Expected<std::uint64_t>> QueuePair::compare_and_swap(
     std::uint64_t desired) {
   ++stats_.cas_ops;
   const Timing t = plan(/*request_payload=*/40, /*response_payload=*/8);
+  record_verb(trace::Verb::kCas, t.done, 8);
   co_await sim::delay(sim_, t.arrive - sim_.now());
   const Expected<MemOffset> abs =
       target_.translate(rkey, offset, 8, Access::kAtomic);

@@ -31,6 +31,7 @@
 #include "rdma/node.hpp"
 #include "sim/simulator.hpp"
 #include "sim/task.hpp"
+#include "trace/event_log.hpp"
 
 namespace efac::rdma {
 
@@ -51,9 +52,13 @@ class QueuePair {
  public:
   /// `registry` hosts the QP's counters (names "qp.*"); pass the owning
   /// client's registry so verb traffic lands next to client counters.
-  /// nullptr → the QP owns a private registry.
+  /// nullptr → the QP owns a private registry. `recorder` (optional) is a
+  /// borrowed pointer to the owning actor's flight recorder; verbs posted
+  /// on this QP then emit one kQpVerb event each, tagged with the owner's
+  /// current causal op id.
   QueuePair(sim::Simulator& sim, Fabric& fabric, Node& target,
-            std::uint64_t qp_id, metrics::MetricsRegistry* registry = nullptr)
+            std::uint64_t qp_id, metrics::MetricsRegistry* registry = nullptr,
+            const trace::Recorder* recorder = nullptr)
       : sim_(sim),
         fabric_(fabric),
         target_(target),
@@ -62,6 +67,7 @@ class QueuePair {
                            ? std::make_unique<metrics::MetricsRegistry>()
                            : nullptr),
         metrics_(registry == nullptr ? *owned_metrics_ : *registry),
+        rec_(recorder),
         stats_(metrics_) {}
   QueuePair(const QueuePair&) = delete;
   QueuePair& operator=(const QueuePair&) = delete;
@@ -167,6 +173,17 @@ class QueuePair {
   /// Compute and commit the timeline of the next WR on this QP.
   Timing plan(std::size_t request_payload, std::size_t response_payload);
 
+  /// One flight-recorder event per verb, emitted at post time: `done` is
+  /// known analytically from plan(), so no end-event is needed and ring
+  /// appends stay in emission order.
+  void record_verb(trace::Verb verb, SimTime done, std::size_t bytes) const {
+    if (rec_ != nullptr) {
+      rec_->emit(trace::EventType::kQpVerb,
+                 static_cast<std::uint8_t>(verb),
+                 static_cast<std::uint64_t>(done), bytes);
+    }
+  }
+
   /// Deliver a message into the target's receive queue at `when`.
   void deliver_at(SimTime when, InboundMessage message);
 
@@ -189,6 +206,7 @@ class QueuePair {
   // in stats_.
   std::unique_ptr<metrics::MetricsRegistry> owned_metrics_;
   metrics::MetricsRegistry& metrics_;
+  const trace::Recorder* rec_;
   Counters stats_;
 };
 

@@ -25,11 +25,13 @@ void Replier::reply(Bytes payload) const {
 Connection::Connection(sim::Simulator& sim, rdma::Fabric& fabric,
                        rdma::Node& server, Directory& directory,
                        std::uint64_t qp_id,
-                       metrics::MetricsRegistry* registry)
+                       metrics::MetricsRegistry* registry,
+                       const trace::Recorder* recorder)
     : sim_(sim),
       fabric_(fabric),
       directory_(directory),
-      qp_(sim, fabric, server, qp_id, registry) {
+      qp_(sim, fabric, server, qp_id, registry, recorder),
+      rec_(recorder) {
   directory_.add(qp_id, this);
 }
 
@@ -51,6 +53,10 @@ sim::Task<Expected<Bytes>> Connection::call_timeout(std::uint16_t opcode,
   writer.put_u16(opcode);
   writer.put_u64(call_id);
   writer.put_blob(args);
+  if (rec_ != nullptr) {
+    rec_->emit(trace::EventType::kRpcIssue,
+               static_cast<std::uint8_t>(opcode), call_id, qp_.id());
+  }
 
   sim::OneShot<Expected<Bytes>> slot{sim_};
   pending_.emplace(call_id, &slot);

@@ -83,9 +83,13 @@ class Connection {
  public:
   /// `registry` is forwarded to the underlying QueuePair so its "qp.*"
   /// counters land in the owning client's registry (nullptr → private).
+  /// `recorder` (optional, borrowed) is likewise forwarded to the QP and
+  /// additionally tags each outbound request with a kRpcIssue event, so
+  /// the exporter can draw a flow arrow to the server's kRpcDeliver.
   Connection(sim::Simulator& sim, rdma::Fabric& fabric, rdma::Node& server,
              Directory& directory, std::uint64_t qp_id,
-             metrics::MetricsRegistry* registry = nullptr);
+             metrics::MetricsRegistry* registry = nullptr,
+             const trace::Recorder* recorder = nullptr);
   ~Connection();
   Connection(const Connection&) = delete;
   Connection& operator=(const Connection&) = delete;
@@ -120,6 +124,7 @@ class Connection {
   rdma::Fabric& fabric_;
   Directory& directory_;
   rdma::QueuePair qp_;
+  const trace::Recorder* rec_;
   std::uint64_t next_call_id_ = 1;
   std::uint64_t calls_completed_ = 0;
   std::unordered_map<std::uint64_t, sim::OneShot<Expected<Bytes>>*> pending_;

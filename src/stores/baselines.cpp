@@ -180,7 +180,7 @@ class TwoReadClient : public KvClient {
         store_(store),
         dir_(dir),
         conn_(store.simulator(), store.fabric(), store.node(),
-              store.directory(), store.next_qp_id(), &metrics_),
+              store.directory(), store.next_qp_id(), &metrics_, &recorder_),
         object_guard_(object_guard),
         entry_site_(entry_site),
         object_site_(object_site) {}
@@ -229,6 +229,8 @@ class TwoReadClient : public KvClient {
     read_span.finish();
     if (!raw_obj) co_return raw_obj.status();
     ++stats_.gets_pure_rdma;
+    recorder_.emit(trace::EventType::kGetPath,
+                   static_cast<std::uint8_t>(trace::GetPath::kFastOneSided));
     co_return value_from_raw(*raw_obj, klen_hint_, vlen_hint_, key_hash);
   }
 
@@ -265,6 +267,7 @@ class SawClient final : public TwoReadClient {
     if (!raw) co_return raw.status();
     const AllocResponse resp = AllocResponse::decode(*raw);
     if (resp.status != StatusCode::kOk) co_return Status{resp.status};
+    recorder_.emit(trace::EventType::kObjBind, 0, resp.object_off);
 
     // WRITE posted fire-and-forget, then the persist SEND on the same QP:
     // RC ordering delivers the SEND only after the payload has landed.
@@ -432,6 +435,7 @@ class ImmClient final : public TwoReadClient {
     if (!raw) co_return raw.status();
     const AllocResponse resp = AllocResponse::decode(*raw);
     if (resp.status != StatusCode::kOk) co_return Status{resp.status};
+    recorder_.emit(trace::EventType::kObjBind, 0, resp.object_off);
 
     sim::OneShot<StatusCode> ack{store_.simulator()};
     // The durability ack itself can be lost (stale token, injected drop of
@@ -534,7 +538,8 @@ class ErdaClient final : public KvClient {
       : KvClient(store.simulator(), options),
         store_(store),
         conn_(store.simulator(), store.fabric(), store.node(),
-              store.directory(), store.next_qp_id(), &metrics_) {}
+              store.directory(), store.next_qp_id(), &metrics_,
+              &recorder_) {}
 
   sim::Task<Status> put_attempt(Bytes key, Bytes value) override {
     ++stats_.puts;
@@ -556,6 +561,7 @@ class ErdaClient final : public KvClient {
     if (!raw) co_return raw.status();
     const AllocResponse resp = AllocResponse::decode(*raw);
     if (resp.status != StatusCode::kOk) co_return Status{resp.status};
+    recorder_.emit(trace::EventType::kObjBind, 0, resp.object_off);
     const MemOffset value_off = resp.object_off +
                                 kv::ObjectLayout::kHeaderSize + key.size() -
                                 store_.pool_a().base();
@@ -587,6 +593,8 @@ class ErdaClient final : public KvClient {
                                          table.pool_base());
     if (!versions) co_return versions.status();
     ++stats_.gets_pure_rdma;
+    recorder_.emit(trace::EventType::kGetPath,
+                   static_cast<std::uint8_t>(trace::GetPath::kFastOneSided));
 
     bool first = true;
     // Erda tolerates reading in-flight writes precisely because every
@@ -762,7 +770,8 @@ class ForcaClient final : public KvClient {
       : KvClient(store.simulator(), options),
         store_(store),
         conn_(store.simulator(), store.fabric(), store.node(),
-              store.directory(), store.next_qp_id(), &metrics_) {}
+              store.directory(), store.next_qp_id(), &metrics_,
+              &recorder_) {}
 
   sim::Task<Status> put_attempt(Bytes key, Bytes value) override {
     ++stats_.puts;
@@ -783,6 +792,7 @@ class ForcaClient final : public KvClient {
     if (!raw) co_return raw.status();
     const AllocResponse resp = AllocResponse::decode(*raw);
     if (resp.status != StatusCode::kOk) co_return Status{resp.status};
+    recorder_.emit(trace::EventType::kObjBind, 0, resp.object_off);
     const MemOffset value_off = resp.object_off +
                                 kv::ObjectLayout::kHeaderSize + key.size() -
                                 store_.pool_a().base();
@@ -796,6 +806,8 @@ class ForcaClient final : public KvClient {
   sim::Task<Expected<Bytes>> get_attempt(Bytes key) override {
     ++stats_.gets;
     ++stats_.gets_rpc_path;  // Forca reads always involve the server
+    recorder_.emit(trace::EventType::kGetPath,
+                   static_cast<std::uint8_t>(trace::GetPath::kRpcOnlyMode));
     TRACE_SPAN(tracer_, "get.total");
     const std::uint64_t key_hash = kv::hash_key(key);
     GetLocRequest req;
@@ -933,7 +945,8 @@ class RpcStoreClient final : public KvClient {
       : KvClient(store.simulator(), options),
         store_(store),
         conn_(store.simulator(), store.fabric(), store.node(),
-              store.directory(), store.next_qp_id(), &metrics_) {}
+              store.directory(), store.next_qp_id(), &metrics_,
+              &recorder_) {}
 
   sim::Task<Status> put_attempt(Bytes key, Bytes value) override {
     ++stats_.puts;
@@ -952,6 +965,8 @@ class RpcStoreClient final : public KvClient {
   sim::Task<Expected<Bytes>> get_attempt(Bytes key) override {
     ++stats_.gets;
     ++stats_.gets_rpc_path;
+    recorder_.emit(trace::EventType::kGetPath,
+                   static_cast<std::uint8_t>(trace::GetPath::kRpcOnlyMode));
     TRACE_SPAN(tracer_, "get.total");
     GetLocRequest req;
     req.key = std::move(key);
@@ -1063,6 +1078,7 @@ class InPlaceClient final : public TwoReadClient {
     if (!raw) co_return raw.status();
     const AllocResponse resp = AllocResponse::decode(*raw);
     if (resp.status != StatusCode::kOk) co_return Status{resp.status};
+    recorder_.emit(trace::EventType::kObjBind, 0, resp.object_off);
     // The overwrite lands on the LIVE bytes: a crash mid-flight tears the
     // only copy of this value, and concurrent writers of the same key
     // race by construction — the failure mode this system exists to show.
@@ -1155,6 +1171,7 @@ class CaClient final : public TwoReadClient {
     if (!raw) co_return raw.status();
     const AllocResponse resp = AllocResponse::decode(*raw);
     if (resp.status != StatusCode::kOk) co_return Status{resp.status};
+    recorder_.emit(trace::EventType::kObjBind, 0, resp.object_off);
     const MemOffset value_off = resp.object_off +
                                 kv::ObjectLayout::kHeaderSize + key.size() -
                                 store_.pool_a().base();

@@ -19,6 +19,7 @@
 #include "kv/hash_dir.hpp"
 #include "nvm/arena.hpp"
 #include "rdma/fabric.hpp"
+#include "trace/options.hpp"
 
 namespace efac::stores {
 
@@ -100,6 +101,9 @@ struct StoreConfig {
   /// Conflict sanitizer (default: disabled = no shadow memory, no vector
   /// clocks; every instrumentation site reduces to one pointer test).
   analysis::AnalysisOptions analysis;
+  /// Flight recorder (default: disabled = no event log; every emission
+  /// site reduces to one pointer test and the schedule is untouched).
+  trace::TraceOptions trace;
   std::uint64_t seed = 0xEFAC;
 
   [[nodiscard]] SimDuration recv_cost() const noexcept {

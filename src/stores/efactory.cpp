@@ -20,7 +20,10 @@ StoreConfig with_efactory_defaults(StoreConfig config) {
 EFactoryStore::EFactoryStore(sim::Simulator& sim, StoreConfig config)
     : StoreBase(sim, with_efactory_defaults(config),
                 kv::HashDir::bytes_required(config.hash_buckets)),
-      dir_(*arena_, 0, config_.hash_buckets) {}
+      dir_(*arena_, 0, config_.hash_buckets) {
+  verifier_rec_.attach(trace_log_.get(), "verifier");
+  cleaner_rec_.attach(trace_log_.get(), "cleaner");
+}
 
 std::unique_ptr<KvClient> EFactoryStore::make_client(ClientOptions options) {
   // kDefault on eFactory means the hybrid read scheme.
@@ -268,6 +271,7 @@ sim::Task<bool> EFactoryStore::verify_and_persist(MemOffset off) {
   const std::size_t total = kv::ObjectLayout::total_size(meta.klen, meta.vlen);
   obj.flush_all(meta.klen, meta.vlen);
   co_await charge(arena_->cost().flush_cost(total) + arena_->cost().fence_ns);
+  verifier_rec_.emit(trace::EventType::kVerifyFlush, 0, off, total);
   // The flag covers header+key+value only — itself it stays volatile.
   assert_object_durable(checker_.get(), off,
                         kv::ObjectLayout::flag_offset(meta.klen, meta.vlen),
@@ -278,6 +282,7 @@ sim::Task<bool> EFactoryStore::verify_and_persist(MemOffset off) {
   // crash is harmless — and skipping its flush+fence doubles the single
   // background thread's verification rate.
   obj.set_durable(meta.klen, meta.vlen, true);
+  verifier_rec_.emit(trace::EventType::kFlagSet, 0, off);
   ++stats_.persists;
   // Write-to-durable latency: how long the object sat unflagged since the
   // alloc handler stamped it (the paper's asynchronous-durability window).
@@ -295,6 +300,8 @@ sim::Task<void> EFactoryStore::background_loop() {
     }
     const MemOffset off = verify_queue_.front();
     verify_queue_.pop_front();
+    verifier_rec_.emit(trace::EventType::kVerifyScan, 0, off,
+                       verify_queue_.size());
 
     kv::ObjectRef obj{*arena_, off};
     const kv::ObjectMeta meta = obj.read_header();
@@ -329,6 +336,7 @@ sim::Task<void> EFactoryStore::background_loop() {
                             kv::ObjectLayout::kHeaderSize) +
                         arena_->cost().fence_ns);
         ++stats_.bg_timeouts;
+        verifier_rec_.emit(trace::EventType::kVerifyTimeout, 0, off);
       }
     } else {
       verify_queue_.push_back(off);
@@ -403,6 +411,7 @@ sim::Task<MemOffset> EFactoryStore::copy_object(MemOffset src,
     }
   }
   ++stats_.cleaned_objects;
+  cleaner_rec_.emit(trace::EventType::kGcCopy, 0, src, *dst);
   co_return *dst;
 }
 
@@ -428,6 +437,8 @@ sim::Task<void> EFactoryStore::cleaning_task() {
   // Whole-round duration (partial rounds killed by a restart record too).
   metrics::Span round_span{tracer_, "server.clean_round"};
   // ---- Stage 1: log compressing -------------------------------------
+  cleaner_rec_.emit(trace::EventType::kGcSwitch,
+                    static_cast<std::uint8_t>(CleanStage::kCompress));
   clients_use_rpc_ = true;
   co_await charge(config_.clean_notify_ns);  // notification reaches clients
   if (epoch != epoch_) co_return;  // a restart killed this round
@@ -451,6 +462,8 @@ sim::Task<void> EFactoryStore::cleaning_task() {
 
   // ---- Stage 2: log merging -----------------------------------------
   stage_ = CleanStage::kMerge;
+  cleaner_rec_.emit(trace::EventType::kGcSwitch,
+                    static_cast<std::uint8_t>(CleanStage::kMerge));
   for (std::size_t slot = 0; slot < dir_.bucket_count(); ++slot) {
     if (epoch != epoch_) co_return;
     kv::HashDir::Entry entry = dir_.read(slot);
@@ -542,6 +555,8 @@ sim::Task<void> EFactoryStore::cleaning_task() {
   ++stats_.cleanings;
   stage_ = CleanStage::kIdle;
   clients_use_rpc_ = false;
+  cleaner_rec_.emit(trace::EventType::kGcSwitch,
+                    static_cast<std::uint8_t>(CleanStage::kIdle));
 }
 
 // --------------------------------------------------------------- recovery
@@ -698,7 +713,7 @@ EFactoryClient::EFactoryClient(EFactoryStore& store,
     : KvClient(store.simulator(), options),
       store_(store),
       conn_(store.simulator(), store.fabric(), store.node(),
-            store.directory(), store.next_qp_id(), &metrics_),
+            store.directory(), store.next_qp_id(), &metrics_, &recorder_),
       hybrid_(options.read_mode != ReadMode::kRpcOnly) {}
 
 sim::Task<Status> EFactoryClient::put_attempt(Bytes key, Bytes value) {
@@ -722,6 +737,9 @@ sim::Task<Status> EFactoryClient::put_attempt(Bytes key, Bytes value) {
   if (!raw) co_return raw.status();
   const AllocResponse resp = AllocResponse::decode(*raw);
   if (resp.status != StatusCode::kOk) co_return Status{resp.status};
+  // Binds this op to its object offset; the exporter joins this against
+  // the verifier's later kFlagSet on the same offset (durability arrow).
+  recorder_.emit(trace::EventType::kObjBind, 0, resp.object_off);
 
   // One-sided transfer of the value into the returned region.
   const MemOffset value_off = resp.object_off +
@@ -789,8 +807,16 @@ sim::Task<Expected<Bytes>> EFactoryClient::get_attempt(Bytes key) {
   TRACE_SPAN(tracer_, "get.total");
   const std::uint64_t key_hash = kv::hash_key(key);
 
+  // Why this GET left the fast path, for the flight recorder. The default
+  // covers the RPC-only ablation and clients without a size hint.
+  trace::GetPath fallback = trace::GetPath::kRpcOnlyMode;
+  if (hybrid_ && store_.clients_use_rpc()) {
+    fallback = trace::GetPath::kCleaningActive;
+  }
+
   // ---- optimistic pure-RDMA path -------------------------------------
   if (hybrid_ && !store_.clients_use_rpc() && vlen_hint_ > 0) {
+    fallback = trace::GetPath::kEntryMiss;  // until proven otherwise
     // Client-side linear probing for displaced keys, then the object read.
     constexpr std::size_t kClientProbeLimit = 16;
     std::size_t slot = store_.dir().ideal_slot(key_hash);
@@ -805,7 +831,10 @@ sim::Task<Expected<Bytes>> EFactoryClient::get_attempt(Bytes key) {
           store_.index_rkey(), store_.dir().entry_offset(slot),
           kv::HashDir::kEntrySize);
       entry_span.finish();
-      if (!raw) break;
+      if (!raw) {
+        fallback = trace::GetPath::kReadError;
+        break;
+      }
       const kv::HashDir::Entry entry = kv::HashDir::decode(*raw);
       if (entry.empty()) break;
       if (entry.key_hash == key_hash) {
@@ -816,11 +845,22 @@ sim::Task<Expected<Bytes>> EFactoryClient::get_attempt(Bytes key) {
               /*require_flag=*/true, &tombstoned);
           if (value) {
             ++stats_.gets_pure_rdma;
+            recorder_.emit(
+                trace::EventType::kGetPath,
+                static_cast<std::uint8_t>(trace::GetPath::kFastOneSided));
             co_return std::move(value).take();
           }
           if (tombstoned) {
             ++stats_.gets_pure_rdma;
+            recorder_.emit(
+                trace::EventType::kGetPath,
+                static_cast<std::uint8_t>(trace::GetPath::kFastOneSided));
             co_return Status{StatusCode::kNotFound, "deleted"};
+          }
+          if (value.code() == StatusCode::kUnavailable) {
+            fallback = trace::GetPath::kFlagUnset;
+          } else if (value.code() == StatusCode::kTimeout) {
+            fallback = trace::GetPath::kReadError;
           }
         }
         break;  // found but not yet durable (or empty): RPC fallback
@@ -831,6 +871,8 @@ sim::Task<Expected<Bytes>> EFactoryClient::get_attempt(Bytes key) {
 
   // ---- RPC+RDMA read fallback ----------------------------------------
   ++stats_.gets_rpc_path;
+  recorder_.emit(trace::EventType::kGetPath,
+                 static_cast<std::uint8_t>(fallback));
   GetLocRequest req;
   req.key = key;
   metrics::Span rpc_span{tracer_, "get.rpc_fallback"};

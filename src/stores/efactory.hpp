@@ -155,6 +155,10 @@ class EFactoryStore final : public StoreBase {
 
   kv::HashDir dir_;
   std::deque<MemOffset> verify_queue_;
+  /// Flight-recorder tracks for the two background actors (detached when
+  /// tracing is off; attach order fixes the track ids after server/faults).
+  trace::Recorder verifier_rec_;
+  trace::Recorder cleaner_rec_;
   CleanStage stage_ = CleanStage::kIdle;
   bool pool_flip_ = false;       ///< false: pool A is the working pool
   bool clients_use_rpc_ = false;

@@ -53,11 +53,12 @@ struct Cluster {
   /// the system's natural protocol; for kEFactoryNoHr it resolves to
   /// kRpcOnly, which is the whole point of that ablation). When the
   /// conflict sanitizer is on, the client is registered as its own clock
-  /// domain.
+  /// domain; when the flight recorder is on, it gets its own track.
   [[nodiscard]] std::unique_ptr<KvClient> make_client(
       const ClientOptions& options = {}) const {
     std::unique_ptr<KvClient> client = client_factory(options);
     client->attach_checker(store->checker());
+    client->attach_recorder(store->trace_log());
     return client;
   }
 

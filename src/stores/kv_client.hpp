@@ -14,6 +14,7 @@
 #pragma once
 
 #include <cstdint>
+#include <string>
 
 #include "analysis/checker.hpp"
 #include "common/bytes.hpp"
@@ -23,6 +24,7 @@
 #include "sim/simulator.hpp"
 #include "sim/task.hpp"
 #include "stores/retry.hpp"
+#include "trace/event_log.hpp"
 
 namespace efac::stores {
 
@@ -93,40 +95,58 @@ class KvClient {
   /// Durable-or-consistent PUT per the semantics of the concrete system.
   sim::Task<Status> put(Bytes key, Bytes value) {
     switch_to("put");
+    recorder_.begin_op(trace::OpKind::kPut);
     const RetryPolicy& policy = options_.retry;
     if (!policy.enabled()) {
-      co_return co_await put_attempt(std::move(key), std::move(value));
+      Status status = co_await put_attempt(std::move(key), std::move(value));
+      recorder_.end_op(trace::OpKind::kPut,
+                       static_cast<std::uint64_t>(status.code()));
+      co_return status;
     }
     for (int attempt = 1;; ++attempt) {
       Status status = co_await put_attempt(key, value);
       if (status.is_ok() || !RetryPolicy::retryable(status.code())) {
+        recorder_.end_op(trace::OpKind::kPut,
+                         static_cast<std::uint64_t>(status.code()));
         co_return status;
       }
       if (attempt >= policy.max_attempts) {
         ++stats_.giveups;
+        recorder_.end_op(trace::OpKind::kPut,
+                         static_cast<std::uint64_t>(status.code()));
         co_return status;
       }
       ++stats_.retries;
-      co_await sim::delay(sim_, policy.backoff(attempt, retry_rng_));
+      co_await backoff(attempt, status.code());
     }
   }
 
   /// GET; returns the value bytes.
   sim::Task<Expected<Bytes>> get(Bytes key) {
     switch_to("get");
+    recorder_.begin_op(trace::OpKind::kGet);
     const RetryPolicy& policy = options_.retry;
-    if (!policy.enabled()) co_return co_await get_attempt(std::move(key));
+    if (!policy.enabled()) {
+      Expected<Bytes> result = co_await get_attempt(std::move(key));
+      recorder_.end_op(trace::OpKind::kGet,
+                       static_cast<std::uint64_t>(result.code()));
+      co_return result;
+    }
     for (int attempt = 1;; ++attempt) {
       Expected<Bytes> result = co_await get_attempt(key);
       if (result.has_value() || !RetryPolicy::retryable(result.code())) {
+        recorder_.end_op(trace::OpKind::kGet,
+                         static_cast<std::uint64_t>(result.code()));
         co_return result;
       }
       if (attempt >= policy.max_attempts) {
         ++stats_.giveups;
+        recorder_.end_op(trace::OpKind::kGet,
+                         static_cast<std::uint64_t>(result.code()));
         co_return result;
       }
       ++stats_.retries;
-      co_await sim::delay(sim_, policy.backoff(attempt, retry_rng_));
+      co_await backoff(attempt, result.code());
     }
   }
 
@@ -135,19 +155,29 @@ class KvClient {
   /// kUnimplemented (never retried).
   sim::Task<Status> del(Bytes key) {
     switch_to("del");
+    recorder_.begin_op(trace::OpKind::kDel);
     const RetryPolicy& policy = options_.retry;
-    if (!policy.enabled()) co_return co_await del_attempt(std::move(key));
+    if (!policy.enabled()) {
+      Status status = co_await del_attempt(std::move(key));
+      recorder_.end_op(trace::OpKind::kDel,
+                       static_cast<std::uint64_t>(status.code()));
+      co_return status;
+    }
     for (int attempt = 1;; ++attempt) {
       Status status = co_await del_attempt(key);
       if (status.is_ok() || !RetryPolicy::retryable(status.code())) {
+        recorder_.end_op(trace::OpKind::kDel,
+                         static_cast<std::uint64_t>(status.code()));
         co_return status;
       }
       if (attempt >= policy.max_attempts) {
         ++stats_.giveups;
+        recorder_.end_op(trace::OpKind::kDel,
+                         static_cast<std::uint64_t>(status.code()));
         co_return status;
       }
       ++stats_.retries;
-      co_await sim::delay(sim_, policy.backoff(attempt, retry_rng_));
+      co_await backoff(attempt, status.code());
     }
   }
 
@@ -186,6 +216,16 @@ class KvClient {
   /// This client's sanitizer handle (nullptr when analysis is off).
   [[nodiscard]] analysis::Checker* checker() const noexcept {
     return checker_;
+  }
+
+  /// Register this client as a flight-recorder track. Call once, before
+  /// issuing operations (tracks are named in attach order, which is
+  /// deterministic). With a null log — recording off — every emission the
+  /// client ever makes stays a single branch.
+  void attach_recorder(trace::EventLog* log) {
+    if (log == nullptr) return;
+    recorder_.attach(log,
+                     "client-" + std::to_string(log->tracks().size()));
   }
 
  protected:
@@ -232,6 +272,20 @@ class KvClient {
     if (checker_ != nullptr) checker_->switch_to(actor_id_, label);
   }
 
+  /// Shared tail of the retry loops: record the re-issue and the backoff
+  /// window on the flight recorder, then sleep. The jitter draw happens
+  /// here either way, so the RNG stream is identical with recording off.
+  sim::Task<void> backoff(int attempt, StatusCode last) {
+    recorder_.emit(trace::EventType::kRetry, 0,
+                   static_cast<std::uint64_t>(attempt),
+                   static_cast<std::uint64_t>(last));
+    const SimDuration wait = options_.retry.backoff(attempt, retry_rng_);
+    recorder_.emit(trace::EventType::kBackoff, 0,
+                   static_cast<std::uint64_t>(wait),
+                   static_cast<std::uint64_t>(attempt));
+    co_await sim::delay(sim_, wait);
+  }
+
   std::size_t klen_hint_ = 0;
   std::size_t vlen_hint_ = 0;
   analysis::Checker* checker_ = nullptr;
@@ -241,6 +295,11 @@ class KvClient {
   metrics::MetricsRegistry metrics_;
   Counters stats_{metrics_};
   metrics::Tracer tracer_;
+  /// Flight-recorder handle; detached (one-branch no-op) unless the
+  /// cluster was built with tracing on and attach_recorder() was called.
+  /// Subclass QPs/Connections borrow &recorder_ so their verb events carry
+  /// this client's current op id.
+  trace::Recorder recorder_;
   /// Jitter stream for retry backoff (deterministic per client).
   Rng retry_rng_{options_.retry.seed};
 };

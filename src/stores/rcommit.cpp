@@ -65,7 +65,8 @@ class RcommitClient final : public KvClient {
       : KvClient(store.simulator(), options),
         store_(store),
         conn_(store.simulator(), store.fabric(), store.node(),
-              store.directory(), store.next_qp_id(), &metrics_) {}
+              store.directory(), store.next_qp_id(), &metrics_,
+              &recorder_) {}
 
   sim::Task<Status> put_attempt(Bytes key, Bytes value) override {
     ++stats_.puts;
@@ -83,6 +84,7 @@ class RcommitClient final : public KvClient {
     if (!raw) co_return raw.status();
     const AllocResponse resp = AllocResponse::decode(*raw);
     if (resp.status != StatusCode::kOk) co_return Status{resp.status};
+    recorder_.emit(trace::EventType::kObjBind, 0, resp.object_off);
 
     // Pipelined one-sided chain; RC ordering serializes the four WRs.
     rdma::QueuePair& qp = conn_.qp();
@@ -178,6 +180,8 @@ class RcommitClient final : public KvClient {
       co_return Status{StatusCode::kNotFound, "object does not match"};
     }
     ++stats_.gets_pure_rdma;
+    recorder_.emit(trace::EventType::kGetPath,
+                   static_cast<std::uint8_t>(trace::GetPath::kFastOneSided));
     co_return Bytes(
         raw_obj->begin() + kv::ObjectLayout::kHeaderSize + klen_hint_,
         raw_obj->begin() + kv::ObjectLayout::kHeaderSize + klen_hint_ +

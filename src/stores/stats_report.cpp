@@ -1,10 +1,26 @@
 #include "stores/stats_report.hpp"
 
+#include <initializer_list>
 #include <ostream>
+#include <string_view>
+
+#include "stores/store_base.hpp"
 
 namespace efac::stores {
 
 namespace {
+
+/// One report row: a display label bound to a registry counter name.
+struct Row {
+  const char* label;
+  const char* counter;
+};
+
+std::uint64_t counter_or_zero(const metrics::MetricsRegistry& registry,
+                              std::string_view name) {
+  const metrics::Counter* c = registry.find_counter(name);
+  return c == nullptr ? 0 : c->value();
+}
 
 void line(std::ostream& os, const char* label, std::uint64_t value) {
   os << "  " << label;
@@ -15,6 +31,16 @@ void line(std::ostream& os, const char* label, std::uint64_t value) {
   os << value << '\n';
 }
 
+/// The single render path: a section header followed by table rows.
+void section(std::ostream& os, const char* header,
+             const metrics::MetricsRegistry& registry,
+             std::initializer_list<Row> rows) {
+  os << header << ":\n";
+  for (const Row& row : rows) {
+    line(os, row.label, counter_or_zero(registry, row.counter));
+  }
+}
+
 double pct(std::uint64_t part, std::uint64_t whole) {
   return whole == 0 ? 0.0
                     : 100.0 * static_cast<double>(part) /
@@ -23,51 +49,82 @@ double pct(std::uint64_t part, std::uint64_t whole) {
 
 }  // namespace
 
-void print_server_stats(std::ostream& os, const ServerStats& stats) {
-  os << "server:\n";
-  line(os, "requests handled", stats.requests);
-  line(os, "allocations", stats.allocs);
-  line(os, "persist operations", stats.persists);
-  line(os, "CRC verifications", stats.crc_checks);
-  line(os, "bg-verified objects", stats.bg_verified);
-  line(os, "bg timeouts (invalidated)", stats.bg_timeouts);
-  line(os, "GET durability-flag hits", stats.get_durability_hits);
-  line(os, "log-cleaning rounds", stats.cleanings);
-  line(os, "objects migrated by cleaning", stats.cleaned_objects);
+void print_server_stats(std::ostream& os,
+                        const metrics::MetricsRegistry& registry) {
+  section(os, "server", registry,
+          {{"requests handled", "server.requests"},
+           {"allocations", "server.allocs"},
+           {"persist operations", "server.persists"},
+           {"CRC verifications", "server.crc_checks"},
+           {"bg-verified objects", "server.bg_verified"},
+           {"bg timeouts (invalidated)", "server.bg_timeouts"},
+           {"GET durability-flag hits", "server.get_durability_hits"},
+           {"log-cleaning rounds", "server.cleanings"},
+           {"objects migrated by cleaning", "server.cleaned_objects"}});
 }
 
-void print_client_stats(std::ostream& os, const ClientStats& stats) {
-  os << "clients:\n";
-  line(os, "PUTs", stats.puts);
-  line(os, "GETs", stats.gets);
-  line(os, "  pure one-sided", stats.gets_pure_rdma);
-  line(os, "  via RPC path", stats.gets_rpc_path);
-  line(os, "version re-reads", stats.version_rereads);
-  line(os, "client CRC checks", stats.client_crc_checks);
-  if (stats.gets > 0) {
+void print_client_stats(std::ostream& os,
+                        const metrics::MetricsRegistry& registry) {
+  section(os, "clients", registry,
+          {{"PUTs", "client.puts"},
+           {"GETs", "client.gets"},
+           {"  pure one-sided", "client.gets_pure_rdma"},
+           {"  via RPC path", "client.gets_rpc_path"},
+           {"version re-reads", "client.version_rereads"},
+           {"client CRC checks", "client.client_crc_checks"},
+           {"retries", "client.retries"},
+           {"give-ups", "client.giveups"}});
+  const std::uint64_t gets = counter_or_zero(registry, "client.gets");
+  if (gets > 0) {
     os << "  pure-read rate                  "
-       << static_cast<int>(pct(stats.gets_pure_rdma, stats.gets) + 0.5)
+       << static_cast<int>(
+              pct(counter_or_zero(registry, "client.gets_pure_rdma"), gets) +
+              0.5)
        << "%\n";
   }
 }
 
-void print_arena_stats(std::ostream& os, const nvm::ArenaStats& stats) {
-  os << "nvm arena:\n";
-  line(os, "CPU stores / bytes", stats.cpu_stores);
-  line(os, "  store bytes", stats.cpu_store_bytes);
-  line(os, "CPU loads", stats.cpu_loads);
-  line(os, "flush calls / lines", stats.flushes);
-  line(os, "  flushed lines", stats.flushed_lines);
-  line(os, "inbound DMA writes", stats.dma_writes);
-  line(os, "  DMA bytes", stats.dma_bytes);
-  line(os, "crashes injected", stats.crashes);
+void print_arena_stats(std::ostream& os,
+                       const metrics::MetricsRegistry& registry) {
+  section(os, "nvm arena", registry,
+          {{"CPU stores / bytes", "arena.cpu_stores"},
+           {"  store bytes", "arena.cpu_store_bytes"},
+           {"CPU loads", "arena.cpu_loads"},
+           {"flush calls / lines", "arena.flushes"},
+           {"  flushed lines", "arena.flushed_lines"},
+           {"inbound DMA writes", "arena.dma_writes"},
+           {"  DMA bytes", "arena.dma_bytes"},
+           {"crashes injected", "arena.crashes"}});
 }
 
-void print_cluster_report(std::ostream& os, StoreBase& store,
-                          const ClientStats& clients) {
-  print_server_stats(os, store.server_stats());
-  print_client_stats(os, clients);
-  print_arena_stats(os, store.arena().stats());
+void print_qp_stats(std::ostream& os,
+                    const metrics::MetricsRegistry& registry) {
+  section(os, "queue pairs", registry,
+          {{"READs", "qp.reads"},
+           {"  read bytes", "qp.read_bytes"},
+           {"WRITEs", "qp.writes"},
+           {"  write bytes", "qp.write_bytes"},
+           {"SENDs", "qp.sends"},
+           {"  send bytes", "qp.send_bytes"},
+           {"WRITE_WITH_IMMs", "qp.writes_with_imm"},
+           {"CAS ops", "qp.cas_ops"},
+           {"COMMITs", "qp.commits"}});
+}
+
+void print_cluster_report(std::ostream& os,
+                          const metrics::MetricsRegistry& registry) {
+  print_server_stats(os, registry);
+  print_client_stats(os, registry);
+  print_arena_stats(os, registry);
+  print_qp_stats(os, registry);
+}
+
+void print_cluster_report(std::ostream& os, const StoreBase& store,
+                          const metrics::MetricsRegistry& client_metrics) {
+  metrics::MetricsRegistry merged;
+  merged.merge_from(store.metrics());
+  merged.merge_from(client_metrics);
+  print_cluster_report(os, merged);
 }
 
 }  // namespace efac::stores

@@ -1,30 +1,47 @@
-// Human-readable reports over the library's counter structs.
+// Human-readable reports rendered from a MetricsRegistry.
 //
-// Every layer keeps cheap counters (ServerStats, ClientStats, ArenaStats,
-// QpStats); this module renders them uniformly for examples, debugging
-// sessions, and bench footers.
+// Every layer registers cheap named counters ("server.*", "client.*",
+// "arena.*", "qp.*") in a registry; this module renders registry views
+// uniformly for examples, debugging sessions, and bench footers. There is
+// exactly one render path: each section is a table of (label, counter
+// name) rows resolved with find_counter (missing names print 0), so a
+// report over a store's own registry, a client's registry, or a merged
+// workload::RunResult registry all go through the same code.
 #pragma once
 
 #include <iosfwd>
 
-#include "nvm/arena.hpp"
-#include "rdma/queue_pair.hpp"
-#include "stores/kv_client.hpp"
-#include "stores/store_base.hpp"
+#include "metrics/metrics.hpp"
 
 namespace efac::stores {
 
-/// Multi-line dump of a store's server-side counters.
-void print_server_stats(std::ostream& os, const ServerStats& stats);
+class StoreBase;
 
-/// Multi-line dump of one client's protocol counters.
-void print_client_stats(std::ostream& os, const ClientStats& stats);
+/// Multi-line dump of the "server.*" counters in `registry`.
+void print_server_stats(std::ostream& os,
+                        const metrics::MetricsRegistry& registry);
 
-/// Multi-line dump of the NVM arena counters.
-void print_arena_stats(std::ostream& os, const nvm::ArenaStats& stats);
+/// Multi-line dump of the "client.*" counters (plus the derived
+/// pure-read rate) in `registry`.
+void print_client_stats(std::ostream& os,
+                        const metrics::MetricsRegistry& registry);
 
-/// One combined report for a cluster + one (aggregated) client view.
-void print_cluster_report(std::ostream& os, StoreBase& store,
-                          const ClientStats& clients);
+/// Multi-line dump of the "arena.*" counters in `registry`.
+void print_arena_stats(std::ostream& os,
+                       const metrics::MetricsRegistry& registry);
+
+/// Multi-line dump of the "qp.*" verb counters in `registry`.
+void print_qp_stats(std::ostream& os,
+                    const metrics::MetricsRegistry& registry);
+
+/// One combined report over a single (typically merged) registry, e.g.
+/// workload::RunResult::metrics.
+void print_cluster_report(std::ostream& os,
+                          const metrics::MetricsRegistry& registry);
+
+/// Convenience: merge the store's registry (server + arena counters) with
+/// an aggregated client-side registry, then render the combined report.
+void print_cluster_report(std::ostream& os, const StoreBase& store,
+                          const metrics::MetricsRegistry& client_metrics);
 
 }  // namespace efac::stores

@@ -1,6 +1,7 @@
 #include "stores/store_base.hpp"
 
 #include "common/assert.hpp"
+#include "common/bytes.hpp"
 
 namespace efac::stores {
 
@@ -28,6 +29,17 @@ StoreBase::StoreBase(sim::Simulator& sim, StoreConfig config,
                                                    &metrics_);
   }
 
+  // The flight recorder never schedules events or draws randomness, so
+  // creating it cannot perturb the simulation schedule. Track order is
+  // construction order (deterministic): server first, faults second,
+  // system-specific actors and clients after.
+  if (config_.trace.enabled) {
+    trace_log_ =
+        std::make_unique<trace::EventLog>(sim_, config_.trace.capacity);
+    server_rec_.attach(trace_log_.get(), "server");
+    fault_rec_.attach(trace_log_.get(), "faults");
+  }
+
   arena_ = std::make_unique<nvm::Arena>(sim_, arena_size, config_.nvm,
                                         config_.seed ^ 0xA7E4A, &metrics_);
   if (checker_ != nullptr) arena_->set_checker(checker_.get());
@@ -40,6 +52,7 @@ StoreBase::StoreBase(sim::Simulator& sim, StoreConfig config,
     injector_.configure(config_.fault_plan, metrics_);
     fabric_.set_injector(&injector_);
     arena_->set_injector(&injector_);
+    injector_.set_recorder(&fault_rec_);
   }
 
   pool_a_ = std::make_unique<kv::DataPool>(*arena_, hash_bytes,
@@ -69,6 +82,18 @@ void StoreBase::start() {
       for (;;) {
         rdma::InboundMessage msg = co_await self.node_->recv_queue().pop();
         ++self.stats_.requests;
+        // One central RPC-delivery event for every system: peek the
+        // request preamble (opcode u16, call id u64) the way
+        // rpc::parse_request will. IMM notifications carry no preamble.
+        if (self.server_rec_.enabled() && !msg.has_imm &&
+            msg.payload.size() >= 10) {
+          ByteReader peek{msg.payload};
+          const std::uint16_t opcode = peek.get_u16();
+          const std::uint64_t call_id = peek.get_u64();
+          self.server_rec_.emit(trace::EventType::kRpcDeliver,
+                                static_cast<std::uint8_t>(opcode), call_id,
+                                msg.src_qp);
+        }
         co_await self.handle(std::move(msg));
       }
     }(*this));

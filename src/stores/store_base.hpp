@@ -33,6 +33,7 @@
 #include "sim/task.hpp"
 #include "stores/config.hpp"
 #include "stores/wire.hpp"
+#include "trace/event_log.hpp"
 
 namespace efac::stores {
 
@@ -133,6 +134,13 @@ class StoreBase {
     return checker_.get();
   }
 
+  /// Flight recorder, or nullptr when config().trace.enabled is false
+  /// (same pattern as checker(): disabled costs one pointer test per
+  /// emission site). Clients attach via KvClient::attach_recorder.
+  [[nodiscard]] trace::EventLog* trace_log() noexcept {
+    return trace_log_.get();
+  }
+
   /// Allocate a unique QP id for a new client connection.
   [[nodiscard]] std::uint64_t next_qp_id() noexcept { return next_qp_id_++; }
 
@@ -197,6 +205,11 @@ class StoreBase {
   // checker_ must precede arena_ (the arena holds a pointer to it) and is
   // destroyed after it; ~Checker also detaches itself from the Simulator.
   std::unique_ptr<analysis::Checker> checker_;
+  // trace_log_ must precede every Recorder that points into it (the
+  // server/fault recorders below, plus per-system verifier/cleaner ones).
+  std::unique_ptr<trace::EventLog> trace_log_;
+  trace::Recorder server_rec_;
+  trace::Recorder fault_rec_;
   std::unique_ptr<nvm::Arena> arena_;
   rdma::Fabric fabric_;
   std::unique_ptr<rdma::Node> node_;

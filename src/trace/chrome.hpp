@@ -1,0 +1,49 @@
+// Flight-recorder exporters and validators.
+//
+// Two formats over EventLog::Snapshot:
+//   * Chrome trace-event JSON ("{\"traceEvents\": [...]}") — loads
+//     directly in Perfetto / chrome://tracing. Virtual-ns timestamps are
+//     exported as microseconds (the trace-event unit); op lifecycles and
+//     QP verbs become complete ("X") slices, everything else becomes
+//     instants, and the causal chain (RPC issue→deliver, object
+//     bind→durability flag) becomes flow arrows ("s"/"f").
+//   * A compact binary dump ("EFTR" v1): the raw 32-byte records plus the
+//     track/label tables — what bench/trace_inspect consumes for
+//     tail-latency attribution.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/status.hpp"
+#include "trace/event_log.hpp"
+
+namespace efac::trace {
+
+/// One Perfetto "process" per snapshot (a snapshot is one adopted store
+/// log, e.g. one bench point); tracks become threads.
+[[nodiscard]] std::string to_chrome_trace(
+    const std::vector<EventLog::Snapshot>& snapshots);
+void write_chrome_trace(std::ostream& os,
+                        const std::vector<EventLog::Snapshot>& snapshots);
+
+/// Golden-schema validation of the Chrome export (mirrors
+/// metrics::validate_bench_json): top-level object with a "traceEvents"
+/// array whose elements carry well-typed ph/pid/tid/name/ts fields, "X"
+/// slices a "dur", flow events an "id"; no trailing data.
+[[nodiscard]] Status validate_chrome_trace(std::string_view doc);
+
+/// Compact binary dump: magic "EFTR", version, then per snapshot the
+/// label, track table, drop count and raw 32-byte little-endian records.
+void write_binary(std::ostream& os,
+                  const std::vector<EventLog::Snapshot>& snapshots);
+[[nodiscard]] std::string to_binary(
+    const std::vector<EventLog::Snapshot>& snapshots);
+
+/// Parse a binary dump back into snapshots (trace_inspect's reader).
+[[nodiscard]] Status read_binary(std::string_view data,
+                                 std::vector<EventLog::Snapshot>* out);
+
+}  // namespace efac::trace

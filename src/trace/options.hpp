@@ -1,0 +1,19 @@
+// Flight-recorder knobs, embedded in StoreConfig (mirrors
+// analysis::AnalysisOptions): a tiny standalone header so config.hpp does
+// not pull in the event-log machinery.
+#pragma once
+
+#include <cstddef>
+
+namespace efac::trace {
+
+struct TraceOptions {
+  /// Off by default: no EventLog is created and every emission site
+  /// reduces to one null-pointer test.
+  bool enabled = false;
+  /// Ring capacity in events (32 bytes each). Oldest events are dropped
+  /// once full; the drop count is kept for the exporters.
+  std::size_t capacity = 1u << 15;
+};
+
+}  // namespace efac::trace

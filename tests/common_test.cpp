@@ -291,6 +291,49 @@ TEST(Histogram, PercentilesMonotonic) {
   }
 }
 
+TEST(Histogram, EmptyPercentileIsZeroAtAnyQuantile) {
+  // Out-of-range quantiles are clamped, and an empty histogram reports 0
+  // everywhere rather than a bucket representative.
+  Histogram h;
+  for (double q : {-1.0, 0.0, 0.25, 0.5, 1.0, 2.0}) {
+    EXPECT_EQ(h.percentile(q), 0u) << "q=" << q;
+  }
+}
+
+TEST(Histogram, SingleSampleEveryQuantileIsExact) {
+  // A lone sample lands in a log bucket whose midpoint is generally not
+  // the sample value; the [min, max] clamp must still report the sample
+  // exactly at every quantile, for linear and log-bucketed magnitudes.
+  for (const std::uint64_t v : {std::uint64_t{0}, std::uint64_t{63},
+                                std::uint64_t{1000003},
+                                std::uint64_t{1} << 40}) {
+    Histogram h;
+    h.record(v);
+    for (double q : {0.0, 0.5, 0.99, 1.0}) {
+      EXPECT_EQ(h.percentile(q), v) << "v=" << v << " q=" << q;
+    }
+  }
+}
+
+TEST(Histogram, AllSamplesInTopBucketStayWithinObservedRange) {
+  // Samples near 2^64 all collapse into the highest octave's buckets,
+  // whose midpoints lie outside the observed range; percentiles must be
+  // clamped into [min, max] instead of reporting the representative.
+  Histogram h;
+  const std::uint64_t lo = ~std::uint64_t{0} - 1000;
+  const std::uint64_t hi = ~std::uint64_t{0};
+  h.record(lo);
+  h.record(hi);
+  h.record(hi);
+  EXPECT_EQ(h.min(), lo);
+  EXPECT_EQ(h.max(), hi);
+  for (double q : {0.0, 0.5, 0.9, 1.0}) {
+    const std::uint64_t v = h.percentile(q);
+    EXPECT_GE(v, lo) << "q=" << q;
+    EXPECT_LE(v, hi) << "q=" << q;
+  }
+}
+
 // ------------------------------------------------------------------ bytes
 
 TEST(Bytes, WriterReaderRoundtrip) {

@@ -87,7 +87,7 @@ TEST(StatsReport, RendersEveryCounterLabel) {
   ASSERT_TRUE(tc.get_sync(key).has_value());
 
   std::ostringstream os;
-  print_cluster_report(os, *tc.cluster.store, tc.client->stats());
+  print_cluster_report(os, *tc.cluster.store, tc.client->metrics());
   const std::string out = os.str();
   for (const char* label :
        {"requests handled", "allocations", "persist operations",
