@@ -73,8 +73,9 @@ Histogram measure_put_latency(SystemKind kind, std::size_t value_len,
   maybe_enable_trace(config);
   Cluster cluster = stores::make_cluster(*sim, kind, config);
   cluster.start();
-  auto client = cluster.make_client();
-  client->set_size_hint(kKeyLen, value_len);
+  stores::ClientOptions copts;
+  copts.size_hint = {kKeyLen, value_len};
+  auto client = cluster.make_client(copts);
 
   Workload workload{WorkloadConfig{.mix = workload::Mix::kUpdateOnly,
                                    .key_count = 64,
@@ -113,8 +114,9 @@ Histogram measure_get_latency(SystemKind kind, std::size_t value_len,
   maybe_enable_trace(config);
   Cluster cluster = stores::make_cluster(*sim, kind, config);
   cluster.start();
-  auto client = cluster.make_client();
-  client->set_size_hint(kKeyLen, value_len);
+  stores::ClientOptions copts;
+  copts.size_hint = {kKeyLen, value_len};
+  auto client = cluster.make_client(copts);
 
   Workload workload{WorkloadConfig{.mix = workload::Mix::kReadOnly,
                                    .key_count = 64,

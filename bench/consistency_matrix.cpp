@@ -62,8 +62,9 @@ MatrixRow run_trials(SystemKind kind) {
     config.crash_policy.eviction_probability = 0.5;
     stores::Cluster cluster = stores::make_cluster(*sim, kind, config);
     cluster.start();
-    auto client = cluster.make_client();
-    client->set_size_hint(32, kVlen);
+    stores::ClientOptions hinted;
+    hinted.size_hint = {32, kVlen};
+    auto client = cluster.make_client(hinted);
     workload::Workload wl{workload::WorkloadConfig{
         .key_count = kKeys, .key_len = 32, .value_len = kVlen}};
 

@@ -202,8 +202,8 @@ TrialTally run_trial(SystemKind kind, const fault::FaultPlan& plan,
 
   stores::Cluster cluster = stores::make_cluster(*sim, kind, config);
   cluster.start();
+  options.size_hint = {kKlen, kVlen};
   auto client = cluster.make_client(options);
-  client->set_size_hint(kKlen, kVlen);
   workload::Workload wl{workload::WorkloadConfig{
       .key_count = kKeys, .key_len = kKlen, .value_len = kVlen}};
 
@@ -224,7 +224,6 @@ TrialTally run_trial(SystemKind kind, const fault::FaultPlan& plan,
       // versions continue above phase 1, then the trial ends in a second,
       // final power failure.
       client2 = cluster.make_client(options);
-      client2->set_size_hint(kKlen, kVlen);
       bool stop2 = false;
       sim->spawn(writer(*client2, wl, 100, 140, &acked2, &tried, &stop2));
       sim->run_until(plan.crash_at_ns + 300 * timeconst::kMicrosecond);

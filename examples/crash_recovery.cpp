@@ -70,8 +70,9 @@ int main() {
     sim::Simulator sim;
     stores::EFactoryStore store{sim};
     store.start();
-    auto client = store.make_client();
-    client->set_size_hint(32, kValueLen);
+    stores::ClientOptions copts;
+    copts.size_hint = {32, kValueLen};
+    auto client = store.make_client(copts);
     sim.spawn(writer(*client, wl));
     sim.run_until(crash_at);
     store.arena().crash(nothing_survives);
@@ -82,8 +83,9 @@ int main() {
     sim::Simulator sim;
     stores::ErdaStore store{sim};
     store.start();
-    auto client = store.make_client();
-    client->set_size_hint(32, kValueLen);
+    stores::ClientOptions copts;
+    copts.size_hint = {32, kValueLen};
+    auto client = store.make_client(copts);
     sim.spawn(writer(*client, wl));
     sim.run_until(crash_at);
     store.arena().crash(nothing_survives);

@@ -25,8 +25,9 @@ double median_put_latency_us(stores::SystemKind kind, std::size_t vlen) {
   config.pool_bytes = 8 * sizeconst::kMiB;
   stores::Cluster cluster = stores::make_cluster(sim, kind, config);
   cluster.start();
-  auto client = cluster.make_client();
-  client->set_size_hint(32, vlen);
+  stores::ClientOptions copts;
+  copts.size_hint = {32, vlen};
+  auto client = cluster.make_client(copts);
   workload::Workload wl{workload::WorkloadConfig{
       .key_count = 32, .key_len = 32, .value_len = vlen}};
 

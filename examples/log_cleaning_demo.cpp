@@ -39,10 +39,10 @@ int main() {
 
   workload::Workload wl{workload::WorkloadConfig{
       .key_count = kKeys, .key_len = 32, .value_len = kValueLen}};
-  auto writer = store.make_client();
-  auto reader = store.make_client();
-  writer->set_size_hint(32, kValueLen);
-  reader->set_size_hint(32, kValueLen);
+  stores::ClientOptions copts;
+  copts.size_hint = {32, kValueLen};
+  auto writer = store.make_client(copts);
+  auto reader = store.make_client(copts);
 
   std::map<int, int> latest;  // key -> last acked version
   bool writes_done = false;

@@ -24,8 +24,9 @@ int main() {
   store.start();
 
   // 2. Clients connect over the simulated fabric.
-  auto client = store.make_client();
-  client->set_size_hint(/*klen=*/16, /*vlen=*/64);
+  stores::ClientOptions options;
+  options.size_hint = {/*klen=*/16, /*vlen=*/64};  // geometry for 1-sided GETs
+  auto client = store.make_client(options);
 
   // 3. Issue operations from a coroutine; co_await suspends in virtual
   //    time exactly as the protocol dictates (alloc RPC + one-sided WRITE

@@ -84,8 +84,9 @@ int replay(const char* path, const char* system_name) {
   config.pool_bytes = 32 * sizeconst::kMiB;
   stores::Cluster cluster = stores::make_cluster(sim, it->second, config);
   cluster.start();
-  auto client = cluster.make_client();
-  client->set_size_hint(32, kValueLen);
+  stores::ClientOptions copts;
+  copts.size_hint = {32, kValueLen};
+  auto client = cluster.make_client(copts);
 
   std::optional<workload::ReplayResult> result;
   sim.spawn([](sim::Simulator& s, stores::KvClient& c,

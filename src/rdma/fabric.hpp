@@ -20,6 +20,10 @@ namespace efac::rdma {
 struct FabricConfig {
   /// Client CPU cost to build a WQE and ring the doorbell.
   SimDuration post_overhead_ns = 200;
+  /// Client CPU cost per ADDITIONAL WQE in a doorbell-coalesced burst:
+  /// the WQEs are linked and the doorbell rung once, so entries after the
+  /// head cost only the WQE build, not the MMIO ring.
+  SimDuration doorbell_entry_ns = 40;
   /// One-way propagation (host NIC → switch → target NIC), small message.
   SimDuration one_way_ns = 700;
   /// Serialization cost per payload byte (~100 Gb/s ≈ 0.08 ns/B).

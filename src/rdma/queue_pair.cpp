@@ -7,9 +7,16 @@ namespace efac::rdma {
 
 QueuePair::Timing QueuePair::plan(std::size_t request_payload,
                                   std::size_t response_payload) {
+  return plan_with_overhead(request_payload, response_payload,
+                            fabric_.config().post_overhead_ns);
+}
+
+QueuePair::Timing QueuePair::plan_with_overhead(std::size_t request_payload,
+                                                std::size_t response_payload,
+                                                SimDuration post_overhead) {
   const FabricConfig& cfg = fabric_.config();
   const SimTime now = sim_.now();
-  const SimTime issue = now + cfg.post_overhead_ns;
+  const SimTime issue = now + post_overhead;
   const SimTime depart = std::max(issue, last_depart_);
   const SimTime depart_end = depart + cfg.wire_cost(request_payload);
   last_depart_ = depart_end;
@@ -74,14 +81,29 @@ sim::Task<Expected<Bytes>> QueuePair::read(std::uint32_t rkey,
 
 Expected<SimTime> QueuePair::post_write(std::uint32_t rkey, MemOffset offset,
                                         BytesView data) {
+  return post_write_overhead(rkey, offset, data,
+                             fabric_.config().post_overhead_ns);
+}
+
+Expected<SimTime> QueuePair::post_write_coalesced(std::uint32_t rkey,
+                                                  MemOffset offset,
+                                                  BytesView data) {
+  return post_write_overhead(rkey, offset, data,
+                             fabric_.config().doorbell_entry_ns);
+}
+
+Expected<SimTime> QueuePair::post_write_overhead(std::uint32_t rkey,
+                                                 MemOffset offset,
+                                                 BytesView data,
+                                                 SimDuration post_overhead) {
   const Expected<MemOffset> abs =
       target_.translate(rkey, offset, data.size(), Access::kWrite);
   if (!abs) return abs.status();
 
   ++stats_.writes;
   stats_.write_bytes += data.size();
-  const Timing t = plan(/*request_payload=*/data.size(),
-                        /*response_payload=*/0);
+  const Timing t = plan_with_overhead(/*request_payload=*/data.size(),
+                                      /*response_payload=*/0, post_overhead);
   record_verb(trace::Verb::kWrite, t.done, data.size());
   // First byte reaches the media interface one_way after departure; the
   // last lands at the execution instant.
@@ -171,6 +193,30 @@ sim::Task<Expected<Unit>> QueuePair::write_faulted(std::uint32_t rkey,
   record_verb(trace::Verb::kWriteFaulted, t.done, data.size());
   co_await sim::delay(sim_, t.done - sim_.now());
   co_return Unit{};
+}
+
+Expected<SimTime> QueuePair::post_write_with_imm(std::uint32_t rkey,
+                                                 MemOffset offset,
+                                                 BytesView data,
+                                                 std::uint32_t imm,
+                                                 bool coalesced) {
+  const Expected<MemOffset> abs =
+      target_.translate(rkey, offset, data.size(), Access::kWrite);
+  if (!abs) return abs.status();
+  ++stats_.writes_with_imm;
+  stats_.write_bytes += data.size();
+  const FabricConfig& cfg = fabric_.config();
+  const Timing t = plan_with_overhead(
+      data.size(), 0,
+      coalesced ? cfg.doorbell_entry_ns : cfg.post_overhead_ns);
+  record_verb(trace::Verb::kWriteImm, t.done, data.size());
+  const SimTime place_begin = std::min<SimTime>(
+      t.arrive, t.depart + cfg.one_way_ns + cfg.nic_process_ns);
+  target_.arena().dma_write(*abs, data, place_begin, t.arrive,
+                            cfg.placement);
+  deliver_message(t.arrive, InboundMessage{Bytes{}, imm, /*has_imm=*/true,
+                                           id_, t.arrive});
+  return t.done;
 }
 
 sim::Task<Expected<Unit>> QueuePair::write_with_imm(std::uint32_t rkey,

@@ -102,6 +102,23 @@ class QueuePair {
   Expected<SimTime> post_write(std::uint32_t rkey, MemOffset offset,
                                BytesView data);
 
+  /// Fire-and-forget WRITE posted as a non-head entry of a doorbell-
+  /// coalesced burst: the WQE was built and linked together with the burst
+  /// head, so the per-WR CPU cost is doorbell_entry_ns instead of the full
+  /// post_overhead_ns. Wire/NIC/ack timing is unchanged, and per-QP FIFO
+  /// ordering still holds, so awaiting the burst's last completion covers
+  /// the whole burst.
+  Expected<SimTime> post_write_coalesced(std::uint32_t rkey, MemOffset offset,
+                                         BytesView data);
+
+  /// Fire-and-forget WRITE_WITH_IMM (optionally doorbell-coalesced):
+  /// places the payload, delivers the immediate notification at the
+  /// execution instant, and returns the requester-side completion instant
+  /// without suspending.
+  Expected<SimTime> post_write_with_imm(std::uint32_t rkey, MemOffset offset,
+                                        BytesView data, std::uint32_t imm,
+                                        bool coalesced = false);
+
   /// WRITE_WITH_IMM: places the payload, then delivers an immediate
   /// notification (consuming a receive) ordered after the placement.
   sim::Task<Expected<Unit>> write_with_imm(std::uint32_t rkey,
@@ -172,6 +189,19 @@ class QueuePair {
 
   /// Compute and commit the timeline of the next WR on this QP.
   Timing plan(std::size_t request_payload, std::size_t response_payload);
+
+  /// plan() with an explicit requester CPU cost (doorbell-coalesced burst
+  /// entries pay doorbell_entry_ns instead of post_overhead_ns). Draws the
+  /// same two jitter samples as plan(), so the fabric RNG stream — and with
+  /// it every later verb's timing — is independent of coalescing.
+  Timing plan_with_overhead(std::size_t request_payload,
+                            std::size_t response_payload,
+                            SimDuration post_overhead);
+
+  /// Shared body of post_write / post_write_coalesced.
+  Expected<SimTime> post_write_overhead(std::uint32_t rkey, MemOffset offset,
+                                        BytesView data,
+                                        SimDuration post_overhead);
 
   /// One flight-recorder event per verb, emitted at post time: `done` is
   /// known analytically from plan(), so no end-event is needed and ring

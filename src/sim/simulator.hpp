@@ -144,6 +144,25 @@ class Simulator {
   void set_hb_hooks(HbHooks* hb) noexcept { hb_ = hb; }
   [[nodiscard]] HbHooks* hb_hooks() const noexcept { return hb_; }
 
+  /// Trace attribution context of the currently-executing client op.
+  ///
+  /// Overlapping async client ops interleave through the event queue, so
+  /// the flight recorder's per-op ids must follow whichever op's coroutine
+  /// is actually running. The active op publishes {domain, op} here (domain
+  /// is the owning trace log, kept opaque at this layer); every awaiter
+  /// that parks a coroutine captures the context at suspension and
+  /// republishes it on resumption. Pure bookkeeping: it never schedules
+  /// and never draws RNG, so the dispatch schedule (and dispatch_hash())
+  /// is bit-identical with or without ops in flight.
+  struct OpContext {
+    const void* domain = nullptr;
+    std::uint32_t op = 0;
+
+    friend bool operator==(const OpContext&, const OpContext&) = default;
+  };
+  [[nodiscard]] OpContext op_context() const noexcept { return op_ctx_; }
+  void set_op_context(OpContext ctx) noexcept { op_ctx_ = ctx; }
+
   /// Resume `h` at the current instant attributed to `actor` (sync
   /// primitive wake-ups: the waiter must run under its own actor, not the
   /// releaser's). With no hooks attached this is exactly
@@ -249,6 +268,7 @@ class Simulator {
   std::unordered_map<std::uint64_t, std::coroutine_handle<>> roots_;
   std::exception_ptr pending_exception_;
   HbHooks* hb_ = nullptr;
+  OpContext op_ctx_{};
   /// seq -> scheduling actor; populated only while hooks are attached (and
   /// only for non-zero actors), consumed at dispatch.
   std::unordered_map<std::uint64_t, std::uint32_t> event_actor_;
@@ -259,11 +279,13 @@ class Simulator {
 struct DelayAwaiter {
   Simulator& sim;
   SimDuration duration;
+  Simulator::OpContext saved{};
   bool await_ready() const noexcept { return false; }
-  void await_suspend(std::coroutine_handle<> h) const {
+  void await_suspend(std::coroutine_handle<> h) {
+    saved = sim.op_context();
     sim.schedule_after(duration, h);
   }
-  void await_resume() const noexcept {}
+  void await_resume() const noexcept { sim.set_op_context(saved); }
 };
 
 inline DelayAwaiter delay(Simulator& sim, SimDuration d) { return {sim, d}; }

@@ -62,14 +62,19 @@ class OneShot {
                    "use a Gate (broadcast) or Channel (queue) for fan-out");
     struct Awaiter {
       OneShot& self;
+      Simulator::OpContext saved{};
+      bool suspended = false;
       bool await_ready() const noexcept { return self.value_.has_value(); }
       void await_suspend(std::coroutine_handle<> h) {
         if (HbHooks* hb = self.sim_.hb_hooks()) {
           self.waiter_actor_ = hb->current_actor();
         }
+        saved = self.sim_.op_context();
+        suspended = true;
         self.waiter_ = h;
       }
       T await_resume() {
+        if (suspended) self.sim_.set_op_context(saved);
         EFAC_CHECK(self.value_.has_value());
         if (HbHooks* hb = self.sim_.hb_hooks()) hb->acquire(self.clock_);
         T out = std::move(*self.value_);
@@ -112,13 +117,18 @@ class Gate {
   auto wait() {
     struct Awaiter {
       Gate& self;
+      Simulator::OpContext saved{};
+      bool suspended = false;
       bool await_ready() const noexcept { return self.open_; }
       void await_suspend(std::coroutine_handle<> h) {
         std::uint32_t actor = 0;
         if (HbHooks* hb = self.sim_.hb_hooks()) actor = hb->current_actor();
+        saved = self.sim_.op_context();
+        suspended = true;
         self.waiters_.push_back(Waiter{h, actor});
       }
-      void await_resume() const {
+      void await_resume() {
+        if (suspended) self.sim_.set_op_context(saved);
         if (HbHooks* hb = self.sim_.hb_hooks()) hb->acquire(self.clock_);
       }
     };
@@ -176,14 +186,19 @@ class Semaphore {
     bool handed_off = false;
     std::coroutine_handle<> handle{};
     std::uint32_t actor = 0;
+    Simulator::OpContext saved{};
+    bool suspended = false;
 
     bool await_ready() const noexcept { return self.available_ > 0; }
     void await_suspend(std::coroutine_handle<> h) {
       if (HbHooks* hb = self.sim_.hb_hooks()) actor = hb->current_actor();
+      saved = self.sim_.op_context();
+      suspended = true;
       handle = h;
       self.waiters_.push_back(this);
     }
-    void await_resume() const {
+    void await_resume() {
+      if (suspended) self.sim_.set_op_context(saved);
       if (HbHooks* hb = self.sim_.hb_hooks()) hb->acquire(self.clock_);
       if (!handed_off) {
         // Ready path: consume an available permit atomically (the DES is
@@ -278,14 +293,19 @@ class Channel {
     std::coroutine_handle<> handle{};
     VectorClock slot_clock{};
     std::uint32_t actor = 0;
+    Simulator::OpContext saved{};
+    bool suspended = false;
 
     bool await_ready() const noexcept { return !self.items_.empty(); }
     void await_suspend(std::coroutine_handle<> h) {
       if (HbHooks* hb = self.sim_.hb_hooks()) actor = hb->current_actor();
+      saved = self.sim_.op_context();
+      suspended = true;
       handle = h;
       self.waiters_.push_back(this);
     }
     T await_resume() {
+      if (suspended) self.sim_.set_op_context(saved);
       HbHooks* const hb = self.sim_.hb_hooks();
       if (slot.has_value()) {
         if (hb != nullptr) hb->acquire(slot_clock);

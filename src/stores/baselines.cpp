@@ -377,13 +377,35 @@ sim::Task<void> ImmStore::handle(rdma::InboundMessage msg) {
   }
 
   rpc::ParsedRequest req = rpc::parse_request(msg);
+  if (req.opcode == kAllocBatch) {
+    // Batch-reserve: one receive, one reply, one charge for the whole
+    // batch; each member stages its own pending-write token.
+    const BatchAllocRequest batch = BatchAllocRequest::decode(req.args);
+    BatchAllocResponse out;
+    out.items.reserve(batch.items.size());
+    SimDuration cost = 0;
+    for (const AllocRequest& alloc : batch.items) {
+      out.items.push_back(alloc_reserve(alloc, cost));
+    }
+    co_await charge(cost + config_.cpu.send_post_ns);
+    rpc::Replier{directory_, req.src_qp, req.call_id}.reply(out.encode());
+    co_return;
+  }
   EFAC_CHECK_MSG(req.opcode == kAlloc, "IMM: unexpected opcode");
   const AllocRequest alloc = AllocRequest::decode(req.args);
+  SimDuration cost = 0;
+  const AllocResponse resp = alloc_reserve(alloc, cost);
+  co_await charge(cost + config_.cpu.send_post_ns);
+  rpc::Replier{directory_, req.src_qp, req.call_id}.reply(resp.encode());
+}
+
+AllocResponse ImmStore::alloc_reserve(const AllocRequest& alloc,
+                                      SimDuration& cost) {
   const std::uint64_t key_hash = kv::hash_key(alloc.key);
   std::size_t probes = 0;
   AllocResponse resp;
   const Expected<std::size_t> slot = dir_.find_or_claim(key_hash, &probes);
-  SimDuration cost = probes * config_.cpu.hash_probe_ns;
+  cost += probes * config_.cpu.hash_probe_ns;
   if (!slot) {
     resp.status = slot.status().code();
   } else {
@@ -401,8 +423,7 @@ sim::Task<void> ImmStore::handle(rdma::InboundMessage msg) {
                        PendingWrite{*off, alloc.klen, alloc.vlen});
     }
   }
-  co_await charge(cost + config_.cpu.send_post_ns);
-  rpc::Replier{directory_, req.src_qp, req.call_id}.reply(resp.encode());
+  return resp;
 }
 
 Expected<Bytes> ImmStore::recover_get(BytesView key) {
@@ -460,6 +481,92 @@ class ImmClient final : public TwoReadClient {
     co_return Status{status};
   }
 
+ protected:
+  [[nodiscard]] bool has_batch_put() const noexcept override { return true; }
+
+  /// Batch-reserve PUT: one kAllocBatch RPC stages every member's token,
+  /// the write_with_imm WRs go out as one doorbell-coalesced burst, and
+  /// the per-member durability acks are awaited afterwards (they carry
+  /// the per-op outcome, so per-op statuses survive coalescing). With an
+  /// armed fault injector the writes are awaited individually instead so
+  /// each member sees its own tear/loss outcome.
+  sim::Task<std::vector<Status>> put_batch_attempt(
+      std::vector<PutOp>& ops,
+      const std::vector<std::uint32_t>& op_ids) override {
+    TRACE_SPAN(tracer_, "put_batch.total");
+    BatchAllocRequest breq;
+    breq.items.reserve(ops.size());
+    for (const PutOp& op : ops) {
+      ++stats_.puts;
+      AllocRequest item;
+      item.klen = static_cast<std::uint32_t>(op.key.size());
+      item.vlen = static_cast<std::uint32_t>(op.value.size());
+      item.crc = kv::object_crc(kv::hash_key(op.key), item.klen, item.vlen,
+                                op.value);  // bookkeeping only
+      item.key = op.key;
+      breq.items.push_back(std::move(item));
+    }
+    metrics::Span alloc_span{tracer_, "put.alloc_rpc"};
+    const Expected<Bytes> raw = co_await conn_.call_timeout(
+        kAllocBatch, breq.encode(), options_.retry.rpc_timeout_ns);
+    alloc_span.finish();
+    if (!raw) co_return std::vector<Status>(ops.size(), raw.status());
+    const BatchAllocResponse bresp = BatchAllocResponse::decode(*raw);
+    EFAC_CHECK_MSG(bresp.items.size() == ops.size(),
+                   "batch alloc: response/request size mismatch");
+
+    const bool faultable = store_.injector().enabled();
+    std::vector<Status> out(ops.size());
+    std::vector<std::unique_ptr<sim::OneShot<StatusCode>>> acks(ops.size());
+    metrics::Span write_span{tracer_, "put.data_write"};
+    bool head = true;
+    for (std::size_t i = 0; i < ops.size(); ++i) {
+      recorder_.set_current(op_ids[i]);
+      const AllocResponse& resp = bresp.items[i];
+      if (resp.status != StatusCode::kOk) {
+        out[i] = Status{resp.status};
+        continue;
+      }
+      recorder_.emit(trace::EventType::kObjBind, 0, resp.object_off);
+      acks[i] = std::make_unique<sim::OneShot<StatusCode>>(store_.simulator());
+      imm_store_.ack_hub().arm(resp.token, acks[i].get(),
+                               options_.retry.rpc_timeout_ns);
+      const MemOffset value_off = resp.object_off +
+                                  kv::ObjectLayout::kHeaderSize +
+                                  ops[i].key.size() - store_.pool_a().base();
+      if (faultable) {
+        const Expected<Unit> wr = co_await conn_.qp().write_with_imm(
+            store_.pool_rkey(), value_off, ops[i].value, resp.token);
+        if (!wr) {
+          imm_store_.ack_hub().disarm(resp.token);
+          acks[i].reset();
+          out[i] = wr.status();
+        }
+        continue;
+      }
+      const Expected<SimTime> posted = conn_.qp().post_write_with_imm(
+          store_.pool_rkey(), value_off, ops[i].value, resp.token,
+          /*coalesced=*/!head);
+      head = false;
+      if (!posted) {
+        imm_store_.ack_hub().disarm(resp.token);
+        acks[i].reset();
+        out[i] = posted.status();
+      }
+    }
+    write_span.finish();
+    // Durability point per member: the server flushed and acked.
+    metrics::Span ack_span{tracer_, "put.durability_ack"};
+    for (std::size_t i = 0; i < ops.size(); ++i) {
+      if (acks[i] == nullptr) continue;  // alloc or post already failed
+      recorder_.set_current(op_ids[i]);
+      out[i] = Status{co_await acks[i]->wait()};
+    }
+    ack_span.finish();
+    recorder_.set_current(op_ids[0]);
+    co_return out;
+  }
+
  private:
   ImmStore& imm_store_;
 };
@@ -480,13 +587,34 @@ ErdaStore::ErdaStore(sim::Simulator& sim, StoreConfig config)
 sim::Task<void> ErdaStore::handle(rdma::InboundMessage msg) {
   co_await charge(config_.recv_cost());
   rpc::ParsedRequest req = rpc::parse_request(msg);
+  if (req.opcode == kAllocBatch) {
+    // Batch-reserve: one receive, one reply, one charge for the batch.
+    const BatchAllocRequest batch = BatchAllocRequest::decode(req.args);
+    BatchAllocResponse out;
+    out.items.reserve(batch.items.size());
+    SimDuration cost = 0;
+    for (const AllocRequest& alloc : batch.items) {
+      out.items.push_back(alloc_reserve(alloc, cost));
+    }
+    co_await charge(cost + config_.cpu.send_post_ns);
+    rpc::Replier{directory_, req.src_qp, req.call_id}.reply(out.encode());
+    co_return;
+  }
   EFAC_CHECK_MSG(req.opcode == kAlloc, "Erda: unexpected opcode");
   const AllocRequest alloc = AllocRequest::decode(req.args);
+  SimDuration cost = 0;
+  const AllocResponse resp = alloc_reserve(alloc, cost);
+  co_await charge(cost + config_.cpu.send_post_ns);
+  rpc::Replier{directory_, req.src_qp, req.call_id}.reply(resp.encode());
+}
+
+AllocResponse ErdaStore::alloc_reserve(const AllocRequest& alloc,
+                                       SimDuration& cost) {
   const std::uint64_t key_hash = kv::hash_key(alloc.key);
   AllocResponse resp;
   const Expected<std::size_t> slot = table_.find_or_claim(key_hash);
   // Neighborhood scan plus hopscotch/atomic-region maintenance.
-  SimDuration cost = 2 * config_.cpu.hash_probe_ns + config_.cpu.erda_index_ns;
+  cost += 2 * config_.cpu.hash_probe_ns + config_.cpu.erda_index_ns;
   if (!slot) {
     resp.status = slot.status().code();
   } else {
@@ -503,8 +631,7 @@ sim::Task<void> ErdaStore::handle(rdma::InboundMessage msg) {
       resp.object_off = *off;
     }
   }
-  co_await charge(cost + config_.cpu.send_post_ns);
-  rpc::Replier{directory_, req.src_qp, req.call_id}.reply(resp.encode());
+  return resp;
 }
 
 Expected<Bytes> ErdaStore::recover_get(BytesView key) {
@@ -570,6 +697,88 @@ class ErdaClient final : public KvClient {
         co_await conn_.qp().write(store_.pool_rkey(), value_off, value);
     write_span.finish();
     co_return wr.status();
+  }
+
+ protected:
+  [[nodiscard]] bool has_batch_put() const noexcept override { return true; }
+
+  /// Batch-reserve PUT: one combined CRC pass, one kAllocBatch RPC, and a
+  /// doorbell-coalesced burst of one-sided value writes (per-item awaited
+  /// under an armed fault injector).
+  sim::Task<std::vector<Status>> put_batch_attempt(
+      std::vector<PutOp>& ops,
+      const std::vector<std::uint32_t>& op_ids) override {
+    TRACE_SPAN(tracer_, "put_batch.total");
+    metrics::Span crc_span{tracer_, "put.crc"};
+    SimDuration crc_cost = 0;
+    for (const PutOp& op : ops) {
+      crc_cost += store_.config().crc.cost(op.value.size());
+    }
+    co_await sim::delay(store_.simulator(), crc_cost);
+    crc_span.finish();
+
+    BatchAllocRequest breq;
+    breq.items.reserve(ops.size());
+    for (const PutOp& op : ops) {
+      ++stats_.puts;
+      AllocRequest item;
+      item.klen = static_cast<std::uint32_t>(op.key.size());
+      item.vlen = static_cast<std::uint32_t>(op.value.size());
+      item.crc = kv::object_crc(kv::hash_key(op.key), item.klen, item.vlen,
+                                op.value);
+      item.key = op.key;
+      breq.items.push_back(std::move(item));
+    }
+    metrics::Span alloc_span{tracer_, "put.alloc_rpc"};
+    const Expected<Bytes> raw = co_await conn_.call_timeout(
+        kAllocBatch, breq.encode(), options_.retry.rpc_timeout_ns);
+    alloc_span.finish();
+    if (!raw) co_return std::vector<Status>(ops.size(), raw.status());
+    const BatchAllocResponse bresp = BatchAllocResponse::decode(*raw);
+    EFAC_CHECK_MSG(bresp.items.size() == ops.size(),
+                   "batch alloc: response/request size mismatch");
+
+    const bool faultable = store_.injector().enabled();
+    std::vector<Status> out(ops.size());
+    metrics::Span write_span{tracer_, "put.data_write"};
+    SimTime last_done = 0;
+    bool head = true;
+    for (std::size_t i = 0; i < ops.size(); ++i) {
+      recorder_.set_current(op_ids[i]);
+      const AllocResponse& resp = bresp.items[i];
+      if (resp.status != StatusCode::kOk) {
+        out[i] = Status{resp.status};
+        continue;
+      }
+      recorder_.emit(trace::EventType::kObjBind, 0, resp.object_off);
+      const MemOffset value_off = resp.object_off +
+                                  kv::ObjectLayout::kHeaderSize +
+                                  ops[i].key.size() - store_.pool_a().base();
+      if (faultable) {
+        const Expected<Unit> wr = co_await conn_.qp().write(
+            store_.pool_rkey(), value_off, ops[i].value);
+        out[i] = wr.status();
+        continue;
+      }
+      const Expected<SimTime> done =
+          head ? conn_.qp().post_write(store_.pool_rkey(), value_off,
+                                       ops[i].value)
+               : conn_.qp().post_write_coalesced(store_.pool_rkey(),
+                                                 value_off, ops[i].value);
+      head = false;
+      if (!done) {
+        out[i] = done.status();
+        continue;
+      }
+      last_done = std::max(last_done, *done);
+    }
+    recorder_.set_current(op_ids[0]);
+    if (last_done > store_.simulator().now()) {
+      co_await sim::delay(store_.simulator(),
+                          last_done - store_.simulator().now());
+    }
+    write_span.finish();
+    co_return out;
   }
 
   sim::Task<Expected<Bytes>> get_attempt(Bytes key) override {

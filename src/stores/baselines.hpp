@@ -100,6 +100,10 @@ class ImmStore final : public StoreBase {
     std::uint32_t klen = 0;
     std::uint32_t vlen = 0;
   };
+  /// Shared body of the single and batched alloc paths: claim the slot,
+  /// allocate, stage the pending-write token. Accumulates cost into
+  /// `cost`; the caller charges once per request.
+  AllocResponse alloc_reserve(const AllocRequest& alloc, SimDuration& cost);
   kv::HashDir dir_;
   ImmAckHub ack_hub_;
   std::unordered_map<std::uint32_t, PendingWrite> pending_;
@@ -120,6 +124,9 @@ class ErdaStore final : public StoreBase {
 
  private:
   friend class ErdaClient;
+  /// Shared body of the single and batched alloc paths (cost accumulated
+  /// into `cost`; the caller charges once per request).
+  AllocResponse alloc_reserve(const AllocRequest& alloc, SimDuration& cost);
   kv::ErdaTable table_;
 };
 

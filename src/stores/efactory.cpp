@@ -46,6 +46,9 @@ sim::Task<void> EFactoryStore::handle(rdma::InboundMessage msg) {
     case kAlloc:
       co_await handle_alloc(std::move(req));
       break;
+    case kAllocBatch:
+      co_await handle_alloc_batch(std::move(req));
+      break;
     case kGetLoc:
       co_await handle_get_loc(std::move(req));
       break;
@@ -57,53 +60,79 @@ sim::Task<void> EFactoryStore::handle(rdma::InboundMessage msg) {
   }
 }
 
-sim::Task<void> EFactoryStore::handle_alloc(rpc::ParsedRequest req) {
-  const AllocRequest alloc = AllocRequest::decode(req.args);
+AllocResponse EFactoryStore::alloc_reserve(const AllocRequest& alloc,
+                                           SimDuration& cost) {
   const std::uint64_t key_hash = kv::hash_key(alloc.key);
 
   std::size_t probes = 0;
   AllocResponse resp;
   const Expected<std::size_t> slot = dir_.find_or_claim(key_hash, &probes);
-  SimDuration cost = probes * config_.cpu.hash_probe_ns;
+  cost += probes * config_.cpu.hash_probe_ns;
   if (stage_ != CleanStage::kIdle) cost += config_.clean_interference_ns;
 
   if (!slot) {
     resp.status = slot.status().code();
-  } else {
-    kv::HashDir::Entry entry = dir_.read(*slot);
-    entry.key_hash = key_hash;
-    // During merge, new writes go straight to the new (shadow) pool and
-    // join its chain; otherwise they append to the working pool.
-    const bool to_shadow = stage_ == CleanStage::kMerge;
-    kv::DataPool& pool = to_shadow ? shadow_pool() : working_pool();
-    const MemOffset pre = to_shadow ? shadow_of(entry) : working_of(entry);
-    const std::size_t total =
-        kv::ObjectLayout::total_size(alloc.klen, alloc.vlen);
-    const Expected<MemOffset> off = pool.allocate(total);
-    if (!off) {
-      resp.status = StatusCode::kOutOfSpace;
-    } else {
-      // Object metadata is written and persisted *before* the offset is
-      // returned (paper Fig. 5 steps 2–4).
-      cost += place_object_metadata(*off, alloc, pre, /*persist=*/true);
-      if (to_shadow) {
-        set_shadow(entry, *off);
-      } else {
-        set_working(entry, *off);
-      }
-      dir_.write(*slot, entry);
-      dir_.persist(*slot);
-      // Object metadata and hash entry drain under one SFENCE.
-      cost += arena_->cost().flush_cost(kv::HashDir::kEntrySize) +
-              arena_->cost().fence_ns;
-      verify_queue_.push_back(*off);
-      resp.status = StatusCode::kOk;
-      resp.object_off = *off;
-    }
+    return resp;
   }
+  kv::HashDir::Entry entry = dir_.read(*slot);
+  entry.key_hash = key_hash;
+  // During merge, new writes go straight to the new (shadow) pool and
+  // join its chain; otherwise they append to the working pool.
+  const bool to_shadow = stage_ == CleanStage::kMerge;
+  kv::DataPool& pool = to_shadow ? shadow_pool() : working_pool();
+  const MemOffset pre = to_shadow ? shadow_of(entry) : working_of(entry);
+  const std::size_t total =
+      kv::ObjectLayout::total_size(alloc.klen, alloc.vlen);
+  const Expected<MemOffset> off = pool.allocate(total);
+  if (!off) {
+    resp.status = StatusCode::kOutOfSpace;
+    return resp;
+  }
+  // Object metadata is written and persisted *before* the offset is
+  // returned (paper Fig. 5 steps 2–4).
+  cost += place_object_metadata(*off, alloc, pre, /*persist=*/true);
+  if (to_shadow) {
+    set_shadow(entry, *off);
+  } else {
+    set_working(entry, *off);
+  }
+  dir_.write(*slot, entry);
+  dir_.persist(*slot);
+  cost += arena_->cost().flush_cost(kv::HashDir::kEntrySize);
+  verify_queue_.push_back(*off);
+  resp.status = StatusCode::kOk;
+  resp.object_off = *off;
+  return resp;
+}
 
+sim::Task<void> EFactoryStore::handle_alloc(rpc::ParsedRequest req) {
+  const AllocRequest alloc = AllocRequest::decode(req.args);
+  SimDuration cost = 0;
+  const AllocResponse resp = alloc_reserve(alloc, cost);
+  // Object metadata and hash entry drain under one SFENCE.
+  if (resp.status == StatusCode::kOk) cost += arena_->cost().fence_ns;
   co_await charge(cost + config_.cpu.send_post_ns);
   rpc::Replier{directory_, req.src_qp, req.call_id}.reply(resp.encode());
+  maybe_trigger_cleaning();
+}
+
+sim::Task<void> EFactoryStore::handle_alloc_batch(rpc::ParsedRequest req) {
+  const BatchAllocRequest batch = BatchAllocRequest::decode(req.args);
+  BatchAllocResponse out;
+  out.items.reserve(batch.items.size());
+  SimDuration cost = 0;
+  bool indexed = false;
+  for (const AllocRequest& alloc : batch.items) {
+    const AllocResponse resp = alloc_reserve(alloc, cost);
+    indexed = indexed || resp.status == StatusCode::kOk;
+    out.items.push_back(resp);
+  }
+  // The server-side amortization of the batch-reserve path: every
+  // member's object metadata and hash entry drain under ONE shared
+  // SFENCE, and the batch costs one receive and one reply.
+  if (indexed) cost += arena_->cost().fence_ns;
+  co_await charge(cost + config_.cpu.send_post_ns);
+  rpc::Replier{directory_, req.src_qp, req.call_id}.reply(out.encode());
   maybe_trigger_cleaning();
 }
 
@@ -365,14 +394,27 @@ sim::Task<MemOffset> EFactoryStore::copy_object(MemOffset src,
   const kv::ObjectMeta meta = source.read_header();
   if (!object_span_ok(src, meta)) co_return 0;
   const std::size_t total = kv::ObjectLayout::total_size(meta.klen, meta.vlen);
+
+  const bool source_flagged = source.is_durable(meta.klen, meta.vlen);
+  if (!source_flagged) {
+    // An unverified source may still be receiving its RDMA WRITE. Check it
+    // *before* claiming shadow space: a torn snapshot can never heal (the
+    // payload bytes land at the source offset, not in the copy), and an
+    // abandoned copy would leak shadow-pool space that later slots and the
+    // finish stage need. A CRC pass means the write has fully landed, so
+    // the version is immutable from here on.
+    ++stats_.crc_checks;
+    co_await charge(config_.crc.cost(meta.vlen));
+    if (!source.verify_crc()) co_return 0;
+  }
+
   const Expected<MemOffset> dst = shadow_pool().allocate(total);
   if (!dst) co_return 0;
 
-  const bool source_flagged = source.is_durable(meta.klen, meta.vlen);
   Bytes bytes;
   {
-    // The cleaner may copy an object whose RDMA WRITE is still in flight;
-    // a torn copy is caught by the CRC check below (or re-queued).
+    // Verified (flag or CRC) before the load, so the bytes are immutable;
+    // the guard documents the cross-actor read for the sanitizer.
     analysis::AccessGuard guard(checker_.get(), analysis::Guard::kCrcVerify,
                                 "efactory.clean.copy");
     bytes = arena_->load(src, total);
@@ -389,27 +431,13 @@ sim::Task<MemOffset> EFactoryStore::copy_object(MemOffset src,
   co_await charge(config_.cpu.memcpy_cost(total) +
                   arena_->cost().flush_cost(total) +
                   arena_->cost().fence_ns);
-  const auto assert_copy_durable = [&] {
-    assert_object_durable(checker_.get(), *dst,
-                          kv::ObjectLayout::flag_offset(meta.klen, meta.vlen),
-                          "efactory.clean.copy_flag");
-  };
-  if (source_flagged) {
-    // The source was already verified + persisted; an atomic CPU copy of
-    // intact bytes is intact, so re-verification would be wasted work.
-    assert_copy_durable();
-    copy.set_durable(meta.klen, meta.vlen, true);
-  } else {
-    // Unverified source: only a CRC-valid copy earns the durability flag.
-    ++stats_.crc_checks;
-    co_await charge(config_.crc.cost(meta.vlen));
-    if (copy.verify_crc()) {
-      assert_copy_durable();
-      copy.set_durable(meta.klen, meta.vlen, true);  // volatile, like verify
-    } else {
-      verify_queue_.push_back(*dst);
-    }
-  }
+  // The source was verified up front (durability flag, or the CRC pass
+  // above); an atomic CPU copy of intact bytes is intact, so the copy
+  // earns the flag without re-verification.
+  assert_object_durable(checker_.get(), *dst,
+                        kv::ObjectLayout::flag_offset(meta.klen, meta.vlen),
+                        "efactory.clean.copy_flag");
+  copy.set_durable(meta.klen, meta.vlen, true);  // volatile, like verify
   ++stats_.cleaned_objects;
   cleaner_rec_.emit(trace::EventType::kGcCopy, 0, src, *dst);
   co_return *dst;
@@ -452,7 +480,8 @@ sim::Task<void> EFactoryStore::cleaning_task() {
     const MemOffset head = working_of(entry);
     if (head == 0) continue;
     const MemOffset copy = co_await copy_object(head, /*link=*/0);
-    if (copy == 0) continue;  // shadow pool full: entry keeps old data
+    // Shadow pool full or in-flight write tore the copy: keep old data.
+    if (copy == 0) continue;
     entry = dir_.read(slot);  // re-read: PUTs may have run meanwhile
     set_shadow(entry, copy);
     dir_.write(slot, entry);
@@ -750,6 +779,90 @@ sim::Task<Status> EFactoryClient::put_attempt(Bytes key, Bytes value) {
       co_await conn_.qp().write(store_.pool_rkey(), value_off, value);
   write_span.finish();
   co_return wr.status();
+}
+
+sim::Task<std::vector<Status>> EFactoryClient::put_batch_attempt(
+    std::vector<PutOp>& ops, const std::vector<std::uint32_t>& op_ids) {
+  TRACE_SPAN(tracer_, "put_batch.total");
+  // One CRC pass over every member's value before the shared alloc RPC.
+  metrics::Span crc_span{tracer_, "put.crc"};
+  SimDuration crc_cost = 0;
+  for (const PutOp& op : ops) {
+    crc_cost += store_.config().crc.cost(op.value.size());
+  }
+  co_await sim::delay(store_.simulator(), crc_cost);
+  crc_span.finish();
+
+  BatchAllocRequest breq;
+  breq.items.reserve(ops.size());
+  for (const PutOp& op : ops) {
+    ++stats_.puts;
+    AllocRequest item;
+    item.klen = static_cast<std::uint32_t>(op.key.size());
+    item.vlen = static_cast<std::uint32_t>(op.value.size());
+    item.crc =
+        kv::object_crc(kv::hash_key(op.key), item.klen, item.vlen, op.value);
+    item.key = op.key;
+    breq.items.push_back(std::move(item));
+  }
+
+  // ONE alloc RPC reserves log space for the whole batch.
+  metrics::Span alloc_span{tracer_, "put.alloc_rpc"};
+  const Expected<Bytes> raw = co_await conn_.call_timeout(
+      kAllocBatch, breq.encode(), options_.retry.rpc_timeout_ns);
+  alloc_span.finish();
+  if (!raw) co_return std::vector<Status>(ops.size(), raw.status());
+  const BatchAllocResponse bresp = BatchAllocResponse::decode(*raw);
+  EFAC_CHECK_MSG(bresp.items.size() == ops.size(),
+                 "batch alloc: response/request size mismatch");
+
+  // Payload writes go out as one doorbell-coalesced burst: the head WR
+  // pays the full post overhead, later entries only the doorbell cost.
+  // Per-QP FIFO ordering means awaiting the latest completion instant
+  // covers the whole burst. With an armed fault injector the WRs are
+  // awaited individually instead, so each member sees its own
+  // tear/lost-completion outcome.
+  const bool faultable = store_.injector().enabled();
+  std::vector<Status> out(ops.size());
+  metrics::Span write_span{tracer_, "put.data_write"};
+  SimTime last_done = 0;
+  bool head = true;
+  for (std::size_t i = 0; i < ops.size(); ++i) {
+    recorder_.set_current(op_ids[i]);
+    const AllocResponse& resp = bresp.items[i];
+    if (resp.status != StatusCode::kOk) {
+      out[i] = Status{resp.status};
+      continue;
+    }
+    recorder_.emit(trace::EventType::kObjBind, 0, resp.object_off);
+    const MemOffset value_off = resp.object_off +
+                                kv::ObjectLayout::kHeaderSize +
+                                ops[i].key.size() - store_.pool_a().base();
+    if (faultable) {
+      const Expected<Unit> wr = co_await conn_.qp().write(
+          store_.pool_rkey(), value_off, ops[i].value);
+      out[i] = wr.status();
+      continue;
+    }
+    const Expected<SimTime> done =
+        head ? conn_.qp().post_write(store_.pool_rkey(), value_off,
+                                     ops[i].value)
+             : conn_.qp().post_write_coalesced(store_.pool_rkey(), value_off,
+                                               ops[i].value);
+    head = false;
+    if (!done) {
+      out[i] = done.status();
+      continue;
+    }
+    last_done = std::max(last_done, *done);
+  }
+  recorder_.set_current(op_ids[0]);
+  if (last_done > store_.simulator().now()) {
+    co_await sim::delay(store_.simulator(),
+                        last_done - store_.simulator().now());
+  }
+  write_span.finish();
+  co_return out;
 }
 
 sim::Task<Expected<Bytes>> EFactoryClient::read_object_at(

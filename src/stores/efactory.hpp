@@ -128,8 +128,16 @@ class EFactoryStore final : public StoreBase {
 
   // ------------------------------------------------------------ handlers
   sim::Task<void> handle_alloc(rpc::ParsedRequest req);
+  sim::Task<void> handle_alloc_batch(rpc::ParsedRequest req);
   sim::Task<void> handle_get_loc(rpc::ParsedRequest req);
   sim::Task<void> handle_delete(rpc::ParsedRequest req);
+
+  /// Shared body of the single and batched alloc handlers: claim the hash
+  /// slot, allocate in the log, write + persist metadata + entry, and
+  /// queue verification. Accumulates CPU/flush cost into `cost`; the
+  /// ordering SFENCE is the caller's (one per request, shared by every
+  /// member of a batch).
+  AllocResponse alloc_reserve(const AllocRequest& alloc, SimDuration& cost);
 
   /// Selective durability guarantee over a version candidate list:
   /// flag set -> return; CRC ok -> persist + flag + return; torn -> next.
@@ -178,6 +186,13 @@ class EFactoryClient final : public KvClient {
   sim::Task<Status> put_attempt(Bytes key, Bytes value) override;
   sim::Task<Expected<Bytes>> get_attempt(Bytes key) override;
   sim::Task<Status> del_attempt(Bytes key) override;
+
+  /// Batch-reserve PUT: one kAllocBatch RPC for the whole batch, then a
+  /// doorbell-coalesced burst of one-sided value writes.
+  [[nodiscard]] bool has_batch_put() const noexcept override { return true; }
+  sim::Task<std::vector<Status>> put_batch_attempt(
+      std::vector<PutOp>& ops,
+      const std::vector<std::uint32_t>& op_ids) override;
 
  private:
   /// One-sided read of a whole object; returns the value on success.

@@ -57,8 +57,7 @@ struct Cluster {
   [[nodiscard]] std::unique_ptr<KvClient> make_client(
       const ClientOptions& options = {}) const {
     std::unique_ptr<KvClient> client = client_factory(options);
-    client->attach_checker(store->checker());
-    client->attach_recorder(store->trace_log());
+    client->attach(store->wiring());
     return client;
   }
 

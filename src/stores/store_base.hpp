@@ -32,6 +32,7 @@
 #include "sim/simulator.hpp"
 #include "sim/task.hpp"
 #include "stores/config.hpp"
+#include "stores/kv_client.hpp"
 #include "stores/wire.hpp"
 #include "trace/event_log.hpp"
 
@@ -136,9 +137,14 @@ class StoreBase {
 
   /// Flight recorder, or nullptr when config().trace.enabled is false
   /// (same pattern as checker(): disabled costs one pointer test per
-  /// emission site). Clients attach via KvClient::attach_recorder.
+  /// emission site). Clients attach via KvClient::attach(wiring()).
   [[nodiscard]] trace::EventLog* trace_log() noexcept {
     return trace_log_.get();
+  }
+
+  /// The cross-cutting subsystems a new client should be attach()ed to.
+  [[nodiscard]] ClusterWiring wiring() noexcept {
+    return ClusterWiring{checker(), trace_log()};
   }
 
   /// Allocate a unique QP id for a new client connection.

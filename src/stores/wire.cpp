@@ -41,6 +41,44 @@ AllocResponse AllocResponse::decode(BytesView raw) {
   return resp;
 }
 
+Bytes BatchAllocRequest::encode() const {
+  std::size_t est = 8;
+  for (const AllocRequest& item : items) est += item.key.size() + 24;
+  ByteWriter w{est};
+  w.put_u32(static_cast<std::uint32_t>(items.size()));
+  for (const AllocRequest& item : items) w.put_blob(item.encode());
+  return std::move(w).take();
+}
+
+BatchAllocRequest BatchAllocRequest::decode(BytesView raw) {
+  ByteReader r{raw};
+  BatchAllocRequest req;
+  const std::uint32_t count = r.get_u32();
+  req.items.reserve(count);
+  for (std::uint32_t i = 0; i < count; ++i) {
+    req.items.push_back(AllocRequest::decode(r.get_blob()));
+  }
+  return req;
+}
+
+Bytes BatchAllocResponse::encode() const {
+  ByteWriter w{8 + items.size() * 32};
+  w.put_u32(static_cast<std::uint32_t>(items.size()));
+  for (const AllocResponse& item : items) w.put_blob(item.encode());
+  return std::move(w).take();
+}
+
+BatchAllocResponse BatchAllocResponse::decode(BytesView raw) {
+  ByteReader r{raw};
+  BatchAllocResponse resp;
+  const std::uint32_t count = r.get_u32();
+  resp.items.reserve(count);
+  for (std::uint32_t i = 0; i < count; ++i) {
+    resp.items.push_back(AllocResponse::decode(r.get_blob()));
+  }
+  return resp;
+}
+
 Bytes GetLocRequest::encode() const {
   ByteWriter w{key.size() + 8};
   w.put_blob(key);

@@ -29,6 +29,9 @@ enum Opcode : std::uint16_t {
   kGetInline = 5,
   /// Delete a key (eFactory: appends a tombstone version). -> status
   kDelete = 6,
+  /// Batch-reserve: allocate space for a whole batch of objects in one
+  /// round trip (eFactory/IMM/Erda alloc paths). -> BatchAllocResponse
+  kAllocBatch = 7,
 };
 
 struct AllocRequest {
@@ -49,6 +52,24 @@ struct AllocResponse {
 
   [[nodiscard]] Bytes encode() const;
   static AllocResponse decode(BytesView raw);
+};
+
+/// kAllocBatch: one shared alloc RPC reserving log space for every object
+/// in a client batch. Items are independent — the server allocates each on
+/// its own and reports per-item outcomes, so one full bucket or exhausted
+/// pool fails only the items it affects.
+struct BatchAllocRequest {
+  std::vector<AllocRequest> items;
+
+  [[nodiscard]] Bytes encode() const;
+  static BatchAllocRequest decode(BytesView raw);
+};
+
+struct BatchAllocResponse {
+  std::vector<AllocResponse> items;  ///< same order as the request
+
+  [[nodiscard]] Bytes encode() const;
+  static BatchAllocResponse decode(BytesView raw);
 };
 
 struct GetLocRequest {

@@ -119,6 +119,19 @@ class EventLog {
   /// Allocate a fresh causal op id (monotonic, never 0).
   [[nodiscard]] std::uint32_t next_op_id() noexcept { return ++last_op_; }
 
+  /// Publish `op` as the simulator's current op context for this log. The
+  /// context follows the running coroutine across suspensions (captured
+  /// and republished by every awaiter), which is what keeps per-op
+  /// attribution correct when a client has several ops in flight.
+  void set_context_op(std::uint32_t op) noexcept {
+    sim_.set_op_context({this, op});
+  }
+  /// The current context op if it belongs to this log, else 0.
+  [[nodiscard]] std::uint32_t context_op() const noexcept {
+    const sim::Simulator::OpContext ctx = sim_.op_context();
+    return ctx.domain == this ? ctx.op : 0;
+  }
+
   [[nodiscard]] std::uint64_t total_emitted() const noexcept {
     return total_;
   }
@@ -155,6 +168,12 @@ struct Recorder {
   EventLog* log = nullptr;
   std::uint16_t track = 0;
   std::uint32_t cur_op = 0;
+  /// Client recorders set this: op attribution reads the simulator's op
+  /// context (maintained across suspensions by every awaiter) instead of
+  /// the recorder-local cur_op, so a client with several async ops in
+  /// flight attributes each verb/RPC/retry event to the op whose coroutine
+  /// is actually running — not to whichever op began most recently.
+  bool op_scoped = false;
 
   void attach(EventLog* l, std::string name) {
     if (l == nullptr) return;
@@ -163,23 +182,52 @@ struct Recorder {
   }
   [[nodiscard]] bool enabled() const noexcept { return log != nullptr; }
 
+  /// The op id emissions are attributed to right now.
+  [[nodiscard]] std::uint32_t current_op() const noexcept {
+    if (log == nullptr) return 0;
+    return op_scoped ? log->context_op() : cur_op;
+  }
+
   void emit(EventType type, std::uint8_t aux = 0, std::uint64_t a = 0,
             std::uint64_t b = 0) const {
-    if (log != nullptr) log->emit(track, cur_op, type, aux, a, b);
+    if (log != nullptr) log->emit(track, current_op(), type, aux, a, b);
   }
   /// Start a new causally-tracked op; subsequent emissions (including the
   /// ones borrowed through QueuePair/Connection) carry its id.
   void begin_op(OpKind kind) {
     if (log == nullptr) return;
     cur_op = log->next_op_id();
+    if (op_scoped) log->set_context_op(cur_op);
     log->emit(track, cur_op, EventType::kOpBegin,
               static_cast<std::uint8_t>(kind));
   }
   void end_op(OpKind kind, std::uint64_t status_code) {
     if (log == nullptr) return;
-    log->emit(track, cur_op, EventType::kOpEnd,
+    log->emit(track, current_op(), EventType::kOpEnd,
               static_cast<std::uint8_t>(kind), status_code);
     cur_op = 0;
+    if (op_scoped) log->set_context_op(0);
+  }
+
+  /// Batched submissions manage op ids explicitly: begin_op_id() allocates
+  /// and announces an op WITHOUT re-pointing current attribution — the
+  /// caller chooses which member op owns the batch's shared verbs via
+  /// set_current(), and closes each member with end_op_id().
+  [[nodiscard]] std::uint32_t begin_op_id(OpKind kind) {
+    if (log == nullptr) return 0;
+    const std::uint32_t id = log->next_op_id();
+    log->emit(track, id, EventType::kOpBegin,
+              static_cast<std::uint8_t>(kind));
+    return id;
+  }
+  void set_current(std::uint32_t op) {
+    cur_op = op;
+    if (op_scoped && log != nullptr) log->set_context_op(op);
+  }
+  void end_op_id(std::uint32_t op, OpKind kind, std::uint64_t status_code) {
+    if (log == nullptr) return;
+    log->emit(track, op, EventType::kOpEnd,
+              static_cast<std::uint8_t>(kind), status_code);
   }
 };
 

@@ -102,10 +102,10 @@ RunResult run_workload(sim::Simulator& sim, stores::Cluster& cluster,
     const std::uint64_t keys = options.workload.key_count;
     stores::ClientOptions loader_options;
     loader_options.collect_traces = false;  // setup traffic, not measured
+    loader_options.size_hint = {options.workload.key_len,
+                                options.workload.value_len};
     for (std::size_t l = 0; l < loaders; ++l) {
       loader_clients.push_back(cluster.make_client(loader_options));
-      loader_clients.back()->set_size_hint(options.workload.key_len,
-                                           options.workload.value_len);
       const std::uint64_t begin = keys * l / loaders;
       const std::uint64_t end = keys * (l + 1) / loaders;
       sim.spawn(loader_loop(*loader_clients.back(), workload, begin, end,
@@ -136,10 +136,11 @@ RunResult run_workload(sim::Simulator& sim, stores::Cluster& cluster,
   Rng seeder{options.workload.seed ^ 0xC11E27};
   std::vector<std::unique_ptr<KvClient>> clients;
   clients.reserve(options.clients);
+  stores::ClientOptions measured_options;
+  measured_options.size_hint = {options.workload.key_len,
+                                options.workload.value_len};
   for (std::size_t c = 0; c < options.clients; ++c) {
-    clients.push_back(cluster.make_client());
-    clients.back()->set_size_hint(options.workload.key_len,
-                                  options.workload.value_len);
+    clients.push_back(cluster.make_client(measured_options));
     sim.spawn(client_loop(sim, *clients.back(), shared, seeder.fork(), c,
                           options.ops_per_client));
   }

@@ -68,10 +68,10 @@ TEST(SystemKindNames, RejectsUnknownNames) {
 // --------------------------------------------------------- ClientOptions
 
 TEST(ClientOptionsApi, DefaultReadModeIsHybridForEFactory) {
-  testutil::TestCluster tc{SystemKind::kEFactory};
+  testutil::TestCluster tc{SystemKind::kEFactory,
+                           testutil::small_config(), testutil::hinted(1, 64)};
   ASSERT_TRUE(tc.put_sync(Bytes{'k'}, testutil::make_value(64, 1)).is_ok());
   tc.settle();  // let the verifier set the durability flag
-  tc.client->set_size_hint(1, 64);
   ASSERT_TRUE(tc.get_sync(Bytes{'k'}).has_value());
   EXPECT_EQ(tc.client->stats().gets_pure_rdma, 1u);
   EXPECT_EQ(tc.client->stats().gets_rpc_path, 0u);
@@ -81,8 +81,8 @@ TEST(ClientOptionsApi, RpcOnlyForcesTheFallbackPath) {
   testutil::TestCluster tc{SystemKind::kEFactory};
   ClientOptions options;
   options.read_mode = ReadMode::kRpcOnly;
+  options.size_hint = {1, 64};
   auto client = tc.cluster.make_client(options);
-  client->set_size_hint(1, 64);
   ASSERT_TRUE(
       tc.put_sync(*client, Bytes{'k'}, testutil::make_value(64, 1)).is_ok());
   tc.settle();
@@ -92,8 +92,8 @@ TEST(ClientOptionsApi, RpcOnlyForcesTheFallbackPath) {
 }
 
 TEST(ClientOptionsApi, NoHrClusterResolvesDefaultToRpcOnly) {
-  testutil::TestCluster tc{SystemKind::kEFactoryNoHr};
-  tc.client->set_size_hint(1, 64);
+  testutil::TestCluster tc{SystemKind::kEFactoryNoHr,
+                           testutil::small_config(), testutil::hinted(1, 64)};
   EXPECT_EQ(tc.client->options().read_mode, ReadMode::kRpcOnly);
   ASSERT_TRUE(tc.put_sync(Bytes{'k'}, testutil::make_value(64, 1)).is_ok());
   tc.settle();
@@ -106,9 +106,9 @@ TEST(ClientOptionsApi, NoHrClusterHonoursAnExplicitHybridRequest) {
   testutil::TestCluster tc{SystemKind::kEFactoryNoHr};
   ClientOptions options;
   options.read_mode = ReadMode::kHybrid;
+  options.size_hint = {1, 64};
   auto client = tc.cluster.make_client(options);
   EXPECT_EQ(client->options().read_mode, ReadMode::kHybrid);
-  client->set_size_hint(1, 64);
   ASSERT_TRUE(
       tc.put_sync(*client, Bytes{'k'}, testutil::make_value(64, 1)).is_ok());
   tc.settle();
@@ -117,8 +117,8 @@ TEST(ClientOptionsApi, NoHrClusterHonoursAnExplicitHybridRequest) {
 }
 
 TEST(ClientOptionsApi, TracesOnByDefaultAndOffWhenDisabled) {
-  testutil::TestCluster tc{SystemKind::kErda};
-  tc.client->set_size_hint(1, 64);
+  testutil::TestCluster tc{SystemKind::kErda,
+                           testutil::small_config(), testutil::hinted(1, 64)};
   ASSERT_TRUE(tc.put_sync(Bytes{'k'}, testutil::make_value(64, 1)).is_ok());
   ASSERT_TRUE(tc.get_sync(Bytes{'k'}).has_value());
   EXPECT_NE(tc.client->metrics().find_histogram("span.put.total"), nullptr);
@@ -126,8 +126,8 @@ TEST(ClientOptionsApi, TracesOnByDefaultAndOffWhenDisabled) {
 
   ClientOptions quiet;
   quiet.collect_traces = false;
+  quiet.size_hint = {1, 64};
   auto silent = tc.cluster.make_client(quiet);
-  silent->set_size_hint(1, 64);
   ASSERT_TRUE(
       tc.put_sync(*silent, Bytes{'q'}, testutil::make_value(64, 2)).is_ok());
   ASSERT_TRUE(tc.get_sync(*silent, Bytes{'q'}).has_value());
@@ -157,8 +157,7 @@ TEST(ArenaSizing, EverySystemFitsAtMinimumBuckets) {
     StoreConfig config;
     config.hash_buckets = 64;  // the smallest supported table
     config.pool_bytes = 256 * sizeconst::kKiB;
-    testutil::TestCluster tc{kind, config};
-    tc.client->set_size_hint(4, 64);
+    testutil::TestCluster tc{kind, config, testutil::hinted(4, 64)};
     const Bytes key{'t', 'i', 'n', 'y'};
     ASSERT_TRUE(tc.put_sync(key, testutil::make_value(64, 3)).is_ok())
         << to_string(kind);

@@ -16,10 +16,10 @@ constexpr std::size_t kKeyLen = 32;
 
 /// Median single-client durable-PUT latency (Fig. 1 methodology, small N).
 double median_put_us(SystemKind kind, std::size_t vlen) {
-  testutil::TestCluster tc{kind};
+  testutil::TestCluster tc{kind, testutil::small_config(),
+                           testutil::hinted(kKeyLen, vlen)};
   workload::Workload wl{workload::WorkloadConfig{
       .key_count = 16, .key_len = kKeyLen, .value_len = vlen}};
-  tc.client->set_size_hint(kKeyLen, vlen);
   Histogram hist;
   bool done = false;
   tc.sim.spawn([](sim::Simulator& s, KvClient& c, workload::Workload& w,

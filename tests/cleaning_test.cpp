@@ -15,7 +15,8 @@ using testutil::TestCluster;
 constexpr std::size_t kVlen = 256;
 
 struct CleaningFixture : ::testing::Test {
-  TestCluster tc{SystemKind::kEFactory};
+  TestCluster tc{SystemKind::kEFactory,
+                 testutil::small_config(), testutil::hinted(32, kVlen)};
   workload::Workload wl{workload::WorkloadConfig{
       .key_count = 64, .key_len = 32, .value_len = kVlen}};
 
@@ -24,7 +25,6 @@ struct CleaningFixture : ::testing::Test {
   }
 
   void load(int keys, int versions = 1) {
-    tc.client->set_size_hint(32, kVlen);
     for (int v = 1; v <= versions; ++v) {
       for (int k = 0; k < keys; ++k) {
         ASSERT_TRUE(
@@ -113,8 +113,7 @@ TEST_F(CleaningFixture, RepeatedRoundsAlternatePools) {
 
 TEST_F(CleaningFixture, ClientsSwitchToRpcReadsDuringCleaning) {
   load(8);
-  auto reader = tc.cluster.make_client();
-  reader->set_size_hint(32, kVlen);
+  auto reader = tc.cluster.make_client(testutil::hinted(32, kVlen));
   store().force_log_cleaning();
   // While cleaning runs, reads must use the RPC path.
   ASSERT_TRUE(store().clients_use_rpc());
@@ -132,7 +131,6 @@ TEST_F(CleaningFixture, WritesDuringCleaningSurvive) {
   load(32);
   // Start cleaning, then overwrite a batch of keys while it runs.
   store().force_log_cleaning();
-  tc.client->set_size_hint(32, kVlen);
   int acked = 0;
   tc.sim.spawn([](KvClient& c, workload::Workload& w,
                   int* done) -> sim::Task<void> {
@@ -183,11 +181,11 @@ INSTANTIATE_TEST_SUITE_P(Sweep, CrashDuringCleaning,
                          ::testing::Range(0, 10));
 
 TEST_P(CrashDuringCleaning, EveryKeyRecoversIntact) {
-  TestCluster tc{SystemKind::kEFactory};
+  TestCluster tc{SystemKind::kEFactory,
+                 testutil::small_config(), testutil::hinted(32, kVlen)};
   auto& store = *dynamic_cast<EFactoryStore*>(tc.cluster.store.get());
   workload::Workload wl{workload::WorkloadConfig{
       .key_count = 24, .key_len = 32, .value_len = kVlen}};
-  tc.client->set_size_hint(32, kVlen);
   for (int k = 0; k < 24; ++k) {
     ASSERT_TRUE(tc.put_sync(wl.key_at(k), wl.value_for(k, 1)).is_ok());
   }

@@ -48,10 +48,10 @@ INSTANTIATE_TEST_SUITE_P(Sweep, CrashAtInstant, ::testing::Range(0, 12));
 TEST_P(CrashAtInstant, EFactoryNeverRecoversTornValue) {
   // Overwrite one key repeatedly; crash mid-run at a parameterized
   // instant; whatever recovers must be exactly one of the written values.
-  TestCluster tc{SystemKind::kEFactory};
+  TestCluster tc{SystemKind::kEFactory,
+                 testutil::small_config(), testutil::hinted(kKeyLen, 512)};
   auto& store = *dynamic_cast<EFactoryStore*>(tc.cluster.store.get());
   const Bytes key = key_of(1);
-  tc.client->set_size_hint(kKeyLen, 512);
 
   int acked = 0;
   tc.sim.spawn([](KvClient& c, const Bytes& k, int* done) -> sim::Task<void> {
@@ -81,10 +81,10 @@ TEST_P(CrashAtInstant, EFactoryNeverRecoversTornValue) {
 }
 
 TEST_P(CrashAtInstant, SawRecoversOnlyWholeValues) {
-  TestCluster tc{SystemKind::kSaw};
+  TestCluster tc{SystemKind::kSaw,
+                 testutil::small_config(), testutil::hinted(kKeyLen, 512)};
   auto& store = *dynamic_cast<SawStore*>(tc.cluster.store.get());
   const Bytes key = key_of(2);
-  tc.client->set_size_hint(kKeyLen, 512);
   int acked = -1;
   tc.sim.spawn([](KvClient& c, const Bytes& k, int* done) -> sim::Task<void> {
     for (int v = 0; v < 40; ++v) {
@@ -106,8 +106,8 @@ TEST_P(CrashAtInstant, SawRecoversOnlyWholeValues) {
 TEST(CrashDurability, SawImmRpcSurviveEveryAckedWrite) {
   for (const SystemKind kind :
        {SystemKind::kSaw, SystemKind::kImm, SystemKind::kRpc}) {
-    TestCluster tc{kind};
-    tc.client->set_size_hint(kKeyLen, 256);
+    TestCluster tc{kind,
+                   testutil::small_config(), testutil::hinted(kKeyLen, 256)};
     std::map<int, int> acked;  // key -> last acked version
     bool done = false;
     tc.sim.spawn([](KvClient& c, std::map<int, int>* acks,
@@ -137,8 +137,8 @@ TEST(CrashDurability, SawImmRpcSurviveEveryAckedWrite) {
 TEST(CrashDurability, CaLosesAckedWritesWithZeroEviction) {
   StoreConfig config = testutil::small_config();
   config.crash_policy.eviction_probability = 0.0;
-  TestCluster tc{SystemKind::kCaNoPersist, config};
-  tc.client->set_size_hint(kKeyLen, 256);
+  TestCluster tc{SystemKind::kCaNoPersist,
+                 config, testutil::hinted(kKeyLen, 256)};
   ASSERT_TRUE(tc.put_sync(key_of(0), versioned_value(0, 1, 256)).is_ok());
   tc.cluster.store->crash();
   EXPECT_FALSE(tc.cluster.store->recover_get(key_of(0)).has_value());
@@ -149,9 +149,9 @@ TEST(CrashDurability, CaLosesAckedWritesWithZeroEviction) {
 TEST(CrashMonotonicReads, EFactoryValueReadBeforeCrashSurvives) {
   // Any value a client successfully GETs from eFactory must survive a
   // crash immediately after: the hybrid read only returns durable data.
-  TestCluster tc{SystemKind::kEFactory};
+  TestCluster tc{SystemKind::kEFactory,
+                 testutil::small_config(), testutil::hinted(kKeyLen, 512)};
   auto& store = *dynamic_cast<EFactoryStore*>(tc.cluster.store.get());
-  tc.client->set_size_hint(kKeyLen, 512);
   for (int k = 0; k < 8; ++k) {
     ASSERT_TRUE(tc.put_sync(key_of(k), versioned_value(k, 3)).is_ok());
   }
@@ -179,9 +179,8 @@ TEST(CrashMonotonicReads, ErdaViolatesMonotonicReads) {
   // before the crash is NOT guaranteed after — the paper's §7.2 point.
   StoreConfig config = testutil::small_config();
   config.crash_policy.eviction_probability = 0.0;
-  TestCluster tc{SystemKind::kErda, config};
+  TestCluster tc{SystemKind::kErda, config, testutil::hinted(kKeyLen, 512)};
   auto& store = *dynamic_cast<ErdaStore*>(tc.cluster.store.get());
-  tc.client->set_size_hint(kKeyLen, 512);
   ASSERT_TRUE(tc.put_sync(key_of(0), versioned_value(0, 1)).is_ok());
   tc.settle();
   const Expected<Bytes> before = tc.get_sync(key_of(0));
@@ -198,10 +197,10 @@ TEST(CrashMonotonicReads, ErdaViolatesMonotonicReads) {
 TEST(CrashVersionList, EFactoryRecoversWithManyTornHeads) {
   // Build a chain with several corrupt newer versions; recovery must walk
   // past all of them to the intact one — beyond Erda's two-slot reach.
-  TestCluster tc{SystemKind::kEFactory};
+  TestCluster tc{SystemKind::kEFactory,
+                 testutil::small_config(), testutil::hinted(kKeyLen, 512)};
   auto& store = *dynamic_cast<EFactoryStore*>(tc.cluster.store.get());
   const Bytes key = key_of(5);
-  tc.client->set_size_hint(kKeyLen, 512);
   ASSERT_TRUE(tc.put_sync(key, versioned_value(5, 0)).is_ok());
   tc.run_until_done([&] { return store.verify_queue_depth() == 0; });
   tc.settle();
@@ -235,10 +234,9 @@ TEST(CrashVersionList, ErdaTwoSlotRegionCannotReachThirdVersion) {
   // intact third-newest version is unreachable from the atomic region.
   StoreConfig config = testutil::small_config();
   config.crash_policy.eviction_probability = 0.0;
-  TestCluster tc{SystemKind::kErda, config};
+  TestCluster tc{SystemKind::kErda, config, testutil::hinted(kKeyLen, 512)};
   auto& store = *dynamic_cast<ErdaStore*>(tc.cluster.store.get());
   const Bytes key = key_of(6);
-  tc.client->set_size_hint(kKeyLen, 512);
   ASSERT_TRUE(tc.put_sync(key, versioned_value(6, 0)).is_ok());
   // Force the intact version into the media (Erda would need luck for
   // this; grant it so the test isolates the two-slot limitation).
@@ -295,8 +293,8 @@ TEST_P(ConcurrentWriterCrash, EFactoryRecoversSomeWrittenValue) {
   const int writers = 4;
   std::vector<std::unique_ptr<KvClient>> clients;
   for (int w = 0; w < writers; ++w) {
-    clients.push_back(tc.cluster.make_client());
-    clients.back()->set_size_hint(kKeyLen, 512);
+    clients.push_back(
+        tc.cluster.make_client(testutil::hinted(kKeyLen, 512)));
     tc.sim.spawn([](KvClient& c, const Bytes& k, int writer) -> sim::Task<void> {
       for (int v = 0; v < 20; ++v) {
         static_cast<void>(

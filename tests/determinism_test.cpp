@@ -175,5 +175,48 @@ TEST(Determinism, WorkloadPublishesEngineCounters) {
   EXPECT_GT(hw->value() + sw->value(), 0u);
 }
 
+// The async window and the batch-reserve path introduce concurrent
+// completions; their interleaving must still be a pure function of the
+// inputs. Two identical batched runs share every dispatch decision.
+TEST(Determinism, BatchedAsyncRunsAreBitIdentical) {
+  const auto run_once = [] {
+    auto sim = std::make_unique<sim::Simulator>();
+    stores::StoreConfig config;
+    config.pool_bytes = 4 * sizeconst::kMiB;
+    stores::Cluster cluster =
+        stores::make_cluster(*sim, stores::SystemKind::kEFactory, config);
+    cluster.start();
+    stores::ClientOptions options;
+    options.size_hint = {32, 256};
+    options.max_inflight = 8;
+    auto client = cluster.make_client(options);
+    workload::Workload wl{workload::WorkloadConfig{
+        .key_count = 24, .key_len = 32, .value_len = 256}};
+
+    bool done = false;
+    sim->spawn([](stores::KvClient& c, const workload::Workload& w,
+                  bool* flag) -> sim::Task<void> {
+      std::vector<stores::KvClient::PutOp> ops;
+      for (int k = 0; k < 24; ++k) {
+        ops.push_back({w.key_at(k), w.value_for(k, 1)});
+      }
+      const std::vector<Status> statuses =
+          co_await c.put_batch(std::move(ops));
+      for (const Status& s : statuses) EXPECT_TRUE(s.is_ok());
+      std::vector<Bytes> keys;
+      for (int k = 0; k < 24; ++k) keys.push_back(w.key_at(k));
+      const std::vector<Expected<Bytes>> got =
+          co_await c.get_batch(std::move(keys));
+      for (const Expected<Bytes>& v : got) EXPECT_TRUE(v.has_value());
+      *flag = true;
+    }(*client, wl, &done));
+    while (!done) sim->run_until(sim->now() + timeconst::kMillisecond);
+    sim->run_until(sim->now() + 2 * timeconst::kMillisecond);
+    return std::pair<std::uint64_t, std::uint64_t>{sim->events_processed(),
+                                                   sim->dispatch_hash()};
+  };
+  EXPECT_EQ(run_once(), run_once());
+}
+
 }  // namespace
 }  // namespace efac

@@ -14,9 +14,9 @@ using testutil::TestCluster;
 // --------------------------------------------------------- odd geometries
 
 TEST(EdgeGeometry, OneByteValueRoundtrips) {
-  TestCluster tc{SystemKind::kEFactory};
   const Bytes key = to_bytes("tiny-value-key-000000000000000000");
-  tc.client->set_size_hint(key.size(), 1);
+  TestCluster tc{SystemKind::kEFactory,
+                 testutil::small_config(), testutil::hinted(key.size(), 1)};
   ASSERT_TRUE(tc.put_sync(key, Bytes{0x5A}).is_ok());
   tc.settle();
   const Expected<Bytes> got = tc.get_sync(key);
@@ -25,9 +25,9 @@ TEST(EdgeGeometry, OneByteValueRoundtrips) {
 }
 
 TEST(EdgeGeometry, EmptyValueRoundtrips) {
-  TestCluster tc{SystemKind::kEFactory};
   const Bytes key = to_bytes("empty-value-key-00000000000000000");
-  tc.client->set_size_hint(key.size(), 0);
+  TestCluster tc{SystemKind::kEFactory,
+                 testutil::small_config(), testutil::hinted(key.size(), 0)};
   ASSERT_TRUE(tc.put_sync(key, Bytes{}).is_ok());
   tc.settle();
   const Expected<Bytes> got = tc.get_sync(key);
@@ -36,12 +36,12 @@ TEST(EdgeGeometry, EmptyValueRoundtrips) {
 }
 
 TEST(EdgeGeometry, LongKeysWork) {
-  TestCluster tc{SystemKind::kEFactory};
   Bytes key(256, 'k');
+  TestCluster tc{SystemKind::kEFactory,
+                 testutil::small_config(), testutil::hinted(key.size(), 64)};
   for (std::size_t i = 0; i < key.size(); ++i) {
     key[i] = static_cast<std::uint8_t>('a' + i % 26);
   }
-  tc.client->set_size_hint(key.size(), 64);
   ASSERT_TRUE(tc.put_sync(key, make_value(64, 1)).is_ok());
   tc.settle();
   const Expected<Bytes> got = tc.get_sync(key);
@@ -50,11 +50,11 @@ TEST(EdgeGeometry, LongKeysWork) {
 }
 
 TEST(EdgeGeometry, BinaryKeysWithZeroBytesWork) {
-  TestCluster tc{SystemKind::kEFactory};
   Bytes key(32, 0);
+  TestCluster tc{SystemKind::kEFactory,
+                 testutil::small_config(), testutil::hinted(key.size(), 64)};
   key[7] = 0xFF;
   key[15] = 0x01;
-  tc.client->set_size_hint(key.size(), 64);
   ASSERT_TRUE(tc.put_sync(key, make_value(64, 2)).is_ok());
   tc.settle();
   ASSERT_TRUE(tc.get_sync(key).has_value());
@@ -63,15 +63,14 @@ TEST(EdgeGeometry, BinaryKeysWithZeroBytesWork) {
 TEST(EdgeGeometry, WrongSizeHintFallsBackSafely) {
   // A client whose hint disagrees with the stored geometry must still get
   // the right value (via the RPC path, which carries true sizes).
-  TestCluster tc{SystemKind::kEFactory};
   const Bytes key = to_bytes("hint-mismatch-key-000000000000000");
   const Bytes value = make_value(300, 3);
-  tc.client->set_size_hint(key.size(), value.size());
+  TestCluster tc{SystemKind::kEFactory, testutil::small_config(),
+                 testutil::hinted(key.size(), value.size())};
   ASSERT_TRUE(tc.put_sync(key, value).is_ok());
   tc.settle();
 
-  auto misinformed = tc.cluster.make_client();
-  misinformed->set_size_hint(key.size(), 512);  // wrong vlen hint
+  auto misinformed = tc.cluster.make_client(testutil::hinted(key.size(), 512));
   const Expected<Bytes> got = tc.get_sync(*misinformed, key);
   ASSERT_TRUE(got.has_value());
   EXPECT_EQ(*got, value);
@@ -83,7 +82,9 @@ TEST(EdgeGeometry, WrongSizeHintFallsBackSafely) {
 TEST(EdgeHandlers, SawPersistForUnknownObjectIsRejected) {
   // A kPersist whose object was never allocated through kAlloc (a buggy
   // or malicious client) must get an error, not crash the server.
-  TestCluster tc{SystemKind::kSaw};
+  const Bytes key = to_bytes("still-alive-key-00000000000000000");
+  TestCluster tc{SystemKind::kSaw,
+                 testutil::small_config(), testutil::hinted(key.size(), 64)};
   auto& store = *dynamic_cast<SawStore*>(tc.cluster.store.get());
   rpc::Connection conn{tc.sim, store.fabric(), store.node(),
                        store.directory(), store.next_qp_id()};
@@ -100,8 +101,6 @@ TEST(EdgeHandlers, SawPersistForUnknownObjectIsRejected) {
   tc.run_until_done([&] { return status.has_value(); });
   EXPECT_EQ(*status, StatusCode::kInvalidArgument);
   // The server is still alive and serving.
-  const Bytes key = to_bytes("still-alive-key-00000000000000000");
-  tc.client->set_size_hint(key.size(), 64);
   EXPECT_TRUE(tc.put_sync(key, make_value(64, 1)).is_ok());
 }
 
@@ -128,10 +127,10 @@ TEST(EdgeHandlers, ImmStaleTokenIsIgnored) {
 TEST(EdgeHandlers, GetDuringLoadedTableMissesCleanly) {
   // Probe chains terminating at an empty slot: misses stay cheap and
   // correct even with many keys loaded.
-  TestCluster tc{SystemKind::kEFactory};
+  TestCluster tc{SystemKind::kEFactory,
+                 testutil::small_config(), testutil::hinted(32, 64)};
   workload::Workload wl{workload::WorkloadConfig{
       .key_count = 64, .key_len = 32, .value_len = 64}};
-  tc.client->set_size_hint(32, 64);
   for (int k = 0; k < 64; ++k) {
     ASSERT_TRUE(tc.put_sync(wl.key_at(k), wl.value_for(k, 1)).is_ok());
   }
@@ -144,10 +143,9 @@ TEST(EdgeHandlers, GetDuringLoadedTableMissesCleanly) {
 TEST(EdgeHandlers, HashTableFullSurfacesToClient) {
   StoreConfig config = testutil::small_config();
   config.hash_buckets = 16;
-  TestCluster tc{SystemKind::kEFactory, config};
+  TestCluster tc{SystemKind::kEFactory, config, testutil::hinted(32, 32)};
   workload::Workload wl{workload::WorkloadConfig{
       .key_count = 64, .key_len = 32, .value_len = 32}};
-  tc.client->set_size_hint(32, 32);
   Status last = Status::ok();
   for (int k = 0; k < 32 && last.is_ok(); ++k) {
     last = tc.put_sync(wl.key_at(k), wl.value_for(k, 1));
@@ -158,15 +156,14 @@ TEST(EdgeHandlers, HashTableFullSurfacesToClient) {
 // ------------------------------------------------------ repeated crashes
 
 TEST(EdgeCrash, CrashRecoverCrashRecoverRemainsConsistent) {
-  TestCluster tc{SystemKind::kEFactory};
+  TestCluster tc{SystemKind::kEFactory,
+                 testutil::small_config(), testutil::hinted(32, 128)};
   auto& store = *dynamic_cast<EFactoryStore*>(tc.cluster.store.get());
   workload::Workload wl{workload::WorkloadConfig{
       .key_count = 16, .key_len = 32, .value_len = 128}};
-  tc.client->set_size_hint(32, 128);
 
   for (int round = 1; round <= 3; ++round) {
-    auto client = tc.cluster.make_client();
-    client->set_size_hint(32, 128);
+    auto client = tc.cluster.make_client(testutil::hinted(32, 128));
     for (int k = 0; k < 16; ++k) {
       ASSERT_TRUE(
           tc.put_sync(*client, wl.key_at(k), wl.value_for(k, round)).is_ok());
@@ -176,8 +173,7 @@ TEST(EdgeCrash, CrashRecoverCrashRecoverRemainsConsistent) {
     store.crash();
     const EFactoryStore::RecoveryReport report = store.recover();
     EXPECT_EQ(report.keys_recovered, 16u) << "round " << round;
-    auto reader = tc.cluster.make_client();
-    reader->set_size_hint(32, 128);
+    auto reader = tc.cluster.make_client(testutil::hinted(32, 128));
     for (int k = 0; k < 16; ++k) {
       const Expected<Bytes> got = tc.get_sync(*reader, wl.key_at(k));
       ASSERT_TRUE(got.has_value()) << "round " << round << " key " << k;
@@ -189,10 +185,10 @@ TEST(EdgeCrash, CrashRecoverCrashRecoverRemainsConsistent) {
 // -------------------------------------------------- client-count extremes
 
 TEST(EdgeScale, ThirtyTwoClientsComplete) {
-  TestCluster tc{SystemKind::kEFactory};
+  TestCluster tc{SystemKind::kEFactory,
+                 testutil::small_config(), testutil::hinted(32, 64)};
   workload::Workload wl{workload::WorkloadConfig{
       .key_count = 128, .key_len = 32, .value_len = 64}};
-  tc.client->set_size_hint(32, 64);
   for (int k = 0; k < 128; ++k) {
     ASSERT_TRUE(tc.put_sync(wl.key_at(k), wl.value_for(k, 1)).is_ok());
   }
@@ -201,8 +197,7 @@ TEST(EdgeScale, ThirtyTwoClientsComplete) {
   int done = 0;
   std::vector<std::unique_ptr<KvClient>> clients;
   for (int c = 0; c < 32; ++c) {
-    clients.push_back(tc.cluster.make_client());
-    clients.back()->set_size_hint(32, 64);
+    clients.push_back(tc.cluster.make_client(testutil::hinted(32, 64)));
     tc.sim.spawn([](KvClient& cl, workload::Workload& w, int id,
                     int* out) -> sim::Task<void> {
       Rng rng{static_cast<std::uint64_t>(id) + 1};

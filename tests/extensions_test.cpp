@@ -27,15 +27,16 @@ Status del_sync(TestCluster& tc, KvClient& c, Bytes key) {
 // ----------------------------------------------------------------- delete
 
 struct DeleteFixture : ::testing::Test {
-  TestCluster tc{SystemKind::kEFactory};
+  // Declared before tc so the size hint can read their geometry.
+  const Bytes key = to_bytes("delete-me-key-0000000000000000000");
+  const Bytes value = make_value(256, 1);
+  TestCluster tc{SystemKind::kEFactory, testutil::small_config(),
+                 testutil::hinted(key.size(), value.size())};
   EFactoryStore& store() {
     return *dynamic_cast<EFactoryStore*>(tc.cluster.store.get());
   }
-  const Bytes key = to_bytes("delete-me-key-0000000000000000000");
-  const Bytes value = make_value(256, 1);
 
   void SetUp() override {
-    tc.client->set_size_hint(key.size(), value.size());
     ASSERT_TRUE(tc.put_sync(key, value).is_ok());
     tc.settle();
   }
@@ -78,8 +79,7 @@ TEST_F(DeleteFixture, PutAfterDeleteResurrectsKey) {
 TEST_F(DeleteFixture, PureRdmaReadObservesTombstone) {
   ASSERT_TRUE(del_sync(tc, *tc.client, key).is_ok());
   tc.settle();
-  auto reader = tc.cluster.make_client();
-  reader->set_size_hint(key.size(), value.size());
+  auto reader = tc.cluster.make_client(testutil::hinted(key.size(), value.size()));
   const Expected<Bytes> got = tc.get_sync(*reader, key);
   EXPECT_FALSE(got.has_value());
   // The tombstone was detected on the one-sided path (no RPC needed).
@@ -103,8 +103,8 @@ TEST_F(DeleteFixture, CleaningReclaimsDeletedKeys) {
 }
 
 TEST(DeleteUnsupported, BaselinesReturnUnimplemented) {
-  TestCluster tc{SystemKind::kErda};
-  tc.client->set_size_hint(32, 64);
+  TestCluster tc{SystemKind::kErda,
+                 testutil::small_config(), testutil::hinted(32, 64)};
   EXPECT_EQ(del_sync(tc, *tc.client,
                      to_bytes("some-key-000000000000000000000000"))
                 .code(),
@@ -114,7 +114,8 @@ TEST(DeleteUnsupported, BaselinesReturnUnimplemented) {
 // ---------------------------------------------------------------- restart
 
 struct RestartFixture : ::testing::Test {
-  TestCluster tc{SystemKind::kEFactory};
+  TestCluster tc{SystemKind::kEFactory,
+                 testutil::small_config(), testutil::hinted(32, 256)};
   EFactoryStore& store() {
     return *dynamic_cast<EFactoryStore*>(tc.cluster.store.get());
   }
@@ -123,7 +124,6 @@ struct RestartFixture : ::testing::Test {
 };
 
 TEST_F(RestartFixture, RecoverRebuildsAndServes) {
-  tc.client->set_size_hint(32, 256);
   for (std::uint64_t k = 0; k < 32; ++k) {
     ASSERT_TRUE(tc.put_sync(wl.key_at(k), wl.value_for(k, 1)).is_ok());
   }
@@ -137,8 +137,7 @@ TEST_F(RestartFixture, RecoverRebuildsAndServes) {
 
   // The restarted server answers reads (pure-RDMA: recovered objects come
   // up flagged) and accepts new writes.
-  auto client = tc.cluster.make_client();
-  client->set_size_hint(32, 256);
+  auto client = tc.cluster.make_client(testutil::hinted(32, 256));
   for (std::uint64_t k = 0; k < 32; ++k) {
     const Expected<Bytes> got = tc.get_sync(*client, wl.key_at(k));
     ASSERT_TRUE(got.has_value()) << "key " << k;
@@ -151,7 +150,6 @@ TEST_F(RestartFixture, RecoverRebuildsAndServes) {
 }
 
 TEST_F(RestartFixture, RecoverCompactsPools) {
-  tc.client->set_size_hint(32, 256);
   // Ten overwrites per key: the log holds ~320 versions.
   for (int round = 1; round <= 10; ++round) {
     for (std::uint64_t k = 0; k < 32; ++k) {
@@ -169,7 +167,6 @@ TEST_F(RestartFixture, RecoverCompactsPools) {
 }
 
 TEST_F(RestartFixture, RecoverDropsTornHeadsKeepsOlder) {
-  tc.client->set_size_hint(32, 256);
   ASSERT_TRUE(tc.put_sync(wl.key_at(7), wl.value_for(7, 1)).is_ok());
   tc.run_until_done([&] { return store().verify_queue_depth() == 0; });
 
@@ -192,23 +189,20 @@ TEST_F(RestartFixture, RecoverDropsTornHeadsKeepsOlder) {
   store().crash();
   const EFactoryStore::RecoveryReport report = store().recover();
   EXPECT_GE(report.versions_discarded, 1u);
-  auto client = tc.cluster.make_client();
-  client->set_size_hint(32, 256);
+  auto client = tc.cluster.make_client(testutil::hinted(32, 256));
   const Expected<Bytes> got = tc.get_sync(*client, wl.key_at(7));
   ASSERT_TRUE(got.has_value());
   EXPECT_EQ(*got, wl.value_for(7, 1));
 }
 
 TEST_F(RestartFixture, RecoverPreservesDeletes) {
-  tc.client->set_size_hint(32, 256);
   ASSERT_TRUE(tc.put_sync(wl.key_at(3), wl.value_for(3, 1)).is_ok());
   ASSERT_TRUE(del_sync(tc, *tc.client, wl.key_at(3)).is_ok());
   tc.settle();
   store().crash();
   const EFactoryStore::RecoveryReport report = store().recover();
   EXPECT_GE(report.tombstones_dropped, 1u);
-  auto client = tc.cluster.make_client();
-  client->set_size_hint(32, 256);
+  auto client = tc.cluster.make_client(testutil::hinted(32, 256));
   EXPECT_EQ(tc.get_sync(*client, wl.key_at(3)).code(),
             StatusCode::kNotFound);
 }
@@ -220,12 +214,16 @@ struct RcommitFixture : ::testing::Test {
   RcommitStore& store() {
     return *dynamic_cast<RcommitStore*>(tc.cluster.store.get());
   }
+  // Per-test geometries differ, so each test swaps in a hinted client.
+  void hint(std::size_t klen, std::size_t vlen) {
+    tc.client = tc.cluster.make_client(testutil::hinted(klen, vlen));
+  }
 };
 
 TEST_F(RcommitFixture, PutGetRoundtrip) {
   const Bytes key = to_bytes("rcommit-key-000000000000000000000");
   const Bytes value = make_value(512, 4);
-  tc.client->set_size_hint(key.size(), value.size());
+  hint(key.size(), value.size());
   ASSERT_TRUE(tc.put_sync(key, value).is_ok());
   const Expected<Bytes> got = tc.get_sync(key);
   ASSERT_TRUE(got.has_value());
@@ -235,7 +233,7 @@ TEST_F(RcommitFixture, PutGetRoundtrip) {
 TEST_F(RcommitFixture, DurableAtAck) {
   const Bytes key = to_bytes("rcommit-durable-key-0000000000000");
   const Bytes value = make_value(1024, 5);
-  tc.client->set_size_hint(key.size(), value.size());
+  hint(key.size(), value.size());
   ASSERT_TRUE(tc.put_sync(key, value).is_ok());
   store().arena().crash(nvm::CrashPolicy{.eviction_probability = 0.0});
   const Expected<Bytes> got = store().recover_get(key);
@@ -246,7 +244,7 @@ TEST_F(RcommitFixture, DurableAtAck) {
 TEST_F(RcommitFixture, NoServerCpuAfterAlloc) {
   const Bytes key = to_bytes("rcommit-cpu-key-00000000000000000");
   const Bytes value = make_value(256, 6);
-  tc.client->set_size_hint(key.size(), value.size());
+  hint(key.size(), value.size());
   const std::uint64_t requests_before = store().server_stats().requests;
   ASSERT_TRUE(tc.put_sync(key, value).is_ok());
   // Exactly one server request (the alloc); durability was all one-sided.
@@ -258,8 +256,8 @@ TEST_F(RcommitFixture, DurableWriteBeatsSawLatency) {
   // The whole point of the proposed verb: a durable write without the
   // send-after-write round trip and server flush.
   auto measure = [](SystemKind kind) {
-    TestCluster probe{kind};
-    probe.client->set_size_hint(32, 1024);
+    TestCluster probe{kind,
+                      testutil::small_config(), testutil::hinted(32, 1024)};
     const Bytes key = to_bytes("latency-key-00000000000000000000");
     SimTime latency = 0;
     probe.sim.spawn([](sim::Simulator& s, KvClient& c, Bytes k,
@@ -284,7 +282,7 @@ TEST_F(RcommitFixture, DurableWriteBeatsSawLatency) {
 
 TEST_F(RcommitFixture, OverwritesKeepLatestVisible) {
   const Bytes key = to_bytes("rcommit-over-key-0000000000000000");
-  tc.client->set_size_hint(key.size(), 128);
+  hint(key.size(), 128);
   for (std::uint8_t round = 1; round <= 4; ++round) {
     ASSERT_TRUE(tc.put_sync(key, make_value(128, round)).is_ok());
   }

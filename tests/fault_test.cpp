@@ -218,8 +218,8 @@ ChaosRun run_chaos_once() {
   options.retry.backoff_base_ns = 2 * timeconst::kMicrosecond;
   options.retry.backoff_cap_ns = 50 * timeconst::kMicrosecond;
   options.retry.jitter = 0.2;
+  options.size_hint = {16, 128};
   std::unique_ptr<stores::KvClient> client = tc.cluster.make_client(options);
-  client->set_size_hint(16, 128);
 
   ChaosRun run;
   for (int version = 1; version <= 20; ++version) {
@@ -285,10 +285,10 @@ TEST(TimeoutBoundary, ObjectCompletingExactlyAtDeadlineStaysDurable) {
   ASSERT_TRUE(plan.has_value()) << plan.status().message();
   config.fault_plan = *plan;
 
-  testutil::TestCluster tc(stores::SystemKind::kEFactory, config);
   const Bytes key(16, 'x');
   const Bytes value = testutil::make_value(128, 7);
-  tc.client->set_size_hint(key.size(), value.size());
+  testutil::TestCluster tc(stores::SystemKind::kEFactory,
+                           config, testutil::hinted(key.size(), value.size()));
 
   // The one-shot fully-torn WRITE (mag=0): nothing lands, the ack is
   // lost, and the single-attempt client reports the put as failed. Driven
@@ -344,12 +344,12 @@ TEST(TimeoutBoundary, AbandonedTornWriteIsInvalidatedAfterTimeout) {
   ASSERT_TRUE(plan.has_value());
   config.fault_plan = *plan;
 
-  testutil::TestCluster tc(stores::SystemKind::kEFactory, config);
+  testutil::TestCluster tc(stores::SystemKind::kEFactory,
+                           config, testutil::hinted(16, 128));
   constexpr int kKeys = 6;
   const auto key_of = [](int k) {
     return Bytes(16, static_cast<std::uint8_t>('a' + k));
   };
-  tc.client->set_size_hint(16, 128);
   int put_failures = 0;
   for (int k = 0; k < kKeys; ++k) {
     const Bytes value = testutil::make_value(128, static_cast<std::uint8_t>(k));

@@ -27,8 +27,7 @@ struct TracedRun {
 TracedRun run_traced(SystemKind kind, bool trace_enabled) {
   stores::StoreConfig config = testutil::small_config();
   config.trace.enabled = trace_enabled;
-  TestCluster tc{kind, config};
-  tc.client->set_size_hint(32, 256);
+  TestCluster tc{kind, config, testutil::hinted(32, 256)};
   workload::Workload wl{workload::WorkloadConfig{
       .key_count = 8, .key_len = 32, .value_len = 256}};
   for (int k = 0; k < 8; ++k) {

@@ -48,10 +48,8 @@ TEST_P(FreshnessSweep, ReadsNeverReturnStaleAckedData) {
   TestCluster tc{GetParam()};
   workload::Workload wl{workload::WorkloadConfig{
       .key_count = kKeys, .key_len = 32, .value_len = kVlen}};
-  auto writer = tc.cluster.make_client();
-  auto reader = tc.cluster.make_client();
-  writer->set_size_hint(32, kVlen);
-  reader->set_size_hint(32, kVlen);
+  auto writer = tc.cluster.make_client(testutil::hinted(32, kVlen));
+  auto reader = tc.cluster.make_client(testutil::hinted(32, kVlen));
 
   std::map<int, int> acked;  // key -> latest acked version
   bool writes_done = false;
@@ -107,10 +105,8 @@ TEST(FreshnessContrast, CaCanServeTornBytes) {
   TestCluster tc{SystemKind::kCaNoPersist};
   workload::Workload wl{workload::WorkloadConfig{
       .key_count = kKeys, .key_len = 32, .value_len = kVlen}};
-  auto writer = tc.cluster.make_client();
-  auto reader = tc.cluster.make_client();
-  writer->set_size_hint(32, kVlen);
-  reader->set_size_hint(32, kVlen);
+  auto writer = tc.cluster.make_client(testutil::hinted(32, kVlen));
+  auto reader = tc.cluster.make_client(testutil::hinted(32, kVlen));
   bool writes_done = false;
   int torn = 0;
   tc.sim.spawn([](KvClient& c, workload::Workload& w,

@@ -107,10 +107,9 @@ TEST(ClientProbing, DisplacedKeysReadableOneSided) {
   using stores::SystemKind;
   stores::StoreConfig config = testutil::small_config();
   config.hash_buckets = 64;  // 48 keys -> 75 % load
-  testutil::TestCluster tc{SystemKind::kSaw, config};
+  testutil::TestCluster tc{SystemKind::kSaw, config, testutil::hinted(32, 64)};
   workload::Workload wl{workload::WorkloadConfig{
       .key_count = 48, .key_len = 32, .value_len = 64}};
-  tc.client->set_size_hint(32, 64);
   for (int k = 0; k < 48; ++k) {
     ASSERT_TRUE(tc.put_sync(wl.key_at(k), wl.value_for(k, 1)).is_ok());
   }
@@ -125,10 +124,10 @@ TEST(ClientProbing, EFactoryHybridReadSurvivesDisplacement) {
   using stores::SystemKind;
   stores::StoreConfig config = testutil::small_config();
   config.hash_buckets = 64;
-  testutil::TestCluster tc{SystemKind::kEFactory, config};
+  testutil::TestCluster tc{SystemKind::kEFactory,
+                           config, testutil::hinted(32, 64)};
   workload::Workload wl{workload::WorkloadConfig{
       .key_count = 40, .key_len = 32, .value_len = 64}};
-  tc.client->set_size_hint(32, 64);
   for (int k = 0; k < 40; ++k) {
     ASSERT_TRUE(tc.put_sync(wl.key_at(k), wl.value_for(k, 1)).is_ok());
   }

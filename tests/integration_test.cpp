@@ -146,8 +146,7 @@ TEST(IntegrationCleaning, WorkloadSurvivesContinuousCleaning) {
   // After the dust settles every key must still resolve.
   sim->run_until(sim->now() + 5 * timeconst::kMillisecond);
   Workload workload{options.workload};
-  auto client = cluster.make_client();
-  client->set_size_hint(options.workload.key_len, options.workload.value_len);
+  auto client = cluster.make_client(testutil::hinted(options.workload.key_len, options.workload.value_len));
   int failures = 0;
   bool done = false;
   sim->spawn([](stores::KvClient& c, Workload& w, std::uint64_t keys,

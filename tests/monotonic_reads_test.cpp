@@ -73,10 +73,8 @@ TEST_P(MonotonicSweep, EFactoryReadsNeverTravelBackAcrossCrash) {
   workload::Workload wl{workload::WorkloadConfig{
       .key_count = kKeys, .key_len = 32, .value_len = kVlen}};
 
-  auto writer = tc.cluster.make_client();
-  auto reader = tc.cluster.make_client();
-  writer->set_size_hint(32, kVlen);
-  reader->set_size_hint(32, kVlen);
+  auto writer = tc.cluster.make_client(testutil::hinted(32, kVlen));
+  auto reader = tc.cluster.make_client(testutil::hinted(32, kVlen));
   ReadLog log;
   tc.sim.spawn(writer_loop(*writer, wl));
   tc.sim.spawn(reader_loop(tc.sim, *reader, wl, log));
@@ -111,10 +109,8 @@ TEST(MonotonicContrast, ErdaBreaksTheSameProperty) {
     auto& store = *dynamic_cast<ErdaStore*>(tc.cluster.store.get());
     workload::Workload wl{workload::WorkloadConfig{
         .key_count = kKeys, .key_len = 32, .value_len = kVlen}};
-    auto writer = tc.cluster.make_client();
-    auto reader = tc.cluster.make_client();
-    writer->set_size_hint(32, kVlen);
-    reader->set_size_hint(32, kVlen);
+    auto writer = tc.cluster.make_client(testutil::hinted(32, kVlen));
+    auto reader = tc.cluster.make_client(testutil::hinted(32, kVlen));
     ReadLog log;
     tc.sim.spawn(writer_loop(*writer, wl));
     tc.sim.spawn(reader_loop(tc.sim, *reader, wl, log));

@@ -58,10 +58,9 @@ INSTANTIATE_TEST_SUITE_P(
 
 TEST_P(RoundtripSweep, ReadYourWritesExactBytes) {
   const auto [kind, vlen] = GetParam();
-  TestCluster tc{kind};
+  TestCluster tc{kind, testutil::small_config(), testutil::hinted(32, vlen)};
   workload::Workload wl{workload::WorkloadConfig{
       .key_count = 8, .key_len = 32, .value_len = vlen}};
-  tc.client->set_size_hint(32, vlen);
   for (int k = 0; k < 8; ++k) {
     ASSERT_TRUE(
         tc.put_sync(wl.key_at(k),
@@ -117,10 +116,9 @@ TEST_P(CrashMatrix, RecoveredValuesAreExactWrites) {
   const CrashParams p = GetParam();
   StoreConfig config = testutil::small_config();
   config.crash_policy.eviction_probability = p.eviction;
-  TestCluster tc{p.kind, config};
+  TestCluster tc{p.kind, config, testutil::hinted(32, 512)};
   workload::Workload wl{workload::WorkloadConfig{
       .key_count = 6, .key_len = 32, .value_len = 512}};
-  tc.client->set_size_hint(32, 512);
 
   tc.sim.spawn([](KvClient& c, workload::Workload& w) -> sim::Task<void> {
     for (int v = 1; v < 30; ++v) {
@@ -156,11 +154,11 @@ class RecoveryFuzz : public ::testing::TestWithParam<int> {};
 INSTANTIATE_TEST_SUITE_P(Seeds, RecoveryFuzz, ::testing::Range(0, 8));
 
 TEST_P(RecoveryFuzz, GarbageNeverCrashesRecovery) {
-  TestCluster tc{SystemKind::kEFactory};
+  TestCluster tc{SystemKind::kEFactory,
+                 testutil::small_config(), testutil::hinted(32, 256)};
   auto& store = *dynamic_cast<EFactoryStore*>(tc.cluster.store.get());
   workload::Workload wl{workload::WorkloadConfig{
       .key_count = 8, .key_len = 32, .value_len = 256}};
-  tc.client->set_size_hint(32, 256);
   for (int k = 0; k < 8; ++k) {
     ASSERT_TRUE(
         tc.put_sync(wl.key_at(k), tagged_value(256, k, 1)).is_ok());
@@ -207,10 +205,9 @@ TEST_P(PlacementSweep, DurableAtAckWithShuffledPlacement) {
   StoreConfig config = testutil::small_config();
   config.fabric.placement = nvm::PlacementOrder::kShuffled;
   config.crash_policy.eviction_probability = 0.0;
-  TestCluster tc{GetParam(), config};
+  TestCluster tc{GetParam(), config, testutil::hinted(32, 2048)};
   workload::Workload wl{workload::WorkloadConfig{
       .key_count = 4, .key_len = 32, .value_len = 2048}};
-  tc.client->set_size_hint(32, 2048);
 
   std::map<int, int> acked;
   bool done = false;

@@ -20,11 +20,11 @@ INSTANTIATE_TEST_SUITE_P(CrashInstants, RestartMidCleaning,
                          ::testing::Range(0, 6));
 
 TEST_P(RestartMidCleaning, FullRestartServesEveryKey) {
-  TestCluster tc{SystemKind::kEFactory};
+  TestCluster tc{SystemKind::kEFactory,
+                 testutil::small_config(), testutil::hinted(32, 512)};
   auto& store = *dynamic_cast<EFactoryStore*>(tc.cluster.store.get());
   workload::Workload wl{workload::WorkloadConfig{
       .key_count = 24, .key_len = 32, .value_len = 512}};
-  tc.client->set_size_hint(32, 512);
   for (int k = 0; k < 24; ++k) {
     ASSERT_TRUE(tc.put_sync(wl.key_at(k), wl.value_for(k, 1)).is_ok());
   }
@@ -45,8 +45,7 @@ TEST_P(RestartMidCleaning, FullRestartServesEveryKey) {
   EXPECT_FALSE(store.clients_use_rpc());
 
   // The restarted server serves reads AND can clean again.
-  auto client = tc.cluster.make_client();
-  client->set_size_hint(32, 512);
+  auto client = tc.cluster.make_client(testutil::hinted(32, 512));
   for (int k = 0; k < 24; ++k) {
     const Expected<Bytes> got = tc.get_sync(*client, wl.key_at(k));
     ASSERT_TRUE(got.has_value()) << "key " << k;
@@ -62,14 +61,14 @@ TEST_P(RestartMidCleaning, FullRestartServesEveryKey) {
 }
 
 TEST(RestartEmpty, RecoverOnEmptyStoreIsCleanNoop) {
-  TestCluster tc{SystemKind::kEFactory};
+  TestCluster tc{SystemKind::kEFactory,
+                 testutil::small_config(), testutil::hinted(32, 64)};
   auto& store = *dynamic_cast<EFactoryStore*>(tc.cluster.store.get());
   store.crash();
   const EFactoryStore::RecoveryReport report = store.recover();
   EXPECT_EQ(report.entries_scanned, 0u);
   EXPECT_EQ(report.keys_recovered, 0u);
   // Still serves.
-  tc.client->set_size_hint(32, 64);
   const Bytes key = to_bytes("post-empty-restart-key-0000000000");
   EXPECT_TRUE(tc.put_sync(key, testutil::make_value(64, 1)).is_ok());
   tc.settle();
@@ -79,8 +78,8 @@ TEST(RestartEmpty, RecoverOnEmptyStoreIsCleanNoop) {
 // ------------------------------------------------------------ stats smoke
 
 TEST(StatsReport, RendersEveryCounterLabel) {
-  TestCluster tc{SystemKind::kEFactory};
-  tc.client->set_size_hint(32, 64);
+  TestCluster tc{SystemKind::kEFactory,
+                 testutil::small_config(), testutil::hinted(32, 64)};
   const Bytes key = to_bytes("stats-key-00000000000000000000000");
   ASSERT_TRUE(tc.put_sync(key, testutil::make_value(64, 1)).is_ok());
   tc.settle();
@@ -98,8 +97,8 @@ TEST(StatsReport, RendersEveryCounterLabel) {
 }
 
 TEST(StatsReport, CountersReflectActivity) {
-  TestCluster tc{SystemKind::kEFactory};
-  tc.client->set_size_hint(32, 64);
+  TestCluster tc{SystemKind::kEFactory,
+                 testutil::small_config(), testutil::hinted(32, 64)};
   for (int i = 0; i < 5; ++i) {
     ASSERT_TRUE(tc.put_sync(to_bytes("counter-key-00000000000000000000"),
                             testutil::make_value(64, 1))

@@ -17,6 +17,13 @@ inline stores::StoreConfig small_config() {
   return config;
 }
 
+/// ClientOptions with just the workload's object geometry filled in.
+inline stores::ClientOptions hinted(std::size_t klen, std::size_t vlen) {
+  stores::ClientOptions options;
+  options.size_hint = {klen, vlen};
+  return options;
+}
+
 /// A started single-system cluster with one default client.
 struct TestCluster {
   sim::Simulator sim;
@@ -24,10 +31,11 @@ struct TestCluster {
   std::unique_ptr<stores::KvClient> client;
 
   explicit TestCluster(stores::SystemKind kind,
-                       stores::StoreConfig config = small_config())
+                       stores::StoreConfig config = small_config(),
+                       stores::ClientOptions client_options = {})
       : cluster(stores::make_cluster(sim, kind, config)) {
     cluster.start();
-    client = cluster.make_client();
+    client = cluster.make_client(client_options);
   }
 
   /// Run the simulation in bounded slices until `done` holds. Background

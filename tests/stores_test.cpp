@@ -33,10 +33,10 @@ INSTANTIATE_TEST_SUITE_P(
     });
 
 TEST_P(AllSystems, PutGetRoundtrip) {
-  TestCluster tc{GetParam()};
   const Bytes key = to_bytes("roundtrip-key-000000000000000000");
   const Bytes value = make_value(256, 1);
-  tc.client->set_size_hint(key.size(), value.size());
+  TestCluster tc{GetParam(), testutil::small_config(),
+                 testutil::hinted(key.size(), value.size())};
   EXPECT_TRUE(tc.put_sync(key, value).is_ok());
   tc.settle();
   const Expected<Bytes> got = tc.get_sync(key);
@@ -45,9 +45,9 @@ TEST_P(AllSystems, PutGetRoundtrip) {
 }
 
 TEST_P(AllSystems, OverwriteReturnsLatest) {
-  TestCluster tc{GetParam()};
   const Bytes key = to_bytes("overwrite-key-0000000000000000000");
-  tc.client->set_size_hint(key.size(), 128);
+  TestCluster tc{GetParam(),
+                 testutil::small_config(), testutil::hinted(key.size(), 128)};
   for (std::uint8_t round = 1; round <= 5; ++round) {
     EXPECT_TRUE(tc.put_sync(key, make_value(128, round)).is_ok());
   }
@@ -58,8 +58,8 @@ TEST_P(AllSystems, OverwriteReturnsLatest) {
 }
 
 TEST_P(AllSystems, MissingKeyIsNotFound) {
-  TestCluster tc{GetParam()};
-  tc.client->set_size_hint(32, 128);
+  TestCluster tc{GetParam(),
+                 testutil::small_config(), testutil::hinted(32, 128)};
   const Expected<Bytes> got = tc.get_sync(to_bytes(
       "never-written-key-00000000000000"));
   EXPECT_FALSE(got.has_value());
@@ -67,10 +67,9 @@ TEST_P(AllSystems, MissingKeyIsNotFound) {
 }
 
 TEST_P(AllSystems, ManyKeysManyClients) {
-  TestCluster tc{GetParam()};
-  auto c2 = tc.cluster.make_client();
-  c2->set_size_hint(32, 64);
-  tc.client->set_size_hint(32, 64);
+  TestCluster tc{GetParam(),
+                 testutil::small_config(), testutil::hinted(32, 64)};
+  auto c2 = tc.cluster.make_client(testutil::hinted(32, 64));
   workload::Workload wl{workload::WorkloadConfig{
       .mix = workload::Mix::kUpdateOnly, .key_count = 40, .value_len = 64}};
   for (std::uint64_t k = 0; k < 40; ++k) {
@@ -87,10 +86,10 @@ TEST_P(AllSystems, ManyKeysManyClients) {
 }
 
 TEST_P(AllSystems, LargeValuesRoundtrip) {
-  TestCluster tc{GetParam()};
   const Bytes key = to_bytes("large-value-key-00000000000000000");
   const Bytes value = make_value(4096, 9);
-  tc.client->set_size_hint(key.size(), value.size());
+  TestCluster tc{GetParam(), testutil::small_config(),
+                 testutil::hinted(key.size(), value.size())};
   EXPECT_TRUE(tc.put_sync(key, value).is_ok());
   tc.settle(2 * timeconst::kMillisecond);
   const Expected<Bytes> got = tc.get_sync(key);
@@ -101,8 +100,7 @@ TEST_P(AllSystems, LargeValuesRoundtrip) {
 TEST_P(AllSystems, PoolExhaustionSurfacesAsErrorOrTriggersCleaning) {
   StoreConfig config = testutil::small_config();
   config.pool_bytes = 8 * sizeconst::kKiB;
-  TestCluster tc{GetParam(), config};
-  tc.client->set_size_hint(32, 1024);
+  TestCluster tc{GetParam(), config, testutil::hinted(32, 1024)};
   Status last = Status::ok();
   for (int i = 0; i < 64 && last.is_ok(); ++i) {
     last = tc.put_sync(to_bytes("exhaust-key-00000000000000000000"),
@@ -130,12 +128,16 @@ struct EFactoryFixture : ::testing::Test {
   EFactoryStore& store() {
     return *dynamic_cast<EFactoryStore*>(tc.cluster.store.get());
   }
+  // Per-test geometries differ, so each test swaps in a hinted client.
+  void hint(std::size_t klen, std::size_t vlen) {
+    tc.client = tc.cluster.make_client(testutil::hinted(klen, vlen));
+  }
 };
 
 TEST_F(EFactoryFixture, BackgroundThreadSetsDurabilityFlag) {
   const Bytes key = to_bytes("bg-verify-key-0000000000000000000");
   const Bytes value = make_value(512, 3);
-  tc.client->set_size_hint(key.size(), value.size());
+  hint(key.size(), value.size());
   ASSERT_TRUE(tc.put_sync(key, value).is_ok());
   // Give the background thread time to verify and persist.
   tc.run_until_done([&] { return store().verify_queue_depth() == 0; });
@@ -159,7 +161,7 @@ TEST_F(EFactoryFixture, BackgroundThreadSetsDurabilityFlag) {
 TEST_F(EFactoryFixture, HybridReadUsesPureRdmaAfterVerification) {
   const Bytes key = to_bytes("hybrid-key-0000000000000000000000");
   const Bytes value = make_value(256, 7);
-  tc.client->set_size_hint(key.size(), value.size());
+  hint(key.size(), value.size());
   ASSERT_TRUE(tc.put_sync(key, value).is_ok());
   tc.run_until_done([&] { return store().verify_queue_depth() == 0; });
   tc.settle();
@@ -178,9 +180,8 @@ TEST_F(EFactoryFixture, ReadOfUnverifiedObjectFallsBackToRpc) {
   // on a second client.
   const Bytes key = to_bytes("fallback-key-00000000000000000000");
   const Bytes value = make_value(4096, 5);
-  auto reader = tc.cluster.make_client();
-  reader->set_size_hint(key.size(), value.size());
-  tc.client->set_size_hint(key.size(), value.size());
+  auto reader = tc.cluster.make_client(testutil::hinted(key.size(), value.size()));
+  hint(key.size(), value.size());
 
   bool put_done = false;
   std::optional<Expected<Bytes>> got;
@@ -206,10 +207,10 @@ TEST_F(EFactoryFixture, ReadOfUnverifiedObjectFallsBackToRpc) {
 }
 
 TEST_F(EFactoryFixture, WithoutHybridReadAllGetsUseRpc) {
-  TestCluster no_hr{SystemKind::kEFactoryNoHr};
   const Bytes key = to_bytes("no-hr-key-00000000000000000000000");
   const Bytes value = make_value(128, 2);
-  no_hr.client->set_size_hint(key.size(), value.size());
+  TestCluster no_hr{SystemKind::kEFactoryNoHr, testutil::small_config(),
+                    testutil::hinted(key.size(), value.size())};
   ASSERT_TRUE(no_hr.put_sync(key, value).is_ok());
   no_hr.settle();
   for (int i = 0; i < 3; ++i) {
@@ -222,9 +223,9 @@ TEST_F(EFactoryFixture, WithoutHybridReadAllGetsUseRpc) {
 TEST_F(EFactoryFixture, RpcGetHitsDurabilityFlagFastPath) {
   const Bytes key = to_bytes("durhit-key-0000000000000000000000");
   const Bytes value = make_value(128, 4);
-  TestCluster no_hr{SystemKind::kEFactoryNoHr};
+  TestCluster no_hr{SystemKind::kEFactoryNoHr, testutil::small_config(),
+                    testutil::hinted(key.size(), value.size())};
   auto& st = *dynamic_cast<EFactoryStore*>(no_hr.cluster.store.get());
-  no_hr.client->set_size_hint(key.size(), value.size());
   ASSERT_TRUE(no_hr.put_sync(key, value).is_ok());
   no_hr.run_until_done([&] { return st.verify_queue_depth() == 0; });
   no_hr.settle();
@@ -241,7 +242,7 @@ TEST_F(EFactoryFixture, TimedOutIncompleteObjectIsInvalidated) {
   // must fall back to the previous intact version.
   const Bytes key = to_bytes("timeout-key-000000000000000000000");
   const Bytes good = make_value(128, 1);
-  tc.client->set_size_hint(key.size(), 128);
+  hint(key.size(), 128);
   ASSERT_TRUE(tc.put_sync(key, good).is_ok());
   tc.run_until_done([&] { return store().verify_queue_depth() == 0; });
 
@@ -273,10 +274,10 @@ TEST_F(EFactoryFixture, TimedOutIncompleteObjectIsInvalidated) {
 // -------------------------------------------------------------------- IMM
 
 TEST(ImmStoreTest, PutIsDurableAtAck) {
-  TestCluster tc{SystemKind::kImm};
   const Bytes key = to_bytes("imm-durable-key-00000000000000000");
   const Bytes value = make_value(1024, 6);
-  tc.client->set_size_hint(key.size(), value.size());
+  TestCluster tc{SystemKind::kImm, testutil::small_config(),
+                 testutil::hinted(key.size(), value.size())};
   ASSERT_TRUE(tc.put_sync(key, value).is_ok());
   // No settling: the ack itself is the durability point.
   auto& store = *dynamic_cast<ImmStore*>(tc.cluster.store.get());
@@ -289,10 +290,10 @@ TEST(ImmStoreTest, PutIsDurableAtAck) {
 // -------------------------------------------------------------------- SAW
 
 TEST(SawStoreTest, PutIsDurableAtAck) {
-  TestCluster tc{SystemKind::kSaw};
   const Bytes key = to_bytes("saw-durable-key-00000000000000000");
   const Bytes value = make_value(1024, 8);
-  tc.client->set_size_hint(key.size(), value.size());
+  TestCluster tc{SystemKind::kSaw, testutil::small_config(),
+                 testutil::hinted(key.size(), value.size())};
   ASSERT_TRUE(tc.put_sync(key, value).is_ok());
   auto& store = *dynamic_cast<SawStore*>(tc.cluster.store.get());
   store.crash();
@@ -304,10 +305,10 @@ TEST(SawStoreTest, PutIsDurableAtAck) {
 TEST(SawStoreTest, MetadataExposedOnlyAfterDurability) {
   // Between alloc and persist the key must be unreadable (entry updated at
   // the durability point, not at allocation).
-  TestCluster tc{SystemKind::kSaw};
-  auto& store = *dynamic_cast<SawStore*>(tc.cluster.store.get());
   const Bytes key = to_bytes("saw-ordering-key-0000000000000000");
-  tc.client->set_size_hint(key.size(), 64);
+  TestCluster tc{SystemKind::kSaw,
+                 testutil::small_config(), testutil::hinted(key.size(), 64)};
+  auto& store = *dynamic_cast<SawStore*>(tc.cluster.store.get());
 
   rpc::Connection conn{tc.sim, store.fabric(), store.node(),
                        store.directory(), store.next_qp_id()};
@@ -331,10 +332,10 @@ TEST(SawStoreTest, MetadataExposedOnlyAfterDurability) {
 // ------------------------------------------------------------------- Erda
 
 TEST(ErdaStoreTest, ClientVerifiesCrcOnReads) {
-  TestCluster tc{SystemKind::kErda};
   const Bytes key = to_bytes("erda-crc-key-00000000000000000000");
   const Bytes value = make_value(512, 2);
-  tc.client->set_size_hint(key.size(), value.size());
+  TestCluster tc{SystemKind::kErda, testutil::small_config(),
+                 testutil::hinted(key.size(), value.size())};
   ASSERT_TRUE(tc.put_sync(key, value).is_ok());
   tc.settle();
   ASSERT_TRUE(tc.get_sync(key).has_value());
@@ -342,11 +343,11 @@ TEST(ErdaStoreTest, ClientVerifiesCrcOnReads) {
 }
 
 TEST(ErdaStoreTest, TornHeadFallsBackToPreviousVersion) {
-  TestCluster tc{SystemKind::kErda};
-  auto& store = *dynamic_cast<ErdaStore*>(tc.cluster.store.get());
   const Bytes key = to_bytes("erda-torn-key-0000000000000000000");
+  TestCluster tc{SystemKind::kErda,
+                 testutil::small_config(), testutil::hinted(key.size(), 256)};
+  auto& store = *dynamic_cast<ErdaStore*>(tc.cluster.store.get());
   const Bytes v1 = make_value(256, 1);
-  tc.client->set_size_hint(key.size(), 256);
   ASSERT_TRUE(tc.put_sync(key, v1).is_ok());
 
   // Corrupt the head version in place (simulating a torn write) after a
@@ -369,11 +370,11 @@ TEST(ErdaStoreTest, TornHeadFallsBackToPreviousVersion) {
 // ------------------------------------------------------------------ Forca
 
 TEST(ForcaStoreTest, ServerVerifiesEveryRead) {
-  TestCluster tc{SystemKind::kForca};
-  auto& store = *dynamic_cast<ForcaStore*>(tc.cluster.store.get());
   const Bytes key = to_bytes("forca-crc-key-0000000000000000000");
   const Bytes value = make_value(512, 3);
-  tc.client->set_size_hint(key.size(), value.size());
+  TestCluster tc{SystemKind::kForca, testutil::small_config(),
+                 testutil::hinted(key.size(), value.size())};
+  auto& store = *dynamic_cast<ForcaStore*>(tc.cluster.store.get());
   ASSERT_TRUE(tc.put_sync(key, value).is_ok());
   tc.settle();
   const std::uint64_t before = store.server_stats().crc_checks;
@@ -384,11 +385,11 @@ TEST(ForcaStoreTest, ServerVerifiesEveryRead) {
 }
 
 TEST(ForcaStoreTest, ReadPathPersistsData) {
-  TestCluster tc{SystemKind::kForca};
-  auto& store = *dynamic_cast<ForcaStore*>(tc.cluster.store.get());
   const Bytes key = to_bytes("forca-persist-key-000000000000000");
   const Bytes value = make_value(256, 4);
-  tc.client->set_size_hint(key.size(), value.size());
+  TestCluster tc{SystemKind::kForca, testutil::small_config(),
+                 testutil::hinted(key.size(), value.size())};
+  auto& store = *dynamic_cast<ForcaStore*>(tc.cluster.store.get());
   ASSERT_TRUE(tc.put_sync(key, value).is_ok());
   tc.settle();
   ASSERT_TRUE(tc.get_sync(key).has_value());
@@ -402,10 +403,10 @@ TEST(ForcaStoreTest, ReadPathPersistsData) {
 // -------------------------------------------------------------------- RPC
 
 TEST(RpcStoreTest, PutIsDurableAtAck) {
-  TestCluster tc{SystemKind::kRpc};
   const Bytes key = to_bytes("rpc-durable-key-00000000000000000");
   const Bytes value = make_value(2048, 5);
-  tc.client->set_size_hint(key.size(), value.size());
+  TestCluster tc{SystemKind::kRpc, testutil::small_config(),
+                 testutil::hinted(key.size(), value.size())};
   ASSERT_TRUE(tc.put_sync(key, value).is_ok());
   auto& store = *dynamic_cast<RpcStore*>(tc.cluster.store.get());
   store.crash();
@@ -419,10 +420,10 @@ TEST(RpcStoreTest, PutIsDurableAtAck) {
 TEST(CaStoreTest, NoPersistenceGuarantee) {
   // The motivating failure: CA acks a PUT whose data then vanishes in a
   // crash (nothing was flushed).
-  TestCluster tc{SystemKind::kCaNoPersist};
   const Bytes key = to_bytes("ca-lost-key-000000000000000000000");
   const Bytes value = make_value(1024, 6);
-  tc.client->set_size_hint(key.size(), value.size());
+  TestCluster tc{SystemKind::kCaNoPersist, testutil::small_config(),
+                 testutil::hinted(key.size(), value.size())};
   ASSERT_TRUE(tc.put_sync(key, value).is_ok());
   auto& store = *dynamic_cast<CaStore*>(tc.cluster.store.get());
   nvm::CrashPolicy nothing_survives{.eviction_probability = 0.0};

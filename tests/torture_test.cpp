@@ -33,10 +33,10 @@ Bytes tagged_value(std::size_t len, int key, int version) {
 // ------------------------------------------------------ in-place tearing
 
 TEST(InPlaceStoreTest, BasicRoundtripWorks) {
-  TestCluster tc{SystemKind::kInPlace};
+  TestCluster tc{SystemKind::kInPlace,
+                 testutil::small_config(), testutil::hinted(32, 256)};
   workload::Workload wl{workload::WorkloadConfig{
       .key_count = 8, .key_len = 32, .value_len = 256}};
-  tc.client->set_size_hint(32, 256);
   for (int k = 0; k < 8; ++k) {
     ASSERT_TRUE(tc.put_sync(wl.key_at(k), tagged_value(256, k, 1)).is_ok());
     ASSERT_TRUE(tc.put_sync(wl.key_at(k), tagged_value(256, k, 2)).is_ok());
@@ -49,10 +49,10 @@ TEST(InPlaceStoreTest, BasicRoundtripWorks) {
 }
 
 TEST(InPlaceStoreTest, OverwritesReuseTheSameRegion) {
-  TestCluster tc{SystemKind::kInPlace};
+  TestCluster tc{SystemKind::kInPlace,
+                 testutil::small_config(), testutil::hinted(32, 128)};
   auto& store = *dynamic_cast<InPlaceStore*>(tc.cluster.store.get());
   const Bytes key = to_bytes("inplace-key-000000000000000000000");
-  tc.client->set_size_hint(32, 128);
   ASSERT_TRUE(tc.put_sync(key, tagged_value(128, 1, 1)).is_ok());
   const std::size_t used_after_first = store.pool_a().used();
   for (int v = 2; v <= 6; ++v) {
@@ -69,10 +69,10 @@ TEST(InPlaceStoreTest, CrashMidOverwriteTearsTheOnlyCopy) {
   auto run = [](SystemKind kind) {
     StoreConfig config = testutil::small_config();
     config.crash_policy.eviction_probability = 0.6;
-    auto tc = std::make_unique<TestCluster>(kind, config);
+    auto tc = std::make_unique<TestCluster>(kind, config,
+                                            testutil::hinted(32, 4096));
     workload::Workload wl{workload::WorkloadConfig{
         .key_count = 2, .key_len = 32, .value_len = 4096}};
-    tc->client->set_size_hint(32, 4096);
     // v1 durable everywhere: settle + read (forces persist for eFactory).
     EFAC_CHECK(tc->put_sync(wl.key_at(0), tagged_value(4096, 0, 1)).is_ok());
     tc->settle(2 * timeconst::kMillisecond);
@@ -128,8 +128,7 @@ TEST(Torture, MixedOpsCleaningCrashRestartAudit) {
 
   std::vector<std::unique_ptr<KvClient>> clients;
   for (int actor = 0; actor < kActors; ++actor) {
-    clients.push_back(tc.cluster.make_client());
-    clients.back()->set_size_hint(32, kVlen);
+    clients.push_back(tc.cluster.make_client(testutil::hinted(32, kVlen)));
     tc.sim.spawn([](sim::Simulator& s, KvClient& c, workload::Workload& w,
                     int id, std::map<int, int>* truth,
                     int* done) -> sim::Task<void> {
@@ -191,8 +190,7 @@ TEST(Torture, MixedOpsCleaningCrashRestartAudit) {
   const EFactoryStore::RecoveryReport report = store.recover();
   EXPECT_EQ(report.keys_lost, 0u);
 
-  auto auditor = tc.cluster.make_client();
-  auditor->set_size_hint(32, kVlen);
+  auto auditor = tc.cluster.make_client(testutil::hinted(32, kVlen));
   for (const auto& [k, version] : acked) {
     const Expected<Bytes> got = tc.get_sync(*auditor, wl.key_at(k));
     if (version < 0) {

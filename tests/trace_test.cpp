@@ -83,9 +83,9 @@ TEST(Trace, LoadSkipsCommentsAndBlankLines) {
 }
 
 TEST(Trace, ReplayAgainstEFactory) {
-  testutil::TestCluster tc{stores::SystemKind::kEFactory};
+  testutil::TestCluster tc{stores::SystemKind::kEFactory,
+                           testutil::small_config(), testutil::hinted(32, 128)};
   const Workload wl = small_workload();
-  tc.client->set_size_hint(32, 128);
   const Trace trace = Trace::from_workload(wl, 400, 13, 0.05);
 
   std::optional<ReplayResult> result;
@@ -105,8 +105,9 @@ TEST(Trace, ReplayIsIdenticalAcrossRuns) {
   const Workload wl = small_workload();
   const Trace trace = Trace::from_workload(wl, 250, 17);
   auto run = [&] {
-    testutil::TestCluster tc{stores::SystemKind::kEFactory};
-    tc.client->set_size_hint(32, 128);
+    testutil::TestCluster tc{stores::SystemKind::kEFactory,
+                             testutil::small_config(),
+                             testutil::hinted(32, 128)};
     std::optional<ReplayResult> result;
     tc.sim.spawn([](sim::Simulator& s, stores::KvClient& c,
                     const Workload& w, const Trace& t,
@@ -124,8 +125,8 @@ TEST(Trace, SameTraceDifferentSystemsSameOps) {
   const Trace trace = Trace::from_workload(wl, 150, 23);
   for (const stores::SystemKind kind :
        {stores::SystemKind::kSaw, stores::SystemKind::kErda}) {
-    testutil::TestCluster tc{kind};
-    tc.client->set_size_hint(32, 128);
+    testutil::TestCluster tc{kind, testutil::small_config(),
+                             testutil::hinted(32, 128)};
     std::optional<ReplayResult> result;
     tc.sim.spawn([](sim::Simulator& s, stores::KvClient& c,
                     const Workload& w, const Trace& t,
