@@ -1,5 +1,6 @@
 #include "bench_common.hpp"
 
+#include <cstdlib>
 #include <fstream>
 #include <iostream>
 #include <memory>
@@ -47,12 +48,22 @@ std::string point_prefix(std::string_view op, SystemKind kind,
 std::string g_trace_path;
 std::vector<trace::EventLog::Snapshot> g_trace_snapshots;
 
+// --batch= state (default 1 = plain sync ops through the runner).
+std::size_t g_batch = 1;
+
 }  // namespace
 
 metrics::MetricsRegistry& metrics_sink() {
   static metrics::MetricsRegistry sink;
   return sink;
 }
+
+metrics::MetricsRegistry& shard_sink() {
+  static metrics::MetricsRegistry sink;
+  return sink;
+}
+
+std::size_t batch_size() { return g_batch; }
 
 bool trace_requested() { return !g_trace_path.empty(); }
 
@@ -180,6 +191,7 @@ workload::RunResult throughput_run(SystemKind kind, workload::Mix mix,
   options.workload.seed = seed;
   options.clients = clients;
   options.ops_per_client = ops_per_client;
+  options.batch = batch_size();
 
   auto sim = std::make_unique<sim::Simulator>();
   stores::StoreConfig config = workload::sized_store_config(options);
@@ -196,6 +208,103 @@ workload::RunResult throughput_run(SystemKind kind, workload::Mix mix,
   maybe_adopt_trace(*cluster.store, std::move(label));
   sim.reset();
   return result;
+}
+
+workload::RunResult sharded_throughput_run(SystemKind kind,
+                                           workload::Mix mix,
+                                           std::size_t value_len,
+                                           std::size_t clients,
+                                           std::size_t shards,
+                                           std::size_t ops_per_client,
+                                           std::uint64_t key_count,
+                                           std::uint64_t seed,
+                                           double zipf_theta) {
+  workload::RunOptions options;
+  options.workload.mix = mix;
+  options.workload.key_count = key_count;
+  options.workload.key_len = kKeyLen;
+  options.workload.value_len = value_len;
+  options.workload.seed = seed;
+  options.workload.zipf_theta = zipf_theta;
+  options.clients = clients;
+  options.ops_per_client = ops_per_client;
+  options.batch = batch_size();
+
+  auto sim = std::make_unique<sim::Simulator>();
+  stores::ClusterConfig cluster_config;
+  cluster_config.num_shards = shards;
+  cluster_config.store = workload::sized_store_config(options);
+  maybe_enable_trace(cluster_config.store);
+  stores::ShardedCluster cluster =
+      stores::make_sharded_cluster(*sim, kind, std::move(cluster_config));
+  workload::RunResult result = workload::run_workload(*sim, cluster, options);
+  if (trace_requested()) {
+    std::string label = "shard/";
+    label += workload::to_string(mix);
+    label += "/";
+    label += stores::to_string(kind);
+    label += "/shards:";
+    label += std::to_string(shards);
+    label += "/";
+    for (std::size_t s = 0; s < cluster.num_shards(); ++s) {
+      maybe_adopt_trace(cluster.store(s), label + "s" + std::to_string(s));
+    }
+  }
+  sim.reset();
+  return result;
+}
+
+workload::RunResult sharded_throughput_point(
+    SystemKind kind, workload::Mix mix, std::size_t value_len,
+    std::size_t clients, std::size_t shards, std::size_t ops_per_client,
+    std::uint64_t key_count, int runs, double zipf_theta) {
+  EFAC_CHECK(runs >= 1);
+  workload::RunResult combined;
+  double mops_sum = 0.0;
+  double put_mops_sum = 0.0;
+  bool have_first = false;
+  for (int r = 0; r < runs; ++r) {
+    workload::RunResult result = sharded_throughput_run(
+        kind, mix, value_len, clients, shards, ops_per_client, key_count,
+        0xF9 + static_cast<std::uint64_t>(r) * 97, zipf_theta);
+    mops_sum += result.mops;
+    if (result.span_ns > 0) {
+      put_mops_sum += static_cast<double>(result.puts) * 1000.0 /
+                      static_cast<double>(result.span_ns);
+    }
+    if (!have_first) {
+      combined = std::move(result);
+      have_first = true;
+    } else {
+      combined.put_latency.merge(result.put_latency);
+      combined.get_latency.merge(result.get_latency);
+      combined.op_latency.merge(result.op_latency);
+      combined.ops += result.ops;
+      combined.puts += result.puts;
+      combined.gets += result.gets;
+      combined.get_failures += result.get_failures;
+      combined.put_failures += result.put_failures;
+      combined.span_ns += result.span_ns;
+      combined.metrics.merge_from(result.metrics);
+    }
+  }
+  combined.mops = mops_sum / runs;
+  std::string prefix = "run/";
+  prefix += workload::to_string(mix);
+  prefix += "/";
+  prefix += stores::to_string(kind);
+  prefix += "/";
+  prefix += size_label(value_len);
+  prefix += "/shards:";
+  prefix += std::to_string(shards);
+  prefix += "/clients:";
+  prefix += std::to_string(clients);
+  prefix += "/";
+  shard_sink().merge_from(combined.metrics, prefix);
+  // The headline gauges the scaling analysis (and CI) read directly.
+  shard_sink().gauge(prefix + "run.mops").set(combined.mops);
+  shard_sink().gauge(prefix + "run.put_mops").set(put_mops_sum / runs);
+  return combined;
 }
 
 workload::RunResult throughput_point(SystemKind kind, workload::Mix mix,
@@ -346,6 +455,18 @@ int bench_main(int argc, char** argv, std::string_view figure) {
     const std::string_view arg{argv[i]};
     constexpr std::string_view kSystemFlag = "--system=";
     constexpr std::string_view kTraceFlag = "--trace-out=";
+    constexpr std::string_view kBatchFlag = "--batch=";
+    if (arg.rfind(kBatchFlag, 0) == 0) {
+      const std::string value{arg.substr(kBatchFlag.size())};
+      char* end = nullptr;
+      const unsigned long parsed = std::strtoul(value.c_str(), &end, 10);
+      if (value.empty() || end == nullptr || *end != '\0' || parsed == 0) {
+        std::cerr << "--batch= needs a positive integer" << std::endl;
+        return 1;
+      }
+      g_batch = static_cast<std::size_t>(parsed);
+      continue;
+    }
     if (arg.rfind(kTraceFlag, 0) == 0) {
       g_trace_path = std::string{arg.substr(kTraceFlag.size())};
       if (g_trace_path.empty()) {
@@ -389,6 +510,18 @@ int bench_main(int argc, char** argv, std::string_view figure) {
     return 1;
   }
   std::cout << "metrics exported to " << path << std::endl;
+
+  if (!shard_sink().empty()) {
+    const std::string shard_path = "BENCH_shard.json";
+    std::ofstream shard_out{shard_path};
+    metrics::write_json(shard_out, shard_sink(), "shard");
+    shard_out << "\n";
+    if (!shard_out) {
+      std::cerr << "failed to write " << shard_path << std::endl;
+      return 1;
+    }
+    std::cout << "shard metrics exported to " << shard_path << std::endl;
+  }
 
   if (trace_requested()) {
     // Self-check the export against the golden schema before writing: a

@@ -43,6 +43,16 @@ inline std::string size_label(std::size_t bytes) {
 /// prefixes; bench_main() writes the whole sink to BENCH_<figure>.json.
 metrics::MetricsRegistry& metrics_sink();
 
+/// Separate sink for the sharded scalability sweep. Points land under
+/// "run/<mix>/<system>/<size>/shards:N/clients:C/" prefixes; when
+/// non-empty after the run, bench_main() writes it to BENCH_shard.json
+/// (beside the figure's own export).
+metrics::MetricsRegistry& shard_sink();
+
+/// Batch size for the workload-runner mixes, from --batch=N (parsed and
+/// stripped by bench_main; default 1 = plain sync ops).
+std::size_t batch_size();
+
 /// --trace-out=<path> support (the flag is parsed by bench_main): when
 /// active, the measurement helpers run their clusters with the flight
 /// recorder enabled and adopt one labelled snapshot of each run's event
@@ -84,6 +94,24 @@ workload::RunResult throughput_point(stores::SystemKind kind,
                                      std::size_t ops_per_client = 800,
                                      std::uint64_t key_count = 1024,
                                      int runs = 5);
+
+/// One throughput point against a sharded cluster (shards × clients
+/// sweep). The key distribution defaults to near-uniform (theta 0.05):
+/// the sweep measures shard-count scaling, and a Zipf-0.99 hot key would
+/// cap aggregate throughput at the hot shard's service rate regardless of
+/// cluster size.
+workload::RunResult sharded_throughput_run(
+    stores::SystemKind kind, workload::Mix mix, std::size_t value_len,
+    std::size_t clients, std::size_t shards, std::size_t ops_per_client,
+    std::uint64_t key_count, std::uint64_t seed, double zipf_theta = 0.05);
+
+/// Averaged sharded point; merges the combined registry into shard_sink()
+/// under "run/<mix>/<system>/<size>/shards:N/clients:C/" and records the
+/// run.put_mops / run.mops gauges the scaling analysis reads.
+workload::RunResult sharded_throughput_point(
+    stores::SystemKind kind, workload::Mix mix, std::size_t value_len,
+    std::size_t clients, std::size_t shards, std::size_t ops_per_client = 400,
+    std::uint64_t key_count = 2048, int runs = 3, double zipf_theta = 0.05);
 
 /// Collects (table, row, column) -> formatted cell across benchmarks and
 /// prints every table at exit, in registration order.

@@ -1,11 +1,26 @@
-// Figure 10: throughput vs number of client processes (paper §6.2).
+// Figure 10: throughput vs number of client processes (paper §6.2),
+// extended with the sharded-cluster scalability sweep.
 //
-// 32-byte keys, 2048-byte values, clients ∈ {1, 2, 4, 8, 16}, four mixes.
-// Expected shape: eFactory scales ≈linearly; IMM and SAW flatten when
-// writes dominate (server flush on the critical path saturates the
-// request threads) — up to ≈2.1×/2.2× at 16 clients; eFactory stays
-// ≈24 % over Erda and ≈50 % over Forca.
+// Classic family ("fig10/scalability/..."): 32-byte keys, 2048-byte
+// values, clients ∈ {1..64}, four mixes against single-server clusters.
+// Expected shape: eFactory scales ≈linearly until the server's request
+// threads saturate; IMM and SAW flatten when writes dominate.
+//
+// Shard family ("shard/scalability/..."): eFactory plus the IMM and RPC
+// baselines against consistent-hash sharded clusters, shards ∈ {1,2,4,8}
+// and clients into the hundreds. Aggregate PUT/GET throughput should
+// scale near-linearly with shard count once the single server is
+// saturated. Results land in BENCH_shard.json (schema efac.bench.v1).
+//
+// Flags (parsed here before google-benchmark sees the argument list):
+//   --clients=1,2,4,...  override the swept client counts (both families)
+//   --shards=1,4,...     override the swept shard counts
+//   --smoke              CI shape: shard family only, eFactory update-only,
+//                        shards {1,4} at 64 clients, reduced ops
 #include "bench_common.hpp"
+
+#include <cstdlib>
+#include <iostream>
 
 namespace efac::bench {
 namespace {
@@ -15,15 +30,28 @@ using workload::Mix;
 
 constexpr std::size_t kValueLen = 2048;
 
-const std::vector<std::size_t>& client_counts() {
-  static const std::vector<std::size_t> kCounts{1, 2, 4, 8, 16};
-  return kCounts;
+struct SweepConfig {
+  std::vector<std::size_t> clients{1, 2, 4, 8, 16, 32, 64};
+  std::vector<std::size_t> shard_clients{16, 64, 128, 256};
+  std::vector<std::size_t> shards{1, 2, 4, 8};
+  bool smoke = false;
+};
+
+SweepConfig& sweep() {
+  static SweepConfig config;
+  return config;
 }
 
 std::string mix_table(Mix mix) {
   std::string name = "Fig.10 ";
   name += workload::to_string(mix);
   return name + " — throughput (Mops/s) vs clients, 2KB values";
+}
+
+std::string shard_table(Mix mix) {
+  std::string name = "Shard scaling ";
+  name += workload::to_string(mix);
+  return name + " — aggregate Mops/s vs clients, 2KB values";
 }
 
 void scalability(benchmark::State& state, SystemKind kind, Mix mix,
@@ -39,31 +67,153 @@ void scalability(benchmark::State& state, SystemKind kind, Mix mix,
   }
 }
 
-const int registrar = [] {
-  for (const workload::Mix mix : workload::all_mixes()) {
-    for (const SystemKind kind : stores::throughput_systems()) {
-      for (const std::size_t clients : client_counts()) {
-        std::string name = "fig10/scalability/";
-        name += workload::to_string(mix);
-        name += "/";
-        name += stores::to_string(kind);
-        name += "/clients:";
-        name += std::to_string(clients);
-        benchmark::RegisterBenchmark(
-            name.c_str(),
-            [kind, mix, clients](benchmark::State& state) {
-              scalability(state, kind, mix, clients);
-            })
-            ->Iterations(1)
-            ->UseManualTime()
-            ->Unit(benchmark::kMillisecond);
+void shard_scalability(benchmark::State& state, SystemKind kind, Mix mix,
+                       std::size_t shards, std::size_t clients) {
+  const std::size_t ops_per_client = sweep().smoke ? 250 : 400;
+  const int runs = sweep().smoke ? 2 : 3;
+  for (auto _ : state) {
+    const workload::RunResult result = sharded_throughput_point(
+        kind, mix, kValueLen, clients, shards, ops_per_client,
+        /*key_count=*/2048, runs);
+    state.SetIterationTime(static_cast<double>(result.span_ns) * 1e-9);
+    state.counters["Mops"] = result.mops;
+    std::string row{stores::to_string(kind)};
+    row += " ×";
+    row += std::to_string(shards);
+    Summary::instance().add(shard_table(mix), row, std::to_string(clients),
+                            result.mops, 3);
+  }
+}
+
+void register_benchmarks() {
+  const SweepConfig& config = sweep();
+  if (!config.smoke) {
+    for (const Mix mix : workload::all_mixes()) {
+      for (const SystemKind kind : stores::throughput_systems()) {
+        for (const std::size_t clients : config.clients) {
+          std::string name = "fig10/scalability/";
+          name += workload::to_string(mix);
+          name += "/";
+          name += stores::to_string(kind);
+          name += "/clients:";
+          name += std::to_string(clients);
+          benchmark::RegisterBenchmark(
+              name.c_str(),
+              [kind, mix, clients](benchmark::State& state) {
+                scalability(state, kind, mix, clients);
+              })
+              ->Iterations(1)
+              ->UseManualTime()
+              ->Unit(benchmark::kMillisecond);
+        }
       }
     }
   }
-  return 0;
-}();
+  // The sharded sweep: eFactory plus the RPC and IMM baselines.
+  const std::vector<SystemKind> shard_systems =
+      config.smoke
+          ? std::vector<SystemKind>{SystemKind::kEFactory}
+          : std::vector<SystemKind>{SystemKind::kEFactory, SystemKind::kImm,
+                                    SystemKind::kRpc};
+  const std::vector<Mix> shard_mixes =
+      config.smoke ? std::vector<Mix>{Mix::kUpdateOnly}
+                   : std::vector<Mix>{Mix::kUpdateOnly, Mix::kWriteIntensive};
+  for (const Mix mix : shard_mixes) {
+    for (const SystemKind kind : shard_systems) {
+      for (const std::size_t shards : config.shards) {
+        for (const std::size_t clients : config.shard_clients) {
+          std::string name = "shard/scalability/";
+          name += workload::to_string(mix);
+          name += "/";
+          name += stores::to_string(kind);
+          name += "/shards:";
+          name += std::to_string(shards);
+          name += "/clients:";
+          name += std::to_string(clients);
+          benchmark::RegisterBenchmark(
+              name.c_str(),
+              [kind, mix, shards, clients](benchmark::State& state) {
+                shard_scalability(state, kind, mix, shards, clients);
+              })
+              ->Iterations(1)
+              ->UseManualTime()
+              ->Unit(benchmark::kMillisecond);
+        }
+      }
+    }
+  }
+}
+
+/// Parse "1,2,4" into counts; empty/invalid entries fail the run.
+bool parse_count_list(std::string_view arg, std::vector<std::size_t>* out) {
+  out->clear();
+  std::size_t start = 0;
+  while (start <= arg.size()) {
+    const std::size_t comma = std::min(arg.find(',', start), arg.size());
+    const std::string item{arg.substr(start, comma - start)};
+    if (!item.empty()) {
+      char* end = nullptr;
+      const unsigned long value = std::strtoul(item.c_str(), &end, 10);
+      if (end == nullptr || *end != '\0' || value == 0) return false;
+      out->push_back(static_cast<std::size_t>(value));
+    }
+    start = comma + 1;
+  }
+  return !out->empty();
+}
 
 }  // namespace
+
+int fig10_main(int argc, char** argv) {
+  SweepConfig& config = sweep();
+  std::vector<char*> args;
+  args.reserve(static_cast<std::size_t>(argc));
+  bool clients_overridden = false;
+  for (int i = 0; i < argc; ++i) {
+    const std::string_view arg{argv[i]};
+    constexpr std::string_view kClientsFlag = "--clients=";
+    constexpr std::string_view kShardsFlag = "--shards=";
+    if (arg == "--smoke") {
+      config.smoke = true;
+      continue;
+    }
+    if (arg.rfind(kClientsFlag, 0) == 0) {
+      if (!parse_count_list(arg.substr(kClientsFlag.size()),
+                            &config.clients)) {
+        std::cerr << "--clients= needs a comma-separated list of positive "
+                     "counts"
+                  << std::endl;
+        return 1;
+      }
+      config.shard_clients = config.clients;
+      clients_overridden = true;
+      continue;
+    }
+    if (arg.rfind(kShardsFlag, 0) == 0) {
+      if (!parse_count_list(arg.substr(kShardsFlag.size()),
+                            &config.shards)) {
+        std::cerr << "--shards= needs a comma-separated list of positive "
+                     "counts"
+                  << std::endl;
+        return 1;
+      }
+      continue;
+    }
+    args.push_back(argv[i]);
+  }
+  if (config.smoke && !clients_overridden) {
+    // CI shape: one client count past the acceptance point (≥ 64 clients
+    // — at 128 every shard of a 4-shard cluster is past its saturation
+    // knee), shards 1 vs 4 for the scaling ratio.
+    config.shard_clients = {128};
+    config.shards = {1, 4};
+  }
+  register_benchmarks();
+  return bench_main(static_cast<int>(args.size()), args.data(), "fig10");
+}
+
 }  // namespace efac::bench
 
-int main(int argc, char** argv) { return efac::bench::bench_main(argc, argv, "fig10"); }
+int main(int argc, char** argv) {
+  return efac::bench::fig10_main(argc, argv);
+}

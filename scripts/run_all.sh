@@ -52,6 +52,10 @@ for b in build/bench/*; do
     fault_matrix)
       # Reduced plan matrix; exits nonzero on any consistency violation.
       [ "$SMOKE" -eq 1 ] && args+=(--smoke) ;;
+    fig10_scalability)
+      # Smoke keeps the shard family only (eFactory, shards 1 vs 4 at 128
+      # clients); the full run sweeps both the classic and shard families.
+      [ "$SMOKE" -eq 1 ] && args+=(--smoke) ;;
     ablation_efactory)
       [ "$SMOKE" -eq 1 ] && args+=("--benchmark_filter=crc_rate/1.05") ;;
     fig11_log_cleaning)
@@ -83,5 +87,7 @@ if [ "$status" -eq 0 ]; then
   ./build/bench/trace_inspect validate build/bench/TRACE_fig2.json
   ./build/bench/trace_inspect explain --slowest=5 \
     build/bench/TRACE_fig2.json.bin
+  # fig10's shard family also exported the sharded-sweep metrics.
+  ./build/bench/bench_json_check build/bench/BENCH_shard.json
 fi
 exit "$status"

@@ -302,6 +302,40 @@ class KvClient {
     co_return out;
   }
 
+  // ---- routed-attempt surface -------------------------------------------
+  // Single tries of the concrete protocol, exposed for routing wrappers
+  // (ShardedKvClient): the WRAPPER's run_op owns retry/trace/metrics, so
+  // these must not enter a second engine. Each call switches into this
+  // client's sanitizer clock domain and issues exactly one protocol
+  // attempt — protocol-side counters (client.puts, qp.*, span.*) land on
+  // this client; engine counters (retries, giveups) land on the wrapper.
+
+  sim::Task<Status> attempt_put(Bytes key, Bytes value) {
+    switch_to("put");
+    return put_attempt(std::move(key), std::move(value));
+  }
+  sim::Task<Expected<Bytes>> attempt_get(Bytes key) {
+    switch_to("get");
+    return get_attempt(std::move(key));
+  }
+  sim::Task<Status> attempt_del(Bytes key) {
+    switch_to("del");
+    return del_attempt(std::move(key));
+  }
+  /// Whether attempt_put_batch runs a true batch-reserve path (vs. the
+  /// sequential per-member default).
+  [[nodiscard]] bool supports_batch_put() const noexcept {
+    return has_batch_put();
+  }
+  /// One shared try of a whole (sub-)batch; same contract as
+  /// put_batch_attempt. `ops` must stay alive and unmoved so the caller
+  /// can re-drive failed members through its retry tail.
+  sim::Task<std::vector<Status>> attempt_put_batch(
+      std::vector<PutOp>& ops, const std::vector<std::uint32_t>& op_ids) {
+    switch_to("put_batch");
+    return put_batch_attempt(ops, op_ids);
+  }
+
   // ---- configuration / wiring -------------------------------------------
 
   /// DEPRECATED: pass the geometry in ClientOptions::size_hint instead.
@@ -311,12 +345,24 @@ class KvClient {
     vlen_hint_ = vlen;
   }
 
-  [[nodiscard]] ClientStats stats() const noexcept {
+  /// Virtual so routing wrappers (ShardedKvClient) can aggregate their
+  /// per-shard protocol clients into one view.
+  [[nodiscard]] virtual ClientStats stats() const noexcept {
     return ClientStats{stats_.puts,          stats_.gets,
                        stats_.gets_pure_rdma, stats_.gets_rpc_path,
                        stats_.version_rereads, stats_.client_crc_checks,
                        stats_.retries,        stats_.giveups,
                        stats_.batches};
+  }
+
+  /// Merge this client's registry (client.*/qp.*/span.* instruments) into
+  /// `into` under `prefix`. Virtual for the same reason as stats(): a
+  /// routing wrapper owns one registry per shard and must contribute all
+  /// of them, so harnesses call this instead of merging metrics()
+  /// directly.
+  virtual void merge_metrics_into(metrics::MetricsRegistry& into,
+                                  std::string_view prefix) const {
+    into.merge_from(metrics_, prefix);
   }
 
   [[nodiscard]] const ClientOptions& options() const noexcept {

@@ -22,12 +22,14 @@ const char* const kGetPathNames[static_cast<std::size_t>(
     "flag unset",     "index-entry miss", "read error",
 };
 
-EventLog::EventLog(sim::Simulator& sim, std::size_t capacity) : sim_(sim) {
+EventLog::EventLog(sim::Simulator& sim, std::size_t capacity,
+                   std::string actor_prefix)
+    : sim_(sim), actor_prefix_(std::move(actor_prefix)) {
   ring_.reserve(capacity == 0 ? 1 : capacity);
 }
 
 std::uint16_t EventLog::register_track(std::string name) {
-  tracks_.push_back(std::move(name));
+  tracks_.push_back(actor_prefix_ + std::move(name));
   return static_cast<std::uint16_t>(tracks_.size() - 1);
 }
 

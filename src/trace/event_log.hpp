@@ -105,7 +105,11 @@ static_assert(sizeof(Event) == 32, "Event must stay a 32-byte POD");
 /// clients) appends to the same log so the exporters see a global order.
 class EventLog {
  public:
-  EventLog(sim::Simulator& sim, std::size_t capacity);
+  /// `actor_prefix` is prepended to every registered track name (empty =
+  /// names unchanged); sharded clusters pass "s<shard>/" so tracks from
+  /// different shards stay distinguishable when snapshots are merged.
+  EventLog(sim::Simulator& sim, std::size_t capacity,
+           std::string actor_prefix = {});
 
   /// Register an actor track; returns its id. Registration order is
   /// deterministic (construction order), which keeps exports stable.
@@ -157,6 +161,7 @@ class EventLog {
  private:
   sim::Simulator& sim_;
   std::vector<Event> ring_;  ///< reserve(capacity) up front
+  std::string actor_prefix_;
   std::vector<std::string> tracks_;
   std::uint64_t total_ = 0;
   std::uint32_t last_op_ = 0;

@@ -4,6 +4,7 @@
 #pragma once
 
 #include <cstddef>
+#include <string>
 
 namespace efac::trace {
 
@@ -14,6 +15,12 @@ struct TraceOptions {
   /// Ring capacity in events (32 bytes each). Oldest events are dropped
   /// once full; the drop count is kept for the exporters.
   std::size_t capacity = 1u << 15;
+  /// Prepended to every actor track name registered on this store's
+  /// EventLog ("s2/" turns "server" into "s2/server"). Sharded clusters
+  /// set "s<shard>/" so each shard's actors stay distinguishable in
+  /// merged exports; empty (the default, and always for single-shard
+  /// clusters) leaves names byte-identical to pre-sharding traces.
+  std::string actor_prefix;
 };
 
 }  // namespace efac::trace

@@ -1,7 +1,9 @@
 #include "workload/runner.hpp"
 
 #include <bit>
+#include <functional>
 #include <memory>
+#include <string>
 #include <vector>
 
 #include "checksum/crc32.hpp"
@@ -56,6 +58,65 @@ sim::Task<void> client_loop(sim::Simulator& sim, KvClient& client,
   --shared.remaining_clients;
 }
 
+/// Batched closed-loop client: groups each window of `batch` ops from the
+/// mix into one put_batch (the PUTs) plus one get_batch (the GETs). Member
+/// latency is the batch's span — the closed-loop cost a member pays before
+/// the client can move on.
+sim::Task<void> client_loop_batched(sim::Simulator& sim, KvClient& client,
+                                    SharedRunState& shared, Rng rng,
+                                    std::size_t client_id, std::size_t ops,
+                                    std::size_t batch) {
+  Workload& workload = *shared.workload;
+  RunResult& result = *shared.result;
+  std::size_t i = 0;
+  while (i < ops) {
+    const std::size_t n = std::min(batch, ops - i);
+    std::vector<KvClient::PutOp> puts;
+    std::vector<Bytes> get_keys;
+    for (std::size_t j = 0; j < n; ++j, ++i) {
+      const Workload::Op op = workload.next(rng);
+      if (op.is_put) {
+        const std::uint64_t version = client_id * 1'000'000'000ull + i;
+        puts.push_back(KvClient::PutOp{
+            workload.key_at(op.key_index),
+            workload.value_for(op.key_index, version)});
+      } else {
+        get_keys.push_back(workload.key_at(op.key_index));
+      }
+    }
+    if (!puts.empty()) {
+      const std::size_t count = puts.size();
+      const SimTime start = sim.now();
+      const std::vector<Status> statuses =
+          co_await client.put_batch(std::move(puts));
+      const SimDuration lat = sim.now() - start;
+      for (const Status& status : statuses) {
+        if (!status.is_ok()) ++result.put_failures;
+        result.put_latency.record(lat);
+        result.op_latency.record(lat);
+      }
+      result.puts += count;
+      result.ops += count;
+    }
+    if (!get_keys.empty()) {
+      const std::size_t count = get_keys.size();
+      const SimTime start = sim.now();
+      const std::vector<Expected<Bytes>> values =
+          co_await client.get_batch(std::move(get_keys));
+      const SimDuration lat = sim.now() - start;
+      for (const Expected<Bytes>& value : values) {
+        if (!value) ++result.get_failures;
+        result.get_latency.record(lat);
+        result.op_latency.record(lat);
+      }
+      result.gets += count;
+      result.ops += count;
+    }
+  }
+  shared.last_finish = std::max(shared.last_finish, sim.now());
+  --shared.remaining_clients;
+}
+
 /// Loader coroutine: inserts an index-partitioned slice of the key space.
 sim::Task<void> loader_loop(KvClient& client, Workload& workload,
                             std::uint64_t begin, std::uint64_t end,
@@ -80,10 +141,17 @@ void run_sim_until(sim::Simulator& sim, Pred done) {
   }
 }
 
-}  // namespace
+/// Type-erased view over Cluster / ShardedCluster: the harness only needs
+/// a client factory, a start hook and the list of stores.
+struct ClusterView {
+  std::function<std::unique_ptr<KvClient>(const stores::ClientOptions&)>
+      make_client;
+  std::function<void()> start;
+  std::vector<stores::StoreBase*> stores;
+};
 
-RunResult run_workload(sim::Simulator& sim, stores::Cluster& cluster,
-                       const RunOptions& options) {
+RunResult run_workload_impl(sim::Simulator& sim, const ClusterView& cluster,
+                            const RunOptions& options) {
   // Snapshot the engine counters up front so the exported metrics are
   // per-run deltas: the CRC counters are process-global, and a repeated
   // seeded run must export byte-identical numbers (determinism test).
@@ -115,11 +183,13 @@ RunResult run_workload(sim::Simulator& sim, stores::Cluster& cluster,
   }
 
   // ---- phase 2: settle -------------------------------------------------
-  if (auto* efactory =
-          dynamic_cast<stores::EFactoryStore*>(cluster.store.get())) {
-    // Wait for the background verifier to drain (bounded).
-    for (int i = 0; i < 10'000 && efactory->verify_queue_depth() > 0; ++i) {
-      sim.run_until(sim.now() + 50 * timeconst::kMicrosecond);
+  for (stores::StoreBase* store : cluster.stores) {
+    if (auto* efactory = dynamic_cast<stores::EFactoryStore*>(store)) {
+      // Wait for the background verifier to drain (bounded).
+      for (int i = 0; i < 10'000 && efactory->verify_queue_depth() > 0;
+           ++i) {
+        sim.run_until(sim.now() + 50 * timeconst::kMicrosecond);
+      }
     }
   }
   sim.run_until(sim.now() + options.extra_settle_ns);
@@ -141,8 +211,14 @@ RunResult run_workload(sim::Simulator& sim, stores::Cluster& cluster,
                                 options.workload.value_len};
   for (std::size_t c = 0; c < options.clients; ++c) {
     clients.push_back(cluster.make_client(measured_options));
-    sim.spawn(client_loop(sim, *clients.back(), shared, seeder.fork(), c,
-                          options.ops_per_client));
+    if (options.batch > 1) {
+      sim.spawn(client_loop_batched(sim, *clients.back(), shared,
+                                    seeder.fork(), c, options.ops_per_client,
+                                    options.batch));
+    } else {
+      sim.spawn(client_loop(sim, *clients.back(), shared, seeder.fork(), c,
+                            options.ops_per_client));
+    }
   }
   run_sim_until(sim, [&] { return shared.remaining_clients == 0; });
 
@@ -161,9 +237,19 @@ RunResult run_workload(sim::Simulator& sim, stores::Cluster& cluster,
     result.client_stats.client_crc_checks += s.client_crc_checks;
     // Measured clients pool their counters and span histograms; the
     // per-client registries use identical names, so merging aggregates.
-    result.metrics.merge_from(client->metrics());
+    // (Routed sharded clients contribute every shard client's registry.)
+    client->merge_metrics_into(result.metrics, {});
   }
-  result.metrics.merge_from(cluster.store->metrics());
+  for (stores::StoreBase* store : cluster.stores) {
+    result.metrics.merge_from(store->metrics());
+  }
+  if (cluster.stores.size() > 1) {
+    // Per-shard copies beside the aggregate, so sweeps can see skew.
+    for (std::size_t s = 0; s < cluster.stores.size(); ++s) {
+      result.metrics.merge_from(cluster.stores[s]->metrics(),
+                                "shard" + std::to_string(s) + "/");
+    }
+  }
 
   const checksum::CrcCounters crc1 = checksum::crc_counters();
   result.metrics.counter("sim.events.fast_path") +=
@@ -173,6 +259,33 @@ RunResult run_workload(sim::Simulator& sim, stores::Cluster& cluster,
   result.metrics.counter("crc.hw_bytes") += crc1.hw_bytes - crc0.hw_bytes;
   result.metrics.counter("crc.sw_bytes") += crc1.sw_bytes - crc0.sw_bytes;
   return result;
+}
+
+}  // namespace
+
+RunResult run_workload(sim::Simulator& sim, stores::Cluster& cluster,
+                       const RunOptions& options) {
+  ClusterView view;
+  view.make_client = [&cluster](const stores::ClientOptions& client_options) {
+    return cluster.make_client(client_options);
+  };
+  view.start = [&cluster] { cluster.start(); };
+  view.stores = {cluster.store.get()};
+  return run_workload_impl(sim, view, options);
+}
+
+RunResult run_workload(sim::Simulator& sim, stores::ShardedCluster& cluster,
+                       const RunOptions& options) {
+  ClusterView view;
+  view.make_client = [&cluster](const stores::ClientOptions& client_options) {
+    return cluster.make_client(client_options);
+  };
+  view.start = [&cluster] { cluster.start(); };
+  view.stores.reserve(cluster.num_shards());
+  for (std::size_t s = 0; s < cluster.num_shards(); ++s) {
+    view.stores.push_back(&cluster.store(s));
+  }
+  return run_workload_impl(sim, view, options);
 }
 
 stores::StoreConfig sized_store_config(const RunOptions& options,

@@ -18,6 +18,7 @@
 #include "metrics/metrics.hpp"
 #include "sim/simulator.hpp"
 #include "stores/factory.hpp"
+#include "stores/sharding.hpp"
 #include "workload/ycsb.hpp"
 
 namespace efac::workload {
@@ -29,6 +30,12 @@ struct RunOptions {
   /// Extra settle time after the load phase (on top of a heuristic based
   /// on key count) before measurement starts.
   SimDuration extra_settle_ns = 200 * timeconst::kMicrosecond;
+  /// Measured clients group consecutive ops of the mix into put_batch /
+  /// get_batch submissions of this size (consecutive PUTs form one
+  /// put_batch, consecutive GETs one get_batch). 1 (the default) issues
+  /// plain sync ops through the exact pre-batching loop, so existing
+  /// sweeps stay bit-identical.
+  std::size_t batch = 1;
 };
 
 struct RunResult {
@@ -56,6 +63,14 @@ struct RunResult {
 /// Run `options` against a fresh `cluster` (cluster must not be started
 /// yet). Uses — and advances — the cluster's simulator.
 RunResult run_workload(sim::Simulator& sim, stores::Cluster& cluster,
+                       const RunOptions& options);
+
+/// Same harness against a sharded cluster: clients are routed consistent-
+/// hash clients, the settle phase drains every shard's verifier, and the
+/// merged registry aggregates all shards (plus per-shard copies under
+/// "shard<i>/" when there is more than one). A num_shards == 1 cluster
+/// runs byte-identically to the unsharded overload.
+RunResult run_workload(sim::Simulator& sim, stores::ShardedCluster& cluster,
                        const RunOptions& options);
 
 /// Build a StoreConfig sized for a run (pool large enough for the load

@@ -11,10 +11,12 @@
 #include <string>
 #include <vector>
 
+#include "fault/fault.hpp"
 #include "metrics/json.hpp"
 #include "sim/simulator.hpp"
 #include "sim/task.hpp"
 #include "stores/factory.hpp"
+#include "stores/sharding.hpp"
 #include "workload/runner.hpp"
 
 namespace efac {
@@ -216,6 +218,110 @@ TEST(Determinism, BatchedAsyncRunsAreBitIdentical) {
                                                    sim->dispatch_hash()};
   };
   EXPECT_EQ(run_once(), run_once());
+}
+
+// --------------------------------------------------- sharded determinism
+
+RunFingerprint run_fig9_style_sharded(std::size_t num_shards) {
+  const workload::RunOptions options = fig9_style_options();
+  auto sim = std::make_unique<sim::Simulator>();
+  stores::ClusterConfig config;
+  config.num_shards = num_shards;
+  config.store = workload::sized_store_config(options);
+  stores::ShardedCluster cluster = stores::make_sharded_cluster(
+      *sim, stores::SystemKind::kEFactory, std::move(config));
+  workload::RunResult result = workload::run_workload(*sim, cluster, options);
+  RunFingerprint fp;
+  fp.events = sim->events_processed();
+  fp.dispatch_hash = sim->dispatch_hash();
+  fp.metrics_json = metrics::to_json(result.metrics, "determinism");
+  return fp;
+}
+
+// num_shards == 1 must be the IDENTICAL system, not merely an equivalent
+// one: same event count, same dispatch-order hash, byte-identical metrics
+// export. This is what lets the sharded sweep reuse the unsharded
+// baselines as its 1-shard points.
+TEST(Determinism, SingleShardShardedRunMatchesUnsharded) {
+  const RunFingerprint unsharded = run_fig9_style();
+  const RunFingerprint sharded = run_fig9_style_sharded(1);
+  EXPECT_EQ(unsharded.events, sharded.events);
+  EXPECT_EQ(unsharded.dispatch_hash, sharded.dispatch_hash);
+  EXPECT_EQ(unsharded.metrics_json, sharded.metrics_json);
+}
+
+// Four shards interleave under one scheduler; the interleaving must still
+// be a pure function of the inputs.
+TEST(Determinism, MultiShardRunsAreBitIdentical) {
+  const RunFingerprint a = run_fig9_style_sharded(4);
+  const RunFingerprint b = run_fig9_style_sharded(4);
+  EXPECT_EQ(a.events, b.events);
+  EXPECT_EQ(a.dispatch_hash, b.dispatch_hash);
+  EXPECT_EQ(a.metrics_json, b.metrics_json);
+}
+
+// A fault-matrix-style plan (dropped sends/responses + delays) against a
+// 4-shard cluster, with the client retry engine on: every shard forks the
+// plan under a shard-mixed seed, so repeats replay the exact schedule.
+TEST(Determinism, FaultPlanOnShardedClusterReplaysBitIdentically) {
+  const auto run_once = [] {
+    const Expected<fault::FaultPlan> plan = fault::FaultPlan::parse(
+        "name = shard-chaos\nseed = 0xF1\n"
+        "fault send_drop every=11 phase=2\n"
+        "fault resp_drop every=13 phase=4\n"
+        "fault resp_delay every=9 phase=5 delay_us=40\n");
+    EFAC_CHECK(plan.has_value());
+    auto sim = std::make_unique<sim::Simulator>();
+    stores::ClusterConfig config;
+    config.num_shards = 4;
+    config.store.pool_bytes = 8 * sizeconst::kMiB;
+    config.store.fault_plan = *plan;
+    stores::ShardedCluster cluster = stores::make_sharded_cluster(
+        *sim, stores::SystemKind::kEFactory, std::move(config));
+    cluster.start();
+
+    stores::ClientOptions options;
+    options.size_hint = {16, 128};
+    options.retry.max_attempts = 4;
+    options.retry.rpc_timeout_ns = 60 * timeconst::kMicrosecond;
+    options.retry.backoff_base_ns = 2 * timeconst::kMicrosecond;
+    options.retry.backoff_cap_ns = 50 * timeconst::kMicrosecond;
+    options.retry.jitter = 0.2;
+    auto client = cluster.make_client(options);
+
+    std::uint64_t oks = 0;
+    bool done = false;
+    sim->spawn([](stores::KvClient& c, std::uint64_t* ok_count,
+                  bool* flag) -> sim::Task<void> {
+      for (int version = 1; version <= 10; ++version) {
+        for (int k = 0; k < 8; ++k) {
+          Bytes key(16, static_cast<std::uint8_t>('a' + k));
+          Bytes value(128, static_cast<std::uint8_t>(version));
+          if ((co_await c.put(std::move(key), std::move(value))).is_ok()) {
+            ++*ok_count;
+          }
+          Bytes again(16, static_cast<std::uint8_t>('a' + k));
+          static_cast<void>(co_await c.get(std::move(again)));
+        }
+      }
+      *flag = true;
+    }(*client, &oks, &done));
+    while (!done) sim->run_until(sim->now() + timeconst::kMillisecond);
+    sim->run_until(sim->now() + 2 * timeconst::kMillisecond);
+
+    struct Fingerprint {
+      std::uint64_t events;
+      std::uint64_t hash;
+      std::uint64_t oks;
+      std::uint64_t retries;
+      bool operator==(const Fingerprint&) const = default;
+    };
+    return Fingerprint{sim->events_processed(), sim->dispatch_hash(), oks,
+                       client->stats().retries};
+  };
+  const auto a = run_once();
+  EXPECT_EQ(a, run_once());
+  EXPECT_GT(a.oks, 0u);
 }
 
 }  // namespace
