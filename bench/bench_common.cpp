@@ -182,7 +182,8 @@ workload::RunResult throughput_run(SystemKind kind, workload::Mix mix,
                                    std::size_t value_len, std::size_t clients,
                                    std::size_t ops_per_client,
                                    std::uint64_t key_count,
-                                   std::uint64_t seed) {
+                                   std::uint64_t seed,
+                                   stores::ClientOptions client) {
   workload::RunOptions options;
   options.workload.mix = mix;
   options.workload.key_count = key_count;
@@ -192,6 +193,7 @@ workload::RunResult throughput_run(SystemKind kind, workload::Mix mix,
   options.clients = clients;
   options.ops_per_client = ops_per_client;
   options.batch = batch_size();
+  options.client = std::move(client);
 
   auto sim = std::make_unique<sim::Simulator>();
   stores::StoreConfig config = workload::sized_store_config(options);
@@ -311,15 +313,16 @@ workload::RunResult throughput_point(SystemKind kind, workload::Mix mix,
                                      std::size_t value_len,
                                      std::size_t clients,
                                      std::size_t ops_per_client,
-                                     std::uint64_t key_count, int runs) {
+                                     std::uint64_t key_count, int runs,
+                                     stores::ClientOptions client) {
   EFAC_CHECK(runs >= 1);
   workload::RunResult combined;
   double mops_sum = 0.0;
   bool have_first = false;
   for (int r = 0; r < runs; ++r) {
-    workload::RunResult result =
-        throughput_run(kind, mix, value_len, clients, ops_per_client,
-                       key_count, 0xF9 + static_cast<std::uint64_t>(r) * 97);
+    workload::RunResult result = throughput_run(
+        kind, mix, value_len, clients, ops_per_client, key_count,
+        0xF9 + static_cast<std::uint64_t>(r) * 97, client);
     mops_sum += result.mops;
     if (!have_first) {
       combined = std::move(result);

@@ -77,12 +77,15 @@ Histogram measure_get_latency(stores::SystemKind kind, std::size_t value_len,
                               std::size_t ops = 1200,
                               std::uint64_t seed = 0xF26);
 
-/// One throughput point (Figs. 9 and 10 methodology).
+/// One throughput point (Figs. 9 and 10 methodology). `client` templates
+/// every client the harness creates (BENCH_adaptive sweeps it to turn the
+/// adaptive hybrid read on); the default is the plain client.
 workload::RunResult throughput_run(stores::SystemKind kind, workload::Mix mix,
                                    std::size_t value_len, std::size_t clients,
                                    std::size_t ops_per_client = 800,
                                    std::uint64_t key_count = 1024,
-                                   std::uint64_t seed = 0xF9);
+                                   std::uint64_t seed = 0xF9,
+                                   stores::ClientOptions client = {});
 
 /// Averaged throughput point: "each data value is the average of 5-run
 /// results" (paper §5.2). Runs 5 independent seeds and averages mops and
@@ -93,7 +96,8 @@ workload::RunResult throughput_point(stores::SystemKind kind,
                                      std::size_t clients,
                                      std::size_t ops_per_client = 800,
                                      std::uint64_t key_count = 1024,
-                                     int runs = 5);
+                                     int runs = 5,
+                                     stores::ClientOptions client = {});
 
 /// One throughput point against a sharded cluster (shards × clients
 /// sweep). The key distribution defaults to near-uniform (theta 0.05):

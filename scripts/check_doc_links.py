@@ -1,0 +1,132 @@
+#!/usr/bin/env python3
+"""Documentation link checker.
+
+Two invariants keep the repo navigable:
+
+1. No dead links: every relative markdown link in README.md, DESIGN.md,
+   EXPERIMENTS.md, ROADMAP.md, CHANGES.md, docs/*.md, and examples/*.md
+   must resolve to a file (or directory) that exists in the repo.
+   External links (http/https/mailto) are not checked.
+
+2. Reachability: every doc under docs/ plus DESIGN.md and EXPERIMENTS.md
+   must be reachable from README.md by following relative markdown
+   links.  A doc nobody links to is a doc nobody reads.
+
+Exits nonzero (with one line per violation) when either invariant is
+broken.  Pure stdlib; run from anywhere inside the repo.
+"""
+
+import os
+import re
+import sys
+
+REPO = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+
+# [text](target) — but not images ![..](..); tolerate titles after the
+# URL ("target \"title\"") and angle-bracketed targets.
+LINK_RE = re.compile(r"(?<!\!)\[[^\]]*\]\(\s*<?([^)<>\s]+)>?(?:\s+\"[^\"]*\")?\s*\)")
+
+EXTERNAL = ("http://", "https://", "mailto:", "ftp://")
+
+
+def md_files():
+    """Markdown files subject to the dead-link check."""
+    out = []
+    for name in sorted(os.listdir(REPO)):
+        if name.endswith(".md"):
+            out.append(os.path.join(REPO, name))
+    for sub in ("docs", "examples", "scripts"):
+        root = os.path.join(REPO, sub)
+        if not os.path.isdir(root):
+            continue
+        for dirpath, _dirnames, filenames in os.walk(root):
+            for name in sorted(filenames):
+                if name.endswith(".md"):
+                    out.append(os.path.join(dirpath, name))
+    return out
+
+
+def links_in(path):
+    """Yield (lineno, raw_target) for each markdown link in `path`."""
+    with open(path, encoding="utf-8") as f:
+        in_fence = False
+        for lineno, line in enumerate(f, start=1):
+            if line.lstrip().startswith("```"):
+                in_fence = not in_fence
+                continue
+            if in_fence:
+                continue
+            for match in LINK_RE.finditer(line):
+                yield lineno, match.group(1)
+
+
+def resolve(src, target):
+    """Resolve a relative link target against its source file.
+
+    Returns (kind, resolved_path) where kind is "external", "anchor",
+    or "file".  Anchors (#section) within the same file are not checked.
+    """
+    if target.startswith(EXTERNAL):
+        return "external", None
+    if target.startswith("#"):
+        return "anchor", None
+    target = target.split("#", 1)[0]  # strip section anchors
+    if not target:
+        return "anchor", None
+    base = REPO if target.startswith("/") else os.path.dirname(src)
+    return "file", os.path.normpath(os.path.join(base, target.lstrip("/")))
+
+
+def main():
+    errors = []
+    # file -> set of repo files it links to (for the reachability pass)
+    graph = {}
+
+    for src in md_files():
+        rel_src = os.path.relpath(src, REPO)
+        graph.setdefault(src, set())
+        for lineno, raw in links_in(src):
+            kind, resolved = resolve(src, raw)
+            if kind != "file":
+                continue
+            if not os.path.exists(resolved):
+                errors.append(f"{rel_src}:{lineno}: dead link -> {raw}")
+            elif os.path.isfile(resolved):
+                graph[src].add(resolved)
+
+    # Reachability: BFS over markdown links starting at README.md.
+    readme = os.path.join(REPO, "README.md")
+    seen = {readme}
+    frontier = [readme]
+    while frontier:
+        cur = frontier.pop()
+        for dst in graph.get(cur, ()):
+            if dst.endswith(".md") and dst not in seen:
+                seen.add(dst)
+                frontier.append(dst)
+
+    must_reach = [os.path.join(REPO, "DESIGN.md"),
+                  os.path.join(REPO, "EXPERIMENTS.md")]
+    docs_dir = os.path.join(REPO, "docs")
+    if os.path.isdir(docs_dir):
+        must_reach += [os.path.join(docs_dir, n)
+                       for n in sorted(os.listdir(docs_dir))
+                       if n.endswith(".md")]
+    for doc in must_reach:
+        if os.path.isfile(doc) and doc not in seen:
+            errors.append(
+                f"{os.path.relpath(doc, REPO)}: unreachable from README.md "
+                "(add it to the docs index)")
+
+    if errors:
+        for err in errors:
+            print(err, file=sys.stderr)
+        print(f"check_doc_links: {len(errors)} problem(s)", file=sys.stderr)
+        return 1
+    print(f"check_doc_links: OK ({len(graph)} files, "
+          f"{sum(len(v) for v in graph.values())} links)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -56,6 +56,10 @@ for b in build/bench/*; do
       # Smoke keeps the shard family only (eFactory, shards 1 vs 4 at 128
       # clients); the full run sweeps both the classic and shard families.
       [ "$SMOKE" -eq 1 ] && args+=(--smoke) ;;
+    adaptive_read)
+      # All three variants must run even in smoke — the bench's point is
+      # the adaptive-vs-plain-vs-no-hr comparison.
+      [ "$SMOKE" -eq 1 ] && args+=(--smoke) ;;
     ablation_efactory)
       [ "$SMOKE" -eq 1 ] && args+=("--benchmark_filter=crc_rate/1.05") ;;
     fig11_log_cleaning)
@@ -89,5 +93,12 @@ if [ "$status" -eq 0 ]; then
     build/bench/TRACE_fig2.json.bin
   # fig10's shard family also exported the sharded-sweep metrics.
   ./build/bench/bench_json_check build/bench/BENCH_shard.json
+  # The adaptive-read sweep (Fig. 9(c) deviation fix; docs/ADAPTIVE_READ.md).
+  ./build/bench/bench_json_check build/bench/BENCH_adaptive.json
 fi
+
+# Documentation must stay navigable: every doc reachable from README.md,
+# no dead relative links.
+python3 scripts/check_doc_links.py
+
 exit "$status"

@@ -65,18 +65,48 @@ sim::Task<Expected<Bytes>> QueuePair::read(std::uint32_t rkey,
   record_verb(trace::Verb::kRead, t.done, length);
 
   co_await sim::delay(sim_, t.arrive - sim_.now());
-  const Expected<MemOffset> abs =
-      target_.translate(rkey, offset, length, Access::kRead);
-  if (!abs) {
-    // NAK travels back one way.
-    co_await sim::delay(sim_, t.done - sim_.now());
-    co_return abs.status();
-  }
-  // Snapshot at execution instant: a racing WRITE that has only partially
-  // landed is observed partially — exactly the paper's read-write race.
-  Bytes data = target_.arena().load(*abs, length);
+  Expected<Bytes> data = read_snapshot(rkey, offset, length);
+  // On a NAK the status travels back one way, same as the data would.
   co_await sim::delay(sim_, t.done - sim_.now());
   co_return data;
+}
+
+Expected<Bytes> QueuePair::read_snapshot(std::uint32_t rkey, MemOffset offset,
+                                         std::size_t length) {
+  const Expected<MemOffset> abs =
+      target_.translate(rkey, offset, length, Access::kRead);
+  if (!abs) return abs.status();
+  // Snapshot at execution instant: a racing WRITE that has only partially
+  // landed is observed partially — exactly the paper's read-write race.
+  return target_.arena().load(*abs, length);
+}
+
+sim::Task<std::pair<Expected<Bytes>, Expected<Bytes>>> QueuePair::read_pair(
+    std::uint32_t rkey1, MemOffset offset1, std::size_t length1,
+    std::uint32_t rkey2, MemOffset offset2, std::size_t length2) {
+  stats_.reads += 2;
+  stats_.read_bytes += length1 + length2;
+  // Both WQEs are planned back-to-back before any suspension: the second
+  // rides the first's doorbell (doorbell_entry_ns of requester CPU) and
+  // executes after it at the responder, per-QP FIFO as always.
+  const Timing t1 = plan(/*request_payload=*/32, /*response_payload=*/length1);
+  const Timing t2 =
+      plan_with_overhead(/*request_payload=*/32, /*response_payload=*/length2,
+                         fabric_.config().doorbell_entry_ns);
+  record_verb(trace::Verb::kRead, t1.done, length1);
+  record_verb(trace::Verb::kRead, t2.done, length2);
+
+  co_await sim::delay(sim_, t1.arrive - sim_.now());
+  Expected<Bytes> first = read_snapshot(rkey1, offset1, length1);
+  co_await sim::delay(sim_, t2.arrive - sim_.now());
+  Expected<Bytes> second = read_snapshot(rkey2, offset2, length2);
+  // Completions can land out of order when the payloads differ wildly
+  // (responses serialize per response, not per WR); the caller resumes at
+  // the later of the two.
+  const SimTime done = std::max(t1.done, t2.done);
+  co_await sim::delay(sim_, done - sim_.now());
+  co_return std::pair<Expected<Bytes>, Expected<Bytes>>{std::move(first),
+                                                        std::move(second)};
 }
 
 Expected<SimTime> QueuePair::post_write(std::uint32_t rkey, MemOffset offset,

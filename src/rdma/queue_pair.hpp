@@ -22,6 +22,7 @@
 
 #include <cstdint>
 #include <memory>
+#include <utility>
 
 #include "common/bytes.hpp"
 #include "common/status.hpp"
@@ -88,6 +89,19 @@ class QueuePair {
   /// One-sided READ: snapshot of remote memory taken at arrival instant.
   sim::Task<Expected<Bytes>> read(std::uint32_t rkey, MemOffset offset,
                                   std::size_t length);
+
+  /// Doorbell-coalesced pair of one-sided READs: both WQEs are built and
+  /// rung together (the second pays doorbell_entry_ns instead of the full
+  /// post_overhead_ns), execute in posting order at the responder, and the
+  /// caller resumes once both completions are in — so two dependent-free
+  /// snapshots cost one round trip instead of two. Each half fails
+  /// independently (translate NAKs don't poison the sibling). This is the
+  /// verb pair behind the client's speculative GET: entry and predicted
+  /// object are fetched together, and the entry decides afterwards whether
+  /// the object snapshot was the right one.
+  sim::Task<std::pair<Expected<Bytes>, Expected<Bytes>>> read_pair(
+      std::uint32_t rkey1, MemOffset offset1, std::size_t length1,
+      std::uint32_t rkey2, MemOffset offset2, std::size_t length2);
 
   /// One-sided WRITE, awaited to completion (ack received). Completion does
   /// NOT imply durability: the payload sits in the volatile tier (DDIO).
@@ -213,6 +227,11 @@ class QueuePair {
                  static_cast<std::uint64_t>(done), bytes);
     }
   }
+
+  /// Translate + snapshot one READ's bytes at the current (execution)
+  /// instant; shared by read() and read_pair().
+  Expected<Bytes> read_snapshot(std::uint32_t rkey, MemOffset offset,
+                                std::size_t length);
 
   /// Deliver a message into the target's receive queue at `when`.
   void deliver_at(SimTime when, InboundMessage message);

@@ -76,6 +76,49 @@ sim::Task<Expected<Bytes>> Connection::call_timeout(std::uint16_t opcode,
   co_return response;
 }
 
+Connection::PendingCall Connection::call_begin(std::uint16_t opcode,
+                                               Bytes args) {
+  const std::uint64_t call_id = next_call_id_++;
+  ByteWriter writer{args.size() + 16};
+  writer.put_u16(opcode);
+  writer.put_u64(call_id);
+  writer.put_blob(args);
+  if (rec_ != nullptr) {
+    rec_->emit(trace::EventType::kRpcIssue,
+               static_cast<std::uint8_t>(opcode), call_id, qp_.id());
+  }
+  PendingCall call;
+  call.call_id = call_id;
+  call.slot = std::make_unique<sim::OneShot<Expected<Bytes>>>(sim_);
+  pending_.emplace(call_id, call.slot.get());
+  // Fire-and-forget: the request departs through the QP FIFO like any
+  // send(), but the caller keeps running — that head start is the point.
+  qp_.post_send(std::move(writer).take());
+  return call;
+}
+
+sim::Task<Expected<Bytes>> Connection::call_finish(PendingCall call,
+                                                   SimDuration timeout_ns) {
+  const std::uint64_t call_id = call.call_id;
+  if (timeout_ns > 0 && !call.slot->ready()) {
+    sim_.call_after(timeout_ns, [this, call_id] {
+      const auto it = pending_.find(call_id);
+      if (it == pending_.end() || it->second->ready()) return;
+      it->second->set(Status{StatusCode::kTimeout, "rpc timeout"});
+    });
+  }
+  Expected<Bytes> response = co_await call.slot->wait();
+  pending_.erase(call_id);
+  if (response.has_value()) ++calls_completed_;
+  co_return response;
+}
+
+void Connection::call_abandon(PendingCall call) {
+  // Unregistering makes deliver_reply drop the response on arrival; the
+  // slot dies with `call`.
+  pending_.erase(call.call_id);
+}
+
 void Connection::deliver_reply(std::uint64_t call_id, Bytes payload) {
   SimDuration fault_extra = 0;
   if (fault::Injector* inj = fabric_.injector();

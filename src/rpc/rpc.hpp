@@ -18,6 +18,7 @@
 #pragma once
 
 #include <cstdint>
+#include <memory>
 #include <unordered_map>
 
 #include "common/bytes.hpp"
@@ -106,6 +107,24 @@ class Connection {
   /// call is dropped, like a stale completion on a real RC connection.
   sim::Task<Expected<Bytes>> call_timeout(std::uint16_t opcode, Bytes args,
                                           SimDuration timeout_ns);
+
+  /// An RPC whose request is on the wire while the caller overlaps other
+  /// verbs — the hedge behind the client's speculative GET. Obtain one
+  /// from call_begin(), then either await the response (call_finish) or
+  /// walk away (call_abandon: the late response is dropped on arrival,
+  /// like any reply to a forgotten call).
+  struct PendingCall {
+    std::uint64_t call_id = 0;
+    std::unique_ptr<sim::OneShot<Expected<Bytes>>> slot;
+  };
+
+  /// Post the request (fire-and-forget SEND) and return the pending call.
+  PendingCall call_begin(std::uint16_t opcode, Bytes args);
+  /// Await a pending call's response with call_timeout() semantics.
+  sim::Task<Expected<Bytes>> call_finish(PendingCall call,
+                                         SimDuration timeout_ns);
+  /// Forget a pending call; its response (if any) is dropped on arrival.
+  void call_abandon(PendingCall call);
 
   [[nodiscard]] rdma::QueuePair& qp() noexcept { return qp_; }
   [[nodiscard]] std::uint64_t qp_id() const noexcept { return qp_.id(); }

@@ -1,6 +1,7 @@
 #include "stores/efactory.hpp"
 
 #include <algorithm>
+#include <optional>
 
 namespace efac::stores {
 
@@ -102,6 +103,30 @@ AllocResponse EFactoryStore::alloc_reserve(const AllocRequest& alloc,
   verify_queue_.push_back(*off);
   resp.status = StatusCode::kOk;
   resp.object_off = *off;
+  if (alloc.want_hint) {
+    // Durability hint for adaptive-read clients: estimate when the single
+    // background verifier will reach this object and flag it durable —
+    // queue depth (including this object) times the verifier's *measured*
+    // per-pop drain interval. The measured rate matters: under write-heavy
+    // skew most queued entries are superseded versions the verifier
+    // stale-skips nearly for free, so pricing each at full verify cost
+    // (CRC + flush + fence, the cold-start fallback below) overshoots by
+    // integer factors and would keep client leases alive long after the
+    // flag is set. The verifier still has to wait for the client's
+    // one-sided WRITE to land, which neither estimate can see; the client
+    // pads the lease with AdaptiveReadOptions::hint_margin_ns for exactly
+    // that reason. An off estimate only mis-routes a read (extra RPC or
+    // doomed probe), never produces a wrong result.
+    const SimDuration per =
+        verify_pop_ewma_ > 0 ? verify_pop_ewma_
+                             : config_.crc.cost(alloc.vlen) +
+                                   arena_->cost().flush_cost(total) +
+                                   arena_->cost().fence_ns;
+    resp.carry_hint = true;
+    resp.durable_eta =
+        sim_.now() + static_cast<SimDuration>(verify_queue_.size()) * per;
+    ++stats_.hints_issued;
+  }
   return resp;
 }
 
@@ -254,9 +279,14 @@ sim::Task<Expected<LocResponse>> EFactoryStore::locate_verified(
           checker_.get(), off,
           kv::ObjectLayout::flag_offset(meta.klen, meta.vlen),
           "efactory.get.durability_hit");
+      // For adaptive-read feedback: a one-sided read issued instead of
+      // this RPC would have found the flag set.
+      resp.was_durable = true;
       co_return resp;
     }
-    // Selective durability guarantee: verify + persist + flag.
+    // Selective durability guarantee: verify + persist + flag. The flag is
+    // set *now*, by us — was_durable stays false, because a concurrent
+    // one-sided read would have missed it.
     if (co_await verify_and_persist(off)) {
       co_return resp;
     }
@@ -275,6 +305,9 @@ sim::Task<void> EFactoryStore::handle_get_loc(rpc::ParsedRequest req) {
   } else {
     resp.status = located.status().code();
   }
+  // Echo the durability observation only to clients that asked, so the
+  // reply size (which feeds the latency model) is unchanged for others.
+  resp.carry_hint = get.want_hint;
   co_await charge(config_.cpu.send_post_ns);
   rpc::Replier{directory_, req.src_qp, req.call_id}.reply(resp.encode());
 }
@@ -321,12 +354,28 @@ sim::Task<bool> EFactoryStore::verify_and_persist(MemOffset off) {
 
 sim::Task<void> EFactoryStore::background_loop() {
   const std::uint64_t epoch = epoch_;
+  last_was_pop_ = false;  // a restart's idle gap is not a drain sample
   for (;;) {
     if (epoch != epoch_) co_return;  // superseded by a restart
     if (verify_queue_.empty()) {
+      last_was_pop_ = false;
       co_await charge(config_.bg_idle_ns);
       continue;
     }
+    // Sample the drain rate as the interval between consecutive pops (only
+    // across a continuously busy queue — idle gaps are excluded above).
+    // This folds in whatever mix of full verifies, stale skips, and
+    // retries the workload actually produces, which is what makes the
+    // durability hints in alloc_reserve track reality.
+    const SimTime pop_now = sim_.now();
+    if (last_was_pop_) {
+      const SimDuration sample = pop_now - last_pop_time_;
+      verify_pop_ewma_ = verify_pop_ewma_ == 0
+                             ? sample
+                             : (7 * verify_pop_ewma_ + sample) / 8;
+    }
+    last_pop_time_ = pop_now;
+    last_was_pop_ = true;
     const MemOffset off = verify_queue_.front();
     verify_queue_.pop_front();
     verifier_rec_.emit(trace::EventType::kVerifyScan, 0, off,
@@ -743,7 +792,14 @@ EFactoryClient::EFactoryClient(EFactoryStore& store,
       store_(store),
       conn_(store.simulator(), store.fabric(), store.node(),
             store.directory(), store.next_qp_id(), &metrics_, &recorder_),
-      hybrid_(options.read_mode != ReadMode::kRpcOnly) {}
+      hybrid_(options.read_mode != ReadMode::kRpcOnly) {
+  // The tracker only informs the hybrid fast-path choice, so an RPC-only
+  // ("w/o hr") client never builds one even when the knob is on.
+  if (options.adaptive.enabled && hybrid_) {
+    adaptive_ =
+        std::make_unique<AdaptiveReadTracker>(options.adaptive, metrics_);
+  }
+}
 
 sim::Task<Status> EFactoryClient::put_attempt(Bytes key, Bytes value) {
   ++stats_.puts;
@@ -753,11 +809,13 @@ sim::Task<Status> EFactoryClient::put_attempt(Bytes key, Bytes value) {
   co_await sim::delay(store_.simulator(),
                       store_.config().crc.cost(value.size()));
   crc_span.finish();
+  const std::uint64_t key_hash = kv::hash_key(key);
   AllocRequest req;
   req.klen = static_cast<std::uint32_t>(key.size());
   req.vlen = static_cast<std::uint32_t>(value.size());
-  req.crc = kv::object_crc(kv::hash_key(key), req.klen, req.vlen, value);
+  req.crc = kv::object_crc(key_hash, req.klen, req.vlen, value);
   req.key = key;
+  req.want_hint = adaptive_ != nullptr;
 
   metrics::Span alloc_span{tracer_, "put.alloc_rpc"};
   const Expected<Bytes> raw = co_await conn_.call_timeout(
@@ -766,6 +824,12 @@ sim::Task<Status> EFactoryClient::put_attempt(Bytes key, Bytes value) {
   if (!raw) co_return raw.status();
   const AllocResponse resp = AllocResponse::decode(*raw);
   if (resp.status != StatusCode::kOk) co_return Status{resp.status};
+  if (adaptive_ != nullptr && resp.carry_hint) {
+    // Our own overwrite re-opens the not-yet-durable window for this key:
+    // lease the bucket RPC-first until the server's estimate expires.
+    adaptive_->note_hint(key_hash, resp.durable_eta, sim_.now(),
+                         resp.object_off);
+  }
   // Binds this op to its object offset; the exporter joins this against
   // the verifier's later kFlagSet on the same offset (durability arrow).
   recorder_.emit(trace::EventType::kObjBind, 0, resp.object_off);
@@ -803,6 +867,7 @@ sim::Task<std::vector<Status>> EFactoryClient::put_batch_attempt(
     item.crc =
         kv::object_crc(kv::hash_key(op.key), item.klen, item.vlen, op.value);
     item.key = op.key;
+    item.want_hint = adaptive_ != nullptr;
     breq.items.push_back(std::move(item));
   }
 
@@ -833,6 +898,10 @@ sim::Task<std::vector<Status>> EFactoryClient::put_batch_attempt(
     if (resp.status != StatusCode::kOk) {
       out[i] = Status{resp.status};
       continue;
+    }
+    if (adaptive_ != nullptr && resp.carry_hint) {
+      adaptive_->note_hint(kv::hash_key(ops[i].key), resp.durable_eta,
+                           sim_.now(), resp.object_off);
     }
     recorder_.emit(trace::EventType::kObjBind, 0, resp.object_off);
     const MemOffset value_off = resp.object_off +
@@ -884,26 +953,36 @@ sim::Task<Expected<Bytes>> EFactoryClient::read_object_at(
       store_.pool_rkey(), off - store_.pool_a().base(), total);
   read_span.finish();
   if (!raw) co_return raw.status();
-  const kv::ObjectMeta meta = kv::ObjectLayout::decode_header(*raw);
+  co_return decode_object(*raw, klen, vlen, expect_hash, require_flag,
+                          tombstoned);
+}
+
+Expected<Bytes> EFactoryClient::decode_object(const Bytes& raw,
+                                              std::size_t klen,
+                                              std::size_t vlen,
+                                              std::uint64_t expect_hash,
+                                              bool require_flag,
+                                              bool* tombstoned) {
+  const kv::ObjectMeta meta = kv::ObjectLayout::decode_header(raw);
   if (meta.key_hash == expect_hash && meta.valid && meta.tombstone) {
     // Tombstones are server-written and persisted before being indexed,
     // so observing one is conclusive even without the durability flag.
     if (tombstoned != nullptr) *tombstoned = true;
-    co_return Status{StatusCode::kNotFound, "deleted"};
+    return Status{StatusCode::kNotFound, "deleted"};
   }
   if (meta.key_hash != expect_hash || !meta.valid || meta.klen != klen ||
       meta.vlen != vlen) {
-    co_return Status{StatusCode::kNotFound, "object does not match"};
+    return Status{StatusCode::kNotFound, "object does not match"};
   }
   if (require_flag) {
     const std::uint64_t flag =
-        load_u64_le(raw->data() + kv::ObjectLayout::flag_offset(klen, vlen));
+        load_u64_le(raw.data() + kv::ObjectLayout::flag_offset(klen, vlen));
     if (flag != 1) {
-      co_return Status{StatusCode::kUnavailable, "not yet durable"};
+      return Status{StatusCode::kUnavailable, "not yet durable"};
     }
   }
-  co_return Bytes(raw->begin() + kv::ObjectLayout::kHeaderSize + klen,
-                  raw->begin() + kv::ObjectLayout::kHeaderSize + klen + vlen);
+  return Bytes(raw.begin() + kv::ObjectLayout::kHeaderSize + klen,
+               raw.begin() + kv::ObjectLayout::kHeaderSize + klen + vlen);
 }
 
 sim::Task<Status> EFactoryClient::del_attempt(Bytes key) {
@@ -920,6 +999,10 @@ sim::Task<Expected<Bytes>> EFactoryClient::get_attempt(Bytes key) {
   TRACE_SPAN(tracer_, "get.total");
   const std::uint64_t key_hash = kv::hash_key(key);
 
+  // A hedged locate RPC raced against the speculative pair READ below:
+  // abandoned if the speculation holds, awaited by the fallback otherwise.
+  std::optional<rpc::Connection::PendingCall> hedge;
+
   // Why this GET left the fast path, for the flight recorder. The default
   // covers the RPC-only ablation and clients without a size hint.
   trace::GetPath fallback = trace::GetPath::kRpcOnlyMode;
@@ -927,51 +1010,146 @@ sim::Task<Expected<Bytes>> EFactoryClient::get_attempt(Bytes key) {
     fallback = trace::GetPath::kCleaningActive;
   }
 
+  // Adaptive routing: a key bucket that repeatedly found the durability
+  // flag unset — or whose own PUT ack leased it RPC-first — skips the
+  // doomed one-sided attempt entirely (docs/ADAPTIVE_READ.md).
+  const bool fast_eligible =
+      hybrid_ && !store_.clients_use_rpc() && vlen_hint_ > 0;
+  AdaptiveRoute route = AdaptiveRoute::kOneSided;
+  if (fast_eligible && adaptive_ != nullptr) {
+    route = adaptive_->route(key_hash, sim_.now());
+    if (route == AdaptiveRoute::kRpcFirst) {
+      fallback = trace::GetPath::kAdaptiveRpcFirst;
+    } else if (route == AdaptiveRoute::kHintLease) {
+      fallback = trace::GetPath::kDurabilityHint;
+    }
+  }
+
   // ---- optimistic pure-RDMA path -------------------------------------
-  if (hybrid_ && !store_.clients_use_rpc() && vlen_hint_ > 0) {
+  if (fast_eligible && route != AdaptiveRoute::kRpcFirst &&
+      route != AdaptiveRoute::kHintLease) {
     fallback = trace::GetPath::kEntryMiss;  // until proven otherwise
     // Client-side linear probing for displaced keys, then the object read.
     constexpr std::size_t kClientProbeLimit = 16;
     std::size_t slot = store_.dir().ideal_slot(key_hash);
+    // Speculative pair READ: when the tracker knows which offset this key
+    // was last proved durable at, the ideal-slot entry and the object at
+    // that offset are fetched in ONE doorbelled round trip. If the entry
+    // still points there, the GET completes in half the fast path's usual
+    // latency; if the key moved (or is displaced), only the prediction's
+    // response bytes were wasted and the serial path takes over with the
+    // entry already in hand.
+    const MemOffset spec_off =
+        adaptive_ != nullptr ? adaptive_->predicted_off(key_hash) : 0;
+    std::optional<Bytes> spec_bytes;
+    if (adaptive_ != nullptr) {
+      // Hedged GET: the fallback locate RPC departs NOW, concurrently
+      // with the optimistic READs. If the attempt lands (flag set), the
+      // response is abandoned unread and the server did a cheap flag-set
+      // locate for nothing; if it doesn't, the RPC has been cooking at
+      // the server since t0 and the serialization penalty of a failed
+      // optimistic attempt disappears.
+      GetLocRequest hedge_req;
+      hedge_req.key = key;
+      hedge_req.want_hint = true;
+      hedge = conn_.call_begin(kGetLoc, hedge_req.encode());
+    }
     for (std::size_t probe = 0; probe < kClientProbeLimit; ++probe) {
+      const bool speculate = probe == 0 && spec_off != 0;
       // Index entries are read racily and re-validated by key hash; a torn
       // or stale entry at worst sends us to the RPC fallback.
       analysis::AccessGuard entry_guard(checker_,
                                         analysis::Guard::kMetaRevalidate,
                                         "efactory.get.entry_read");
-      metrics::Span entry_span{tracer_, "get.entry_read"};
-      const Expected<Bytes> raw = co_await conn_.qp().read(
-          store_.index_rkey(), store_.dir().entry_offset(slot),
-          kv::HashDir::kEntrySize);
-      entry_span.finish();
+      std::optional<Expected<Bytes>> raw_opt;
+      if (speculate) {
+        // The object half is only trusted below once the entry confirms
+        // the prediction *and* the durability flag is set.
+        analysis::AccessGuard spec_guard(checker_,
+                                         analysis::Guard::kDurabilityFlag,
+                                         "efactory.get.spec_read");
+        metrics::Span spec_span{tracer_, "get.spec_read"};
+        auto pair = co_await conn_.qp().read_pair(
+            store_.index_rkey(), store_.dir().entry_offset(slot),
+            kv::HashDir::kEntrySize, store_.pool_rkey(),
+            spec_off - store_.pool_a().base(),
+            kv::ObjectLayout::total_size(klen_hint_, vlen_hint_));
+        spec_span.finish();
+        raw_opt.emplace(std::move(pair.first));
+        if (pair.second) spec_bytes = std::move(*pair.second);
+      } else {
+        metrics::Span entry_span{tracer_, "get.entry_read"};
+        raw_opt.emplace(co_await conn_.qp().read(
+            store_.index_rkey(), store_.dir().entry_offset(slot),
+            kv::HashDir::kEntrySize));
+        entry_span.finish();
+      }
+      const Expected<Bytes>& raw = *raw_opt;
       if (!raw) {
         fallback = trace::GetPath::kReadError;
         break;
       }
       const kv::HashDir::Entry entry = kv::HashDir::decode(*raw);
+      const bool spec_held = speculate && spec_bytes.has_value() &&
+                             entry.key_hash == key_hash &&
+                             entry.current() == spec_off;
+      if (speculate && adaptive_ != nullptr) {
+        adaptive_->note_spec_pair(spec_held);
+      }
       if (entry.empty()) break;
       if (entry.key_hash == key_hash) {
         if (entry.current() != 0) {
-          bool tombstoned = false;
-          Expected<Bytes> value = co_await read_object_at(
-              entry.current(), klen_hint_, vlen_hint_, key_hash,
-              /*require_flag=*/true, &tombstoned);
-          if (value) {
-            ++stats_.gets_pure_rdma;
-            recorder_.emit(
-                trace::EventType::kGetPath,
-                static_cast<std::uint8_t>(trace::GetPath::kFastOneSided));
-            co_return std::move(value).take();
+          if (!spec_held && adaptive_ != nullptr &&
+              adaptive_->stale_version(key_hash, entry.current(),
+                                       sim_.now())) {
+            // The entry points at a different object than the one this
+            // client last proved durable: the key was overwritten since,
+            // and the fresh version is odds-on still inside the verifier
+            // window. Skip the full-width object READ we were about to
+            // waste — the locate RPC below answers authoritatively, and
+            // its feedback re-learns the new offset once it turns durable.
+            adaptive_->note_stale_skip();
+            fallback = trace::GetPath::kStaleVersion;
+            break;
           }
-          if (tombstoned) {
+          bool tombstoned = false;
+          std::optional<Expected<Bytes>> value_opt;
+          if (spec_held) {
+            value_opt.emplace(decode_object(*spec_bytes, klen_hint_,
+                                            vlen_hint_, key_hash,
+                                            /*require_flag=*/true,
+                                            &tombstoned));
+          } else {
+            value_opt.emplace(co_await read_object_at(
+                entry.current(), klen_hint_, vlen_hint_, key_hash,
+                /*require_flag=*/true, &tombstoned));
+          }
+          Expected<Bytes>& value = *value_opt;
+          if (value || tombstoned) {
+            // Flag set (or conclusive tombstone): the fast path works for
+            // this bucket again — one success re-arms it entirely (and
+            // records which version was durable, arming the stale-version
+            // check for the key's next overwrite).
+            if (adaptive_ != nullptr) {
+              adaptive_->note_fast_success(key_hash, entry.current(),
+                                           sim_.now());
+            }
+            if (hedge) {
+              conn_.call_abandon(std::move(*hedge));
+              adaptive_->note_hedge(/*wasted=*/true);
+            }
             ++stats_.gets_pure_rdma;
             recorder_.emit(
                 trace::EventType::kGetPath,
                 static_cast<std::uint8_t>(trace::GetPath::kFastOneSided));
+            if (value) co_return std::move(value).take();
             co_return Status{StatusCode::kNotFound, "deleted"};
           }
           if (value.code() == StatusCode::kUnavailable) {
             fallback = trace::GetPath::kFlagUnset;
+            // The doomed case the tracker predicts: we paid the full
+            // one-sided round trip only to find the flag unset.
+            if (adaptive_ != nullptr) adaptive_->note_flag_miss(key_hash, entry.current());
           } else if (value.code() == StatusCode::kTimeout) {
             fallback = trace::GetPath::kReadError;
           }
@@ -986,14 +1164,33 @@ sim::Task<Expected<Bytes>> EFactoryClient::get_attempt(Bytes key) {
   ++stats_.gets_rpc_path;
   recorder_.emit(trace::EventType::kGetPath,
                  static_cast<std::uint8_t>(fallback));
-  GetLocRequest req;
-  req.key = key;
   metrics::Span rpc_span{tracer_, "get.rpc_fallback"};
-  const Expected<Bytes> raw = co_await conn_.call_timeout(
-      kGetLoc, req.encode(), options_.retry.rpc_timeout_ns);
+  Expected<Bytes> raw = Status{StatusCode::kTimeout, "unset"};
+  if (hedge) {
+    // The locate RPC has been in flight since before the pair READ was
+    // posted; most of its round trip is already behind us.
+    adaptive_->note_hedge(/*wasted=*/false);
+    raw = co_await conn_.call_finish(std::move(*hedge),
+                                     options_.retry.rpc_timeout_ns);
+  } else {
+    GetLocRequest req;
+    req.key = key;
+    req.want_hint = adaptive_ != nullptr;
+    raw = co_await conn_.call_timeout(kGetLoc, req.encode(),
+                                      options_.retry.rpc_timeout_ns);
+  }
   rpc_span.finish();
   if (!raw) co_return raw.status();
   const LocResponse resp = LocResponse::decode(*raw);
+  // Locate-reply feedback: every RPC-path GET tells the tracker what a
+  // one-sided read at that moment would have found, so buckets routed
+  // RPC-first re-arm the instant the server sees the flag set — without
+  // risking a wasted optimistic READ to find out (docs/ADAPTIVE_READ.md).
+  if (adaptive_ != nullptr && resp.carry_hint &&
+      resp.status == StatusCode::kOk) {
+    adaptive_->note_loc_feedback(key_hash, resp.was_durable,
+                                 resp.object_off, sim_.now());
+  }
   if (resp.status != StatusCode::kOk) co_return Status{resp.status};
   co_return co_await read_object_at(resp.object_off, resp.klen, resp.vlen,
                                     key_hash, /*require_flag=*/false);

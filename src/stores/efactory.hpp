@@ -25,6 +25,7 @@
 #include <vector>
 
 #include "kv/hash_dir.hpp"
+#include "stores/adaptive.hpp"
 #include "stores/kv_client.hpp"
 #include "stores/store_base.hpp"
 
@@ -163,6 +164,16 @@ class EFactoryStore final : public StoreBase {
 
   kv::HashDir dir_;
   std::deque<MemOffset> verify_queue_;
+  /// Measured drain rate of the verifier, as an integer EWMA of the
+  /// virtual time between consecutive queue pops (`ewma = (7*ewma + s)/8`).
+  /// Durability hints multiply this by the queue depth instead of pricing
+  /// every queued object at full verify cost — superseded versions are
+  /// stale-skipped nearly for free, so the naive estimate overshoots by
+  /// integer factors under write-heavy skew and keeps client hint leases
+  /// alive long after the flags are set. 0 until the first two pops.
+  SimDuration verify_pop_ewma_ = 0;
+  SimTime last_pop_time_ = 0;
+  bool last_was_pop_ = false;
   /// Flight-recorder tracks for the two background actors (detached when
   /// tracing is off; attach order fixes the track ids after server/faults).
   trace::Recorder verifier_rec_;
@@ -203,9 +214,21 @@ class EFactoryClient final : public KvClient {
                                             bool require_flag,
                                             bool* tombstoned = nullptr);
 
+  /// Validate a raw object snapshot (from read_object_at or a speculative
+  /// pair READ) and extract the value. Pure CPU — no verbs.
+  static Expected<Bytes> decode_object(const Bytes& raw, std::size_t klen,
+                                       std::size_t vlen,
+                                       std::uint64_t expect_hash,
+                                       bool require_flag, bool* tombstoned);
+
   EFactoryStore& store_;
   rpc::Connection conn_;
   bool hybrid_;
+  /// Adaptive hybrid-read state (stores/adaptive.hpp), or nullptr when
+  /// options.adaptive.enabled is false or reads are RPC-only — the common
+  /// case costs one pointer test per GET and keeps the wire format, the
+  /// metrics namespace, and dispatch schedules untouched.
+  std::unique_ptr<AdaptiveReadTracker> adaptive_;
 };
 
 }  // namespace efac::stores

@@ -49,6 +49,7 @@
 #include "sim/simulator.hpp"
 #include "sim/sync.hpp"
 #include "sim/task.hpp"
+#include "stores/adaptive.hpp"
 #include "stores/retry.hpp"
 #include "trace/event_log.hpp"
 
@@ -100,6 +101,11 @@ struct ClientOptions {
   /// beyond the window queue FIFO on the window semaphore. Sync
   /// put/get/del bypass the window entirely.
   std::size_t max_inflight = 16;
+  /// Adaptive hybrid-read tuning (eFactory GETs; see stores/adaptive.hpp
+  /// and docs/ADAPTIVE_READ.md). Disabled by default: the read path, the
+  /// wire format and the dispatch schedule stay bit-identical to the
+  /// non-adaptive client.
+  AdaptiveReadOptions adaptive;
 };
 
 /// Cross-cutting observability hookup for a client, gathered in one

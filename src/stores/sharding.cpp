@@ -67,7 +67,10 @@ StoreConfig shard_store_config(const ClusterConfig& config,
     if (!store.fault_plan.empty()) {
       store.fault_plan.seed = mix64(store.fault_plan.seed ^ shard);
     }
-    store.trace.actor_prefix = "s" + std::to_string(shard) + "/";
+    std::string prefix = "s";
+    prefix += std::to_string(shard);
+    prefix += '/';
+    store.trace.actor_prefix = std::move(prefix);
   }
   if (shard < config.shard_fault_plans.size() &&
       !config.shard_fault_plans[shard].empty()) {

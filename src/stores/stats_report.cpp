@@ -11,9 +11,13 @@ namespace efac::stores {
 namespace {
 
 /// One report row: a display label bound to a registry counter name.
+/// When `denominator` is set the row renders as a rounded percentage of
+/// that counter instead of a raw count (and is omitted while the
+/// denominator is zero — a rate over nothing is noise, not data).
 struct Row {
   const char* label;
   const char* counter;
+  const char* denominator = nullptr;
 };
 
 std::uint64_t counter_or_zero(const metrics::MetricsRegistry& registry,
@@ -22,22 +26,11 @@ std::uint64_t counter_or_zero(const metrics::MetricsRegistry& registry,
   return c == nullptr ? 0 : c->value();
 }
 
-void line(std::ostream& os, const char* label, std::uint64_t value) {
+void pad_label(std::ostream& os, const char* label) {
   os << "  " << label;
   for (std::size_t pad = 0; pad + std::string_view{label}.size() < 34;
        ++pad) {
     os << ' ';
-  }
-  os << value << '\n';
-}
-
-/// The single render path: a section header followed by table rows.
-void section(std::ostream& os, const char* header,
-             const metrics::MetricsRegistry& registry,
-             std::initializer_list<Row> rows) {
-  os << header << ":\n";
-  for (const Row& row : rows) {
-    line(os, row.label, counter_or_zero(registry, row.counter));
   }
 }
 
@@ -45,6 +38,27 @@ double pct(std::uint64_t part, std::uint64_t whole) {
   return whole == 0 ? 0.0
                     : 100.0 * static_cast<double>(part) /
                           static_cast<double>(whole);
+}
+
+/// The single render path: a section header followed by table rows
+/// (counts, or percentages for rows with a denominator).
+void section(std::ostream& os, const char* header,
+             const metrics::MetricsRegistry& registry,
+             std::initializer_list<Row> rows) {
+  os << header << ":\n";
+  for (const Row& row : rows) {
+    if (row.denominator == nullptr) {
+      pad_label(os, row.label);
+      os << counter_or_zero(registry, row.counter) << '\n';
+      continue;
+    }
+    const std::uint64_t whole = counter_or_zero(registry, row.denominator);
+    if (whole == 0) continue;
+    pad_label(os, row.label);
+    os << static_cast<int>(
+              pct(counter_or_zero(registry, row.counter), whole) + 0.5)
+       << "%\n";
+  }
 }
 
 }  // namespace
@@ -60,7 +74,8 @@ void print_server_stats(std::ostream& os,
            {"bg timeouts (invalidated)", "server.bg_timeouts"},
            {"GET durability-flag hits", "server.get_durability_hits"},
            {"log-cleaning rounds", "server.cleanings"},
-           {"objects migrated by cleaning", "server.cleaned_objects"}});
+           {"objects migrated by cleaning", "server.cleaned_objects"},
+           {"durability hints issued", "server.hints_issued"}});
 }
 
 void print_client_stats(std::ostream& os,
@@ -73,14 +88,30 @@ void print_client_stats(std::ostream& os,
            {"version re-reads", "client.version_rereads"},
            {"client CRC checks", "client.client_crc_checks"},
            {"retries", "client.retries"},
-           {"give-ups", "client.giveups"}});
-  const std::uint64_t gets = counter_or_zero(registry, "client.gets");
-  if (gets > 0) {
-    os << "  pure-read rate                  "
-       << static_cast<int>(
-              pct(counter_or_zero(registry, "client.gets_pure_rdma"), gets) +
-              0.5)
-       << "%\n";
+           {"give-ups", "client.giveups"},
+           {"pure-read rate", "client.gets_pure_rdma", "client.gets"}});
+  // Adaptive-read counters exist only on clients with the feature enabled
+  // (stores/adaptive.hpp); skip the whole section otherwise so default
+  // reports are unchanged.
+  if (registry.find_counter("read.adaptive.hints") != nullptr) {
+    section(os, "adaptive read", registry,
+            {{"durability hints received", "read.adaptive.hints"},
+             {"hint-lease skips", "read.adaptive.hint_skips"},
+             {"tracker rpc-first GETs", "read.adaptive.rpc_first"},
+             {"re-probes while tripped", "read.adaptive.probes"},
+             {"bucket trips", "read.adaptive.trips"},
+             {"bucket re-arms", "read.adaptive.rearms"},
+             {"locate feedback (flag set)", "read.adaptive.feedback_set"},
+             {"locate feedback (flag unset)", "read.adaptive.feedback_unset"},
+             {"stale-version skips", "read.adaptive.stale_skips"},
+             {"speculative pair READs", "read.adaptive.spec_pairs"},
+             {"hedged locate RPCs", "read.adaptive.hedges"},
+             {"rpc-first rate", "read.adaptive.rpc_first", "client.gets"},
+             {"hint-skip rate", "read.adaptive.hint_skips", "client.gets"},
+             {"speculation hold rate", "read.adaptive.spec_hits",
+              "read.adaptive.spec_pairs"},
+             {"hedge waste rate", "read.adaptive.hedges_wasted",
+              "read.adaptive.hedges"}});
   }
 }
 

@@ -49,6 +49,7 @@ struct ServerStats {
   std::uint64_t get_durability_hits = 0;  ///< RPC GET found flag already set
   std::uint64_t cleanings = 0;         ///< completed log-cleaning rounds
   std::uint64_t cleaned_objects = 0;   ///< objects migrated by cleaning
+  std::uint64_t hints_issued = 0;      ///< durability hints sent on alloc acks
 };
 
 /// Durability-lint over an object's recovery-meaningful bytes: the span
@@ -104,7 +105,7 @@ class StoreBase {
                        stats_.persists,   stats_.crc_checks,
                        stats_.bg_verified, stats_.bg_timeouts,
                        stats_.get_durability_hits, stats_.cleanings,
-                       stats_.cleaned_objects};
+                       stats_.cleaned_objects, stats_.hints_issued};
   }
   /// Cluster-side registry: server counters ("server.*"), arena counters
   /// ("arena.*") and server-side span histograms ("span.server.*").
@@ -172,7 +173,8 @@ class StoreBase {
           bg_timeouts(r.counter("server.bg_timeouts")),
           get_durability_hits(r.counter("server.get_durability_hits")),
           cleanings(r.counter("server.cleanings")),
-          cleaned_objects(r.counter("server.cleaned_objects")) {}
+          cleaned_objects(r.counter("server.cleaned_objects")),
+          hints_issued(r.counter("server.hints_issued")) {}
     metrics::Counter& requests;
     metrics::Counter& allocs;
     metrics::Counter& persists;
@@ -182,6 +184,7 @@ class StoreBase {
     metrics::Counter& get_durability_hits;
     metrics::Counter& cleanings;
     metrics::Counter& cleaned_objects;
+    metrics::Counter& hints_issued;
   };
 
   /// Dispatch one inbound message (request or IMM notification).

@@ -3,11 +3,14 @@
 namespace efac::stores {
 
 Bytes AllocRequest::encode() const {
-  ByteWriter w{key.size() + 16};
+  ByteWriter w{key.size() + 17};
   w.put_u32(klen);
   w.put_u32(vlen);
   w.put_u32(crc);
   w.put_blob(key);
+  // Optional tail: present only for adaptive-read clients, so the wire
+  // size (which feeds the latency model) is unchanged for everyone else.
+  if (want_hint) w.put_u8(1);
   return std::move(w).take();
 }
 
@@ -19,15 +22,18 @@ AllocRequest AllocRequest::decode(BytesView raw) {
   req.crc = r.get_u32();
   const BytesView key = r.get_blob();
   req.key.assign(key.begin(), key.end());
+  req.want_hint = !r.exhausted() && r.get_u8() != 0;
   return req;
 }
 
 Bytes AllocResponse::encode() const {
-  ByteWriter w{24};
+  ByteWriter w{32};
   w.put_u8(static_cast<std::uint8_t>(status));
   w.put_u64(object_off);
   w.put_u32(token);
   w.put_u64(entry_off);
+  // Optional tail, mirroring AllocRequest::want_hint.
+  if (carry_hint) w.put_u64(static_cast<std::uint64_t>(durable_eta));
   return std::move(w).take();
 }
 
@@ -38,6 +44,10 @@ AllocResponse AllocResponse::decode(BytesView raw) {
   resp.object_off = r.get_u64();
   resp.token = r.get_u32();
   resp.entry_off = r.get_u64();
+  if (!r.exhausted()) {
+    resp.carry_hint = true;
+    resp.durable_eta = static_cast<SimTime>(r.get_u64());
+  }
   return resp;
 }
 
@@ -82,6 +92,9 @@ BatchAllocResponse BatchAllocResponse::decode(BytesView raw) {
 Bytes GetLocRequest::encode() const {
   ByteWriter w{key.size() + 8};
   w.put_blob(key);
+  // Optional tail, mirroring AllocRequest::want_hint: only adaptive-read
+  // clients pay the extra wire byte.
+  if (want_hint) w.put_u8(1);
   return std::move(w).take();
 }
 
@@ -90,6 +103,7 @@ GetLocRequest GetLocRequest::decode(BytesView raw) {
   GetLocRequest req;
   const BytesView key = r.get_blob();
   req.key.assign(key.begin(), key.end());
+  req.want_hint = !r.exhausted() && r.get_u8() != 0;
   return req;
 }
 
@@ -99,6 +113,8 @@ Bytes LocResponse::encode() const {
   w.put_u64(object_off);
   w.put_u32(klen);
   w.put_u32(vlen);
+  // Optional tail, present only when the request asked for it.
+  if (carry_hint) w.put_u8(was_durable ? 1 : 0);
   return std::move(w).take();
 }
 
@@ -109,6 +125,10 @@ LocResponse LocResponse::decode(BytesView raw) {
   resp.object_off = r.get_u64();
   resp.klen = r.get_u32();
   resp.vlen = r.get_u32();
+  if (!r.exhausted()) {
+    resp.carry_hint = true;
+    resp.was_durable = r.get_u8() != 0;
+  }
   return resp;
 }
 

@@ -168,7 +168,7 @@ RunResult run_workload_impl(sim::Simulator& sim, const ClusterView& cluster,
     std::vector<std::unique_ptr<KvClient>> loader_clients;
     std::size_t remaining = loaders;
     const std::uint64_t keys = options.workload.key_count;
-    stores::ClientOptions loader_options;
+    stores::ClientOptions loader_options = options.client;
     loader_options.collect_traces = false;  // setup traffic, not measured
     loader_options.size_hint = {options.workload.key_len,
                                 options.workload.value_len};
@@ -206,7 +206,7 @@ RunResult run_workload_impl(sim::Simulator& sim, const ClusterView& cluster,
   Rng seeder{options.workload.seed ^ 0xC11E27};
   std::vector<std::unique_ptr<KvClient>> clients;
   clients.reserve(options.clients);
-  stores::ClientOptions measured_options;
+  stores::ClientOptions measured_options = options.client;
   measured_options.size_hint = {options.workload.key_len,
                                 options.workload.value_len};
   for (std::size_t c = 0; c < options.clients; ++c) {

@@ -36,6 +36,13 @@ struct RunOptions {
   /// plain sync ops through the exact pre-batching loop, so existing
   /// sweeps stay bit-identical.
   std::size_t batch = 1;
+  /// Template for every client the harness creates (loaders and measured
+  /// alike); the harness overrides collect_traces for loaders and
+  /// size_hint for everyone from the workload shape. Lets sweeps turn on
+  /// per-client features — adaptive reads, retry policies — without a
+  /// parallel plumbing path. The default keeps runs bit-identical to the
+  /// pre-template harness.
+  stores::ClientOptions client;
 };
 
 struct RunResult {

@@ -220,6 +220,35 @@ TEST(Determinism, BatchedAsyncRunsAreBitIdentical) {
   EXPECT_EQ(run_once(), run_once());
 }
 
+// The adaptive hybrid read adds per-client routing state and an optional
+// wire tail; both are pure functions of the schedule, so enabling the
+// feature must not cost reproducibility: two identical adaptive runs
+// share every dispatch decision and export byte-identical metrics
+// (including the read.adaptive.* counters).
+TEST(Determinism, AdaptiveReadRunsAreBitIdentical) {
+  const auto run_once = [] {
+    workload::RunOptions options = fig9_style_options();
+    options.workload.mix = workload::Mix::kWriteIntensive;
+    options.client.adaptive.enabled = true;
+    auto sim = std::make_unique<sim::Simulator>();
+    stores::Cluster cluster =
+        stores::make_cluster(*sim, stores::SystemKind::kEFactory,
+                             workload::sized_store_config(options));
+    workload::RunResult result =
+        workload::run_workload(*sim, cluster, options);
+    RunFingerprint fp;
+    fp.events = sim->events_processed();
+    fp.dispatch_hash = sim->dispatch_hash();
+    fp.metrics_json = metrics::to_json(result.metrics, "determinism");
+    return fp;
+  };
+  const RunFingerprint a = run_once();
+  const RunFingerprint b = run_once();
+  EXPECT_EQ(a.events, b.events);
+  EXPECT_EQ(a.dispatch_hash, b.dispatch_hash);
+  EXPECT_EQ(a.metrics_json, b.metrics_json);
+}
+
 // --------------------------------------------------- sharded determinism
 
 RunFingerprint run_fig9_style_sharded(std::size_t num_shards) {
