@@ -1,0 +1,37 @@
+// Fuzz target: the EFTR binary flight-recorder reader
+// (trace::read_binary), which bench/trace_inspect feeds from files on
+// disk. A corrupt or truncated dump must come back as a Status error or
+// an efac::CheckFailure, never crash or over-read.
+//
+// Successfully parsed dumps are round-tripped through to_binary and
+// re-read: the second pass must accept what the writer produced.
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/assert.hpp"
+#include "trace/chrome.hpp"
+#include "trace/event_log.hpp"
+
+extern "C" int LLVMFuzzerTestOneInput(const std::uint8_t* data,
+                                      std::size_t size) {
+  const std::string_view doc{reinterpret_cast<const char*>(data), size};
+  std::vector<efac::trace::EventLog::Snapshot> snapshots;
+  bool parsed = false;
+  try {
+    parsed = efac::trace::read_binary(doc, &snapshots).is_ok();
+  } catch (const efac::CheckFailure&) {
+    // graceful rejection of a corrupt dump — the contract
+  }
+  if (parsed) {
+    // Outside the catch on purpose: a CheckFailure (or parse error) on
+    // the writer's own output is a real bug the fuzzer must surface.
+    const std::string again = efac::trace::to_binary(snapshots);
+    std::vector<efac::trace::EventLog::Snapshot> snapshots2;
+    EFAC_CHECK_MSG(efac::trace::read_binary(again, &snapshots2).is_ok(),
+                   "re-encoded EFTR dump must parse");
+  }
+  return 0;
+}

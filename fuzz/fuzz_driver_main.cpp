@@ -1,0 +1,40 @@
+// Standalone driver for the fuzz targets when libFuzzer is unavailable
+// (the repo's default toolchain is g++). Replays every file passed on
+// the command line — in CI-with-clang the same targets link against
+// -fsanitize=fuzzer instead and this file is not compiled.
+//
+// Exit 0 if every input was processed; crashes/aborts propagate so ctest
+// reports a corpus regression.
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <vector>
+
+extern "C" int LLVMFuzzerTestOneInput(const std::uint8_t* data,
+                                      std::size_t size);
+
+int main(int argc, char** argv) {
+  int replayed = 0;
+  for (int i = 1; i < argc; ++i) {
+    std::FILE* f = std::fopen(argv[i], "rb");
+    if (f == nullptr) {
+      std::fprintf(stderr, "fuzz driver: cannot open %s\n", argv[i]);
+      return 2;
+    }
+    std::fseek(f, 0, SEEK_END);
+    const long len = std::ftell(f);
+    std::fseek(f, 0, SEEK_SET);
+    std::vector<std::uint8_t> buf(len > 0 ? static_cast<size_t>(len) : 0);
+    if (!buf.empty() && std::fread(buf.data(), 1, buf.size(), f) !=
+                            buf.size()) {
+      std::fclose(f);
+      std::fprintf(stderr, "fuzz driver: short read on %s\n", argv[i]);
+      return 2;
+    }
+    std::fclose(f);
+    LLVMFuzzerTestOneInput(buf.data(), buf.size());
+    ++replayed;
+  }
+  std::printf("fuzz driver: replayed %d input(s)\n", replayed);
+  return 0;
+}

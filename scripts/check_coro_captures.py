@@ -1,24 +1,28 @@
 #!/usr/bin/env python3
-"""Lint: lambda coroutines must not have a capture list.
+"""Lint (fallback): lambda coroutines must not have a capture list.
 
-A lambda whose body is a coroutine (declared `-> Task<...>` /
-`-> sim::Task<...>`) stores its captures in the closure object, NOT in the
-coroutine frame. The closure is a temporary that dies at the end of the
-full expression that spawned the coroutine, so every capture — by
-reference or by value — dangles across the first suspension point. The
-codebase idiom is a captureless lambda taking its context as parameters,
-immediately invoked:
+A lambda whose body is a coroutine stores its captures in the closure
+object, NOT in the coroutine frame. The closure is a temporary that dies
+at the end of the full expression that spawned the coroutine, so every
+capture — by reference or by value — dangles across the first suspension
+point. The codebase idiom is a captureless lambda taking its context as
+parameters, immediately invoked:
 
     sim.spawn([](Simulator& s, Client& c) -> Task<void> {
       co_await c.put(...);
     }(sim, client));
 
-Parameters live in the coroutine frame and stay valid. This script flags
-any lambda with a non-empty capture list and a coroutine return type.
+Parameters live in the coroutine frame and stay valid.
 
-A finding can be waived with a `// coro-capture-ok: <reason>` comment on
-the line of the capture list or the line above it; the reason is
-mandatory (e.g. the closure is provably kept alive in a member).
+This regex lint is the zero-dependency FALLBACK for the real check:
+`scripts/efac_check.py` rule EFAC005 parses the capture list and lambda
+body structurally, which also catches deduced-return coroutines (no
+`-> Task<...>` in the signature at all). Keep this script runnable
+anywhere python exists; both tools honour the same waivers.
+
+A finding can be waived with `// efac-waive: EFAC005 <reason>` (shared
+with efac-check) or the legacy `// coro-capture-ok: <reason>` on the line
+of the capture list or the line above it; the reason is mandatory.
 
 Usage: scripts/check_coro_captures.py [root ...]   (default: src tests bench)
 Exit code 1 if any unwaived finding exists.
@@ -29,18 +33,29 @@ import re
 import sys
 
 # Non-empty capture list, optional parameter list / specifiers, then a
-# coroutine task return type. [^\]]* / [^)]* deliberately span newlines so
-# multi-line signatures match.
+# coroutine task return type. Notes on the character classes:
+#  - captures use a non-bracket-or-nested-pair scan so `[x = arr[i]]`
+#    (one level of nesting) matches — the old `[^\[\]]+` silently skipped
+#    such lambdas;
+#  - `Task\s*<` tolerates whitespace before the template argument list —
+#    the old pattern required them adjacent;
+#  - classes deliberately span newlines so multi-line signatures match.
 LAMBDA_CORO = re.compile(
-    r"\[(?P<captures>[^\[\]]+)\]\s*"
+    r"\[(?P<captures>(?:[^\[\]]|\[[^\[\]]*\])+)\]\s*"
     r"(?:\((?P<params>[^()]*)\)\s*)?"
     r"(?:mutable\s*)?(?:noexcept\s*)?"
-    r"->\s*(?:efac::)?(?:sim::)?Task<"
+    r"->\s*(?:efac::)?(?:sim::)?Task\s*<"
 )
 
 WAIVER = "coro-capture-ok:"
+SHARED_WAIVER = re.compile(r"efac-waive:\s*EFAC005\s+\S")
 
 SOURCE_GLOBS = ("*.cpp", "*.hpp", "*.cc", "*.h")
+
+
+def _waived(context: list[str]) -> bool:
+    return any(WAIVER in line or SHARED_WAIVER.search(line)
+               for line in context)
 
 
 def find_violations(path: pathlib.Path) -> list[tuple[int, str]]:
@@ -51,9 +66,11 @@ def find_violations(path: pathlib.Path) -> list[tuple[int, str]]:
         captures = match.group("captures").strip()
         if not captures:
             continue
+        if captures.startswith("["):  # attribute `[[...]]`, not a lambda
+            continue
         line_no = text.count("\n", 0, match.start()) + 1  # 1-indexed
         context = lines[max(0, line_no - 2): line_no]
-        if any(WAIVER in line for line in context):
+        if _waived(context):
             continue
         violations.append((line_no, captures))
     return violations
@@ -80,7 +97,7 @@ def main(argv: list[str]) -> int:
                         f"[{captures}] — captures live in the closure "
                         f"object and dangle across suspension; pass them "
                         f"as parameters instead (or waive with "
-                        f"'// {WAIVER} <reason>')"
+                        f"'// efac-waive: EFAC005 <reason>')"
                     )
     if total:
         print(f"\n{total} coroutine-capture finding(s)", file=sys.stderr)

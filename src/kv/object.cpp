@@ -1,6 +1,7 @@
 #include "kv/object.hpp"
 
 #include "common/assert.hpp"
+#include "common/contracts.hpp"
 #include "common/rng.hpp"
 
 namespace efac::kv {
@@ -69,6 +70,9 @@ void ObjectRef::set_durable(std::size_t klen, std::size_t vlen,
 }
 
 bool ObjectRef::is_durable(std::size_t klen, std::size_t vlen) const {
+  // flag==1 promises exactly "header+key+value are persisted": a positive
+  // test of this predicate is static persist evidence (docs/STATIC_ANALYSIS.md).
+  EFAC_FN_OBSERVES_DURABLE();
   return arena_->load_u64(offset_ + ObjectLayout::flag_offset(klen, vlen)) ==
          1;
 }

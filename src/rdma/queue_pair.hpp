@@ -162,6 +162,10 @@ class QueuePair {
   /// [offset, offset+length) to the media with NO remote-CPU involvement.
   /// Ordered after prior WRs on this QP; the ack implies durability.
   /// This models proposed hardware — no shipping NIC implements it.
+  /// An *awaited* commit() completion is an ordering-equivalent of
+  /// flush+fence, so it counts as EFAC_PERSISTS-style persist evidence
+  /// under the static contract checker (src/common/contracts.hpp) —
+  /// mark the awaiting path accordingly, as rcommit.cpp does.
   sim::Task<Expected<Unit>> commit(std::uint32_t rkey, MemOffset offset,
                                    std::size_t length);
 

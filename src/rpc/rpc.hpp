@@ -119,7 +119,11 @@ class Connection {
   };
 
   /// Post the request (fire-and-forget SEND) and return the pending call.
-  PendingCall call_begin(std::uint16_t opcode, Bytes args);
+  /// Every begun call must reach call_finish or call_abandon on EVERY
+  /// path, or its response slot leaks — [[nodiscard]] catches the dropped
+  /// handle and efac-check rule EFAC004 proves the path balance
+  /// (docs/STATIC_ANALYSIS.md).
+  [[nodiscard]] PendingCall call_begin(std::uint16_t opcode, Bytes args);
   /// Await a pending call's response with call_timeout() semantics.
   sim::Task<Expected<Bytes>> call_finish(PendingCall call,
                                          SimDuration timeout_ns);

@@ -1,5 +1,7 @@
 #include "stores/baselines.hpp"
 
+#include "common/contracts.hpp"
+
 #include <algorithm>
 #include <array>
 #include <vector>
@@ -117,6 +119,7 @@ sim::Task<void> SawStore::handle(rdma::InboundMessage msg) {
     }
     if (meta.key_hash == 0 || !object_span_ok(persist.object_off, meta) ||
         meta.klen != persist.klen || meta.vlen != persist.vlen) {
+      EFAC_NO_CLAIM("saw.persist.bad_request");
       co_await charge(config_.cpu.send_post_ns);
       rpc::Replier{directory_, req.src_qp, req.call_id}.reply(
           encode_status(StatusCode::kInvalidArgument));
@@ -125,6 +128,9 @@ sim::Task<void> SawStore::handle(rdma::InboundMessage msg) {
     const std::size_t total =
         kv::ObjectLayout::total_size(persist.klen, persist.vlen);
     arena_->flush(persist.object_off, total);
+    // Object flush issued here; the fence cost is charged with `cost`
+    // before the reply is posted, so the ack orders after the drain.
+    EFAC_PERSISTS("saw.persist.flush_fence");
     ++stats_.persists;
     SimDuration cost =
         arena_->cost().flush_cost(total) + arena_->cost().fence_ns;
@@ -151,6 +157,7 @@ sim::Task<void> SawStore::handle(rdma::InboundMessage msg) {
                             "saw.persist_ack");
     }
     co_await charge(cost + config_.cpu.send_post_ns);
+    EFAC_ACK_SITE("saw.persist_ack");
     rpc::Replier{directory_, req.src_qp, req.call_id}.reply(
         encode_status(status));
   } else {
@@ -346,6 +353,8 @@ sim::Task<void> ImmStore::handle(rdma::InboundMessage msg) {
     pending_.erase(it);
     const std::size_t total = kv::ObjectLayout::total_size(pw.klen, pw.vlen);
     arena_->flush(pw.object_off, total);
+    // Flush issued; fence cost charged with `cost` before the ack leaves.
+    EFAC_PERSISTS("imm.completion.flush_fence");
     ++stats_.persists;
     SimDuration cost =
         arena_->cost().flush_cost(total) + arena_->cost().fence_ns;
@@ -372,6 +381,7 @@ sim::Task<void> ImmStore::handle(rdma::InboundMessage msg) {
                             "imm.durability_ack");
     }
     co_await charge(cost + config_.cpu.send_post_ns);
+    EFAC_ACK_SITE("imm.durability_ack");
     ack_hub_.complete(msg.imm, status);
     co_return;
   }
@@ -923,6 +933,9 @@ sim::Task<void> ForcaStore::handle_get_loc(rpc::ParsedRequest req) {
   co_await charge(probes * config_.cpu.hash_probe_ns);
 
   LocResponse resp;
+  // The default (miss / exhausted-chain) reply claims nothing; only the
+  // `intact` branch below upgrades it to a durability-claiming kOk.
+  EFAC_NO_CLAIM("forca.get_loc.miss_default");
   resp.status = StatusCode::kNotFound;
   if (slot) {
     const kv::HashDir::Entry entry = dir_.read(*slot);
@@ -962,6 +975,11 @@ sim::Task<void> ForcaStore::handle_get_loc(rpc::ParsedRequest req) {
           co_await charge(arena_->cost().flush_cost(total) +
                           arena_->cost().flush_cost(kv::HashDir::kEntrySize) +
                           arena_->cost().fence_ns);
+          EFAC_PERSISTS("forca.get_loc.read_flush");
+        } else {
+          // Clean means an earlier read-path flush already persisted this
+          // exact span — evidence carries over.
+          EFAC_PERSISTS("forca.get_loc.already_clean");
         }
         // Returning the location is Forca's durability promise: the
         // object was verified intact and persisted before the reply.
@@ -978,6 +996,7 @@ sim::Task<void> ForcaStore::handle_get_loc(rpc::ParsedRequest req) {
     }
   }
   co_await charge(config_.cpu.send_post_ns);
+  EFAC_ACK_SITE("forca.locate_ack");
   rpc::Replier{directory_, req.src_qp, req.call_id}.reply(resp.encode());
 }
 
@@ -1085,6 +1104,7 @@ sim::Task<void> RpcStore::handle(rdma::InboundMessage msg) {
     SimDuration cost =
         probes * config_.cpu.hash_probe_ns + config_.cpu.rpc_inline_extra_ns;
     if (!slot) {
+      EFAC_NO_CLAIM("rpc.put.bucket_full");
       status = slot.status().code();
     } else {
       kv::HashDir::Entry entry = dir_.read(*slot);
@@ -1092,6 +1112,7 @@ sim::Task<void> RpcStore::handle(rdma::InboundMessage msg) {
           kv::ObjectLayout::total_size(put.key.size(), put.value.size());
       const Expected<MemOffset> off = pool_a().allocate(total);
       if (!off) {
+        EFAC_NO_CLAIM("rpc.put.out_of_space");
         status = StatusCode::kOutOfSpace;
       } else {
         AllocRequest alloc;
@@ -1109,6 +1130,8 @@ sim::Task<void> RpcStore::handle(rdma::InboundMessage msg) {
         arena_->store(
             *off + kv::ObjectLayout::kHeaderSize + put.key.size(), put.value);
         arena_->flush(*off, total);
+        // Flush issued; fence cost charged with `cost` before the reply.
+        EFAC_PERSISTS("rpc.put.flush_fence");
         ++stats_.persists;
         entry.key_hash = key_hash;
         entry.off_old = *off;
@@ -1125,6 +1148,7 @@ sim::Task<void> RpcStore::handle(rdma::InboundMessage msg) {
       }
     }
     co_await charge(cost + config_.cpu.send_post_ns);
+    EFAC_ACK_SITE("rpc.put_ack");
     rpc::Replier{directory_, req.src_qp, req.call_id}.reply(
         encode_status(status));
   } else if (req.opcode == kGetInline) {

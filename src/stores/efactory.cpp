@@ -1,5 +1,7 @@
 #include "stores/efactory.hpp"
 
+#include "common/contracts.hpp"
+
 #include <algorithm>
 #include <optional>
 
@@ -63,6 +65,9 @@ sim::Task<void> EFactoryStore::handle(rdma::InboundMessage msg) {
 
 AllocResponse EFactoryStore::alloc_reserve(const AllocRequest& alloc,
                                            SimDuration& cost) {
+  // Every return either persisted the object metadata + hash entry or
+  // carries an error status that claims nothing (efac-check EFAC002).
+  EFAC_FN_ESTABLISHES_DURABLE();
   const std::uint64_t key_hash = kv::hash_key(alloc.key);
 
   std::size_t probes = 0;
@@ -72,6 +77,7 @@ AllocResponse EFactoryStore::alloc_reserve(const AllocRequest& alloc,
   if (stage_ != CleanStage::kIdle) cost += config_.clean_interference_ns;
 
   if (!slot) {
+    EFAC_NO_CLAIM("efactory.alloc.bucket_full");
     resp.status = slot.status().code();
     return resp;
   }
@@ -86,6 +92,7 @@ AllocResponse EFactoryStore::alloc_reserve(const AllocRequest& alloc,
       kv::ObjectLayout::total_size(alloc.klen, alloc.vlen);
   const Expected<MemOffset> off = pool.allocate(total);
   if (!off) {
+    EFAC_NO_CLAIM("efactory.alloc.out_of_space");
     resp.status = StatusCode::kOutOfSpace;
     return resp;
   }
@@ -100,6 +107,9 @@ AllocResponse EFactoryStore::alloc_reserve(const AllocRequest& alloc,
   dir_.write(*slot, entry);
   dir_.persist(*slot);
   cost += arena_->cost().flush_cost(kv::HashDir::kEntrySize);
+  // Metadata + hash entry flushed; the handler charges the closing fence
+  // before any reply leaves the server.
+  EFAC_PERSISTS("efactory.alloc.metadata");
   verify_queue_.push_back(*off);
   resp.status = StatusCode::kOk;
   resp.object_off = *off;
@@ -137,6 +147,7 @@ sim::Task<void> EFactoryStore::handle_alloc(rpc::ParsedRequest req) {
   // Object metadata and hash entry drain under one SFENCE.
   if (resp.status == StatusCode::kOk) cost += arena_->cost().fence_ns;
   co_await charge(cost + config_.cpu.send_post_ns);
+  EFAC_ACK_SITE("efactory.alloc_ack");
   rpc::Replier{directory_, req.src_qp, req.call_id}.reply(resp.encode());
   maybe_trigger_cleaning();
 }
@@ -156,7 +167,11 @@ sim::Task<void> EFactoryStore::handle_alloc_batch(rpc::ParsedRequest req) {
   // member's object metadata and hash entry drain under ONE shared
   // SFENCE, and the batch costs one receive and one reply.
   if (indexed) cost += arena_->cost().fence_ns;
+  // Per-member evidence lives in alloc_reserve (EFAC_FN_ESTABLISHES_
+  // DURABLE, called per item above); an empty batch reply claims nothing.
+  EFAC_PERSISTS("efactory.alloc_batch.members");
   co_await charge(cost + config_.cpu.send_post_ns);
+  EFAC_ACK_SITE("efactory.alloc_batch_ack");
   rpc::Replier{directory_, req.src_qp, req.call_id}.reply(out.encode());
   maybe_trigger_cleaning();
 }
@@ -169,6 +184,7 @@ sim::Task<void> EFactoryStore::handle_delete(rpc::ParsedRequest req) {
   const Expected<std::size_t> slot = dir_.find(key_hash, &probes);
   SimDuration cost = probes * config_.cpu.hash_probe_ns;
   if (!slot) {
+    EFAC_NO_CLAIM("efactory.del.not_found");
     status = StatusCode::kNotFound;
   } else {
     kv::HashDir::Entry entry = dir_.read(*slot);
@@ -179,6 +195,7 @@ sim::Task<void> EFactoryStore::handle_delete(rpc::ParsedRequest req) {
     const Expected<MemOffset> off =
         pool.allocate(kv::ObjectLayout::total_size(klen, 0));
     if (!off) {
+      EFAC_NO_CLAIM("efactory.del.out_of_space");
       status = StatusCode::kOutOfSpace;
     } else {
       // A delete is an appended tombstone version: out-of-place like any
@@ -209,6 +226,8 @@ sim::Task<void> EFactoryStore::handle_delete(rpc::ParsedRequest req) {
       dir_.write(*slot, entry);
       dir_.persist(*slot);
       verify_queue_.push_back(*off);  // bg will flag the (empty) tombstone
+      // Tombstone header+key and hash entry flushed; fence charged below.
+      EFAC_PERSISTS("efactory.del.tombstone");
       cost += config_.cpu.alloc_ns +
               arena_->cost().store_cost(meta_bytes) +
               arena_->cost().flush_cost(meta_bytes) +
@@ -217,6 +236,7 @@ sim::Task<void> EFactoryStore::handle_delete(rpc::ParsedRequest req) {
     }
   }
   co_await charge(cost + config_.cpu.send_post_ns);
+  EFAC_ACK_SITE("efactory.del_ack");
   rpc::Replier{directory_, req.src_qp, req.call_id}.reply(
       encode_status(status));
 }
@@ -251,10 +271,16 @@ std::vector<MemOffset> EFactoryStore::collect_versions(
 
 sim::Task<Expected<LocResponse>> EFactoryStore::locate_verified(
     std::uint64_t key_hash) {
+  // Ok returns hand out only verified-durable locations; error returns
+  // claim nothing (efac-check EFAC002 discharges this summary).
+  EFAC_FN_ESTABLISHES_DURABLE();
   std::size_t probes = 0;
   const Expected<std::size_t> slot = dir_.find(key_hash, &probes);
   co_await charge(probes * config_.cpu.hash_probe_ns);
-  if (!slot) co_return Status{StatusCode::kNotFound};
+  if (!slot) {
+    EFAC_NO_CLAIM("efactory.locate.not_found");
+    co_return Status{StatusCode::kNotFound};
+  }
 
   const kv::HashDir::Entry entry = dir_.read(*slot);
   const std::vector<MemOffset> versions = collect_versions(entry);
@@ -265,7 +291,12 @@ sim::Task<Expected<LocResponse>> EFactoryStore::locate_verified(
     if (!meta.valid || meta.key_hash != key_hash) continue;
     // Tombstones are server-written and persisted synchronously: the
     // newest valid version being a tombstone means the key is deleted.
-    if (meta.tombstone) co_return Status{StatusCode::kNotFound, "deleted"};
+    if (meta.tombstone) {
+      // Deletion was persisted synchronously by the delete handler; this
+      // reply claims no OBJECT durability (nothing to locate).
+      EFAC_NO_CLAIM("efactory.locate.deleted");
+      co_return Status{StatusCode::kNotFound, "deleted"};
+    }
     LocResponse resp;
     resp.object_off = off;
     resp.klen = meta.klen;
@@ -292,6 +323,7 @@ sim::Task<Expected<LocResponse>> EFactoryStore::locate_verified(
     }
     saw_torn = true;
   }
+  EFAC_NO_CLAIM("efactory.locate.miss_or_torn");
   co_return Status{saw_torn ? StatusCode::kCorrupt : StatusCode::kNotFound};
 }
 
@@ -309,15 +341,22 @@ sim::Task<void> EFactoryStore::handle_get_loc(rpc::ParsedRequest req) {
   // reply size (which feeds the latency model) is unchanged for others.
   resp.carry_hint = get.want_hint;
   co_await charge(config_.cpu.send_post_ns);
+  EFAC_ACK_SITE("efactory.locate_ack");
   rpc::Replier{directory_, req.src_qp, req.call_id}.reply(resp.encode());
 }
 
 // ------------------------------------------------------------ background
 
 sim::Task<bool> EFactoryStore::verify_and_persist(MemOffset off) {
+  // Returns true only after CRC verify + flush + fence (or an observed
+  // durability flag); false paths claim nothing (efac-check EFAC002).
+  EFAC_FN_ESTABLISHES_DURABLE();
   kv::ObjectRef obj{*arena_, off};
   const kv::ObjectMeta meta = obj.read_header();
-  if (!object_span_ok(off, meta) || !meta.valid) co_return false;
+  if (!object_span_ok(off, meta) || !meta.valid) {
+    EFAC_NO_CLAIM("efactory.verify.garbage");
+    co_return false;
+  }
   if (obj.is_durable(meta.klen, meta.vlen)) co_return true;
 
   ++stats_.crc_checks;
@@ -327,12 +366,16 @@ sim::Task<bool> EFactoryStore::verify_and_persist(MemOffset off) {
     // design; a CRC mismatch on torn bytes is the expected outcome.
     analysis::AccessGuard guard(checker_.get(), analysis::Guard::kCrcVerify,
                                 "efactory.verify_crc");
-    if (!obj.verify_crc()) co_return false;
+    if (!obj.verify_crc()) {
+      EFAC_NO_CLAIM("efactory.verify.torn");
+      co_return false;
+    }
   }
 
   const std::size_t total = kv::ObjectLayout::total_size(meta.klen, meta.vlen);
   obj.flush_all(meta.klen, meta.vlen);
   co_await charge(arena_->cost().flush_cost(total) + arena_->cost().fence_ns);
+  EFAC_PERSISTS("efactory.verify.flush_fence");
   verifier_rec_.emit(trace::EventType::kVerifyFlush, 0, off, total);
   // The flag covers header+key+value only — itself it stays volatile.
   assert_object_durable(checker_.get(), off,
@@ -480,6 +523,7 @@ sim::Task<MemOffset> EFactoryStore::copy_object(MemOffset src,
   co_await charge(config_.cpu.memcpy_cost(total) +
                   arena_->cost().flush_cost(total) +
                   arena_->cost().fence_ns);
+  EFAC_PERSISTS("efactory.clean.copy_flush");
   // The source was verified up front (durability flag, or the CRC pass
   // above); an atomic CPU copy of intact bytes is intact, so the copy
   // earns the flag without re-verification.
@@ -744,6 +788,9 @@ EFactoryStore::RecoveryReport EFactoryStore::recover() {
     arena_->store(*off + kv::ObjectLayout::kHeaderSize + s.meta.klen,
                   s.value);
     arena_->flush(*off, total);
+    // Recovery runs quiesced: the flush persists synchronously, no fence
+    // race to order against.
+    EFAC_PERSISTS("efactory.recover.compact_flush");
     assert_object_durable(
         checker_.get(), *off,
         kv::ObjectLayout::flag_offset(s.meta.klen, s.meta.vlen),

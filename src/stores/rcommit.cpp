@@ -1,5 +1,7 @@
 #include "stores/rcommit.hpp"
 
+#include "common/contracts.hpp"
+
 #include "stores/baselines.hpp"  // recover_via_dir
 
 namespace efac::stores {
@@ -122,6 +124,7 @@ class RcommitClient final : public KvClient {
     // Commit completion is the durability promise: RC ordering placed the
     // data COMMIT (c1) before this one, so the whole object is persisted.
     if (c2.has_value()) {
+      EFAC_PERSISTS("rcommit.put.commit_chain");
       assert_object_durable(checker_, resp.object_off, total,
                             "rcommit.put.commit");
     }

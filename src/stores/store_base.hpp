@@ -19,6 +19,7 @@
 #include <memory>
 
 #include "analysis/checker.hpp"
+#include "common/contracts.hpp"
 #include "common/status.hpp"
 #include "fault/fault.hpp"
 #include "kv/data_pool.hpp"
@@ -59,6 +60,9 @@ struct ServerStats {
 /// recovery never trusts, so a durability claim must not cover that word.
 inline void assert_object_durable(analysis::Checker* checker, MemOffset off,
                                   std::size_t span, const char* site) {
+  // Static contract: every call site of this dynamic claim must already be
+  // dominated by persist evidence on all paths (efac-check rule EFAC001).
+  EFAC_FN_REQUIRES_DURABLE();
   if (checker == nullptr) return;
   constexpr std::size_t kResume = kv::ObjectLayout::kNextPtrFieldOff + 8;
   checker->assert_durable(off, kv::ObjectLayout::kNextPtrFieldOff, site);

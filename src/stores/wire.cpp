@@ -1,5 +1,7 @@
 #include "stores/wire.hpp"
 
+#include "common/contracts.hpp"
+
 namespace efac::stores {
 
 Bytes AllocRequest::encode() const {
@@ -10,7 +12,7 @@ Bytes AllocRequest::encode() const {
   w.put_blob(key);
   // Optional tail: present only for adaptive-read clients, so the wire
   // size (which feeds the latency model) is unchanged for everyone else.
-  if (want_hint) w.put_u8(1);
+  if (want_hint) EFAC_WIRE_TAIL("alloc_req.want_hint"), w.put_u8(1);
   return std::move(w).take();
 }
 
@@ -22,7 +24,8 @@ AllocRequest AllocRequest::decode(BytesView raw) {
   req.crc = r.get_u32();
   const BytesView key = r.get_blob();
   req.key.assign(key.begin(), key.end());
-  req.want_hint = !r.exhausted() && r.get_u8() != 0;
+  req.want_hint = (EFAC_WIRE_TAIL("alloc_req.want_hint"),
+                   !r.exhausted() && r.get_u8() != 0);
   return req;
 }
 
@@ -33,7 +36,10 @@ Bytes AllocResponse::encode() const {
   w.put_u32(token);
   w.put_u64(entry_off);
   // Optional tail, mirroring AllocRequest::want_hint.
-  if (carry_hint) w.put_u64(static_cast<std::uint64_t>(durable_eta));
+  if (carry_hint) {
+    EFAC_WIRE_TAIL("alloc_resp.durable_eta");
+    w.put_u64(static_cast<std::uint64_t>(durable_eta));
+  }
   return std::move(w).take();
 }
 
@@ -45,6 +51,7 @@ AllocResponse AllocResponse::decode(BytesView raw) {
   resp.token = r.get_u32();
   resp.entry_off = r.get_u64();
   if (!r.exhausted()) {
+    EFAC_WIRE_TAIL("alloc_resp.durable_eta");
     resp.carry_hint = true;
     resp.durable_eta = static_cast<SimTime>(r.get_u64());
   }
@@ -94,7 +101,7 @@ Bytes GetLocRequest::encode() const {
   w.put_blob(key);
   // Optional tail, mirroring AllocRequest::want_hint: only adaptive-read
   // clients pay the extra wire byte.
-  if (want_hint) w.put_u8(1);
+  if (want_hint) EFAC_WIRE_TAIL("get_loc_req.want_hint"), w.put_u8(1);
   return std::move(w).take();
 }
 
@@ -103,7 +110,8 @@ GetLocRequest GetLocRequest::decode(BytesView raw) {
   GetLocRequest req;
   const BytesView key = r.get_blob();
   req.key.assign(key.begin(), key.end());
-  req.want_hint = !r.exhausted() && r.get_u8() != 0;
+  req.want_hint = (EFAC_WIRE_TAIL("get_loc_req.want_hint"),
+                   !r.exhausted() && r.get_u8() != 0);
   return req;
 }
 
@@ -114,7 +122,10 @@ Bytes LocResponse::encode() const {
   w.put_u32(klen);
   w.put_u32(vlen);
   // Optional tail, present only when the request asked for it.
-  if (carry_hint) w.put_u8(was_durable ? 1 : 0);
+  if (carry_hint) {
+    EFAC_WIRE_TAIL("loc_resp.was_durable");
+    w.put_u8(was_durable ? 1 : 0);
+  }
   return std::move(w).take();
 }
 
@@ -126,6 +137,7 @@ LocResponse LocResponse::decode(BytesView raw) {
   resp.klen = r.get_u32();
   resp.vlen = r.get_u32();
   if (!r.exhausted()) {
+    EFAC_WIRE_TAIL("loc_resp.was_durable");
     resp.carry_hint = true;
     resp.was_durable = r.get_u8() != 0;
   }

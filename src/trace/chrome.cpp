@@ -435,6 +435,10 @@ void write_binary(std::ostream& os,
 }
 
 Status read_binary(std::string_view data, std::vector<EventLog::Snapshot>* out) {
+  // Contract (locked by FlightRecorder.RejectedDumpLeavesOutputEmpty and
+  // the eftr_fuzz target): on ANY error *out is left empty — a torn
+  // half-parsed snapshot must never reach trace_inspect's attribution.
+  out->clear();
   BinReader r{data};
   if (data.size() < 12 || data.compare(0, 4, kMagic, 4) != 0) {
     return invalid("not an EFTR trace dump");
@@ -445,7 +449,6 @@ Status read_binary(std::string_view data, std::vector<EventLog::Snapshot>* out) 
     return invalid("unsupported EFTR version " + std::to_string(version));
   }
   const std::uint32_t snap_count = r.u32();
-  out->clear();
   for (std::uint32_t s = 0; s < snap_count && r.ok; ++s) {
     EventLog::Snapshot snap;
     snap.label = r.str();
@@ -456,6 +459,7 @@ Status read_binary(std::string_view data, std::vector<EventLog::Snapshot>* out) 
     snap.dropped = r.u64();
     const std::uint64_t event_count = r.u64();
     if (!r.ok || (data.size() - r.pos) / 32 < event_count) {
+      out->clear();
       return invalid("truncated EFTR dump");
     }
     snap.events.reserve(event_count);
@@ -471,10 +475,17 @@ Status read_binary(std::string_view data, std::vector<EventLog::Snapshot>* out) 
       e.aux = static_cast<std::uint8_t>(packed >> 24);
       snap.events.push_back(e);
     }
+    if (!r.ok) break;  // don't surface the torn snapshot
     out->push_back(std::move(snap));
   }
-  if (!r.ok) return invalid("truncated EFTR dump");
-  if (r.pos != data.size()) return invalid("trailing data after EFTR dump");
+  if (!r.ok) {
+    out->clear();
+    return invalid("truncated EFTR dump");
+  }
+  if (r.pos != data.size()) {
+    out->clear();
+    return invalid("trailing data after EFTR dump");
+  }
   return Status::ok();
 }
 

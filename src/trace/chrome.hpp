@@ -43,6 +43,8 @@ void write_binary(std::ostream& os,
     const std::vector<EventLog::Snapshot>& snapshots);
 
 /// Parse a binary dump back into snapshots (trace_inspect's reader).
+/// All-or-nothing: on any error `*out` is left empty — no torn partial
+/// snapshots. Fuzzed by fuzz/eftr_fuzz.cpp (docs/STATIC_ANALYSIS.md).
 [[nodiscard]] Status read_binary(std::string_view data,
                                  std::vector<EventLog::Snapshot>* out);
 

@@ -169,6 +169,31 @@ TEST(FlightRecorder, BinaryDumpRoundTrips) {
   EXPECT_FALSE(read_binary(blob + "x", &parsed).is_ok());
 }
 
+TEST(FlightRecorder, RejectedDumpLeavesOutputEmpty) {
+  // All-or-nothing reader contract (found while building the eftr_fuzz
+  // harness): a rejected dump must not hand trace_inspect a torn,
+  // half-parsed snapshot — and a bad magic must clear stale output from
+  // a previous successful parse.
+  const TracedRun run = run_traced(SystemKind::kEFactory, true);
+  const std::string blob = to_binary({run.snapshot, run.snapshot});
+  std::vector<EventLog::Snapshot> parsed;
+  ASSERT_TRUE(read_binary(blob, &parsed).is_ok());
+  ASSERT_FALSE(parsed.empty());
+
+  // Truncated mid-second-snapshot: the first snapshot parsed fine, but
+  // the error must discard it too.
+  EXPECT_FALSE(read_binary(blob.substr(0, blob.size() - 7), &parsed).is_ok());
+  EXPECT_TRUE(parsed.empty());
+
+  ASSERT_TRUE(read_binary(blob, &parsed).is_ok());
+  EXPECT_FALSE(read_binary("not an EFTR dump", &parsed).is_ok());
+  EXPECT_TRUE(parsed.empty());
+
+  ASSERT_TRUE(read_binary(blob, &parsed).is_ok());
+  EXPECT_FALSE(read_binary(blob + "x", &parsed).is_ok());
+  EXPECT_TRUE(parsed.empty());
+}
+
 TEST(FlightRecorder, RingDropsOldestFirstAndCountsDrops) {
   sim::Simulator sim;
   EventLog log{sim, 8};

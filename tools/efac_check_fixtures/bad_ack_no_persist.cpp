@@ -1,0 +1,39 @@
+// EFAC001: the classic persist-before-ack violation — a durability-
+// claiming reply sent with no flush+fence on one path. Shape: SAW-style
+// persist handler that forgets the flush on the index-miss path.
+#include "common/contracts.hpp"
+
+struct Arena {
+  void flush(unsigned long off, unsigned long len);
+};
+struct Replier {
+  void reply(int status);
+};
+
+void ack_without_any_persist(Arena& arena, Replier r) {
+  // No flush anywhere: every path reaches the ack bare.
+  EFAC_ACK_SITE("fixture.bare_ack");  // EXPECT: EFAC001
+  r.reply(0);
+}
+
+void ack_with_persist_on_one_path_only(Arena& arena, Replier r, bool hit) {
+  if (hit) {
+    arena.flush(0, 64);
+    EFAC_PERSISTS("fixture.hit_path");
+  }
+  // The miss path (hit == false) falls through to the claim unpersisted
+  // and without EFAC_NO_CLAIM.
+  EFAC_ACK_SITE("fixture.half_covered_ack");  // EXPECT: EFAC001
+  r.reply(0);
+}
+
+void ack_properly_covered(Arena& arena, Replier r, bool hit) {
+  if (hit) {
+    arena.flush(0, 64);
+    EFAC_PERSISTS("fixture.hit_path");
+  } else {
+    EFAC_NO_CLAIM("fixture.miss_is_error_reply");
+  }
+  EFAC_ACK_SITE("fixture.covered_ack");
+  r.reply(0);
+}

@@ -1,0 +1,44 @@
+// EFAC004: every call_begin needs a call_finish or call_abandon before
+// the function gives up control for good — a leaked PendingCall pins its
+// slot and the reply waiter forever. Shape: the PR 8 hedged-GET path,
+// minus the abandon.
+struct Connection {
+  int call_begin(int opcode);
+  void call_finish(int id);
+  void call_abandon(int id);
+};
+
+int leak_every_path(Connection& conn) {
+  const int id = conn.call_begin(3);
+  return id;  // EXPECT: EFAC004  (never finished nor abandoned)
+}
+
+int leak_from_branch(Connection& conn, bool hedge) {
+  int id = -1;
+  if (hedge) {
+    // branch-local begin: the optimistic path merge stays silent, but
+    // the whole function lacks any finish/abandon — tier A reports at
+    // the begin
+    id = conn.call_begin(3);  // EXPECT: EFAC004
+  }
+  return id;
+}
+
+int leak_on_early_return(Connection& conn, bool fast_path) {
+  const int id = conn.call_begin(3);
+  if (fast_path) {
+    return -1;  // EXPECT: EFAC004
+  }
+  conn.call_finish(id);
+  return id;
+}
+
+int balanced_hedge(Connection& conn, bool hedge_won) {
+  const int id = conn.call_begin(3);
+  if (hedge_won) {
+    conn.call_abandon(id);
+    return -1;
+  }
+  conn.call_finish(id);
+  return id;
+}

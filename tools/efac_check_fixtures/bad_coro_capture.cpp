@@ -1,0 +1,50 @@
+// EFAC005: a capturing lambda that is itself a coroutine. The lambda
+// object (where captures live) is destroyed once the coroutine suspends;
+// every capture dangles on resume. These three are the exact shapes the
+// old regex lint (scripts/check_coro_captures.py pre-PR 9) missed.
+namespace sim {
+template <typename T>
+struct Task {
+  bool await_ready();
+};
+}  // namespace sim
+
+struct Server {
+  int port;
+  void run();
+};
+
+void spawn_all(Server& server, int arr[4], int i) {
+  // 1. whitespace between Task and its argument list defeated the old
+  //    `-> sim::Task<` pattern
+  auto bad_ws = [&server]() -> sim::Task <void> {  // EXPECT: EFAC005
+    co_await server_ready(server);
+    server.run();
+  };
+
+  // 2. nested brackets inside the capture list defeated `[^\[\]]+`
+  auto bad_nested = [x = arr[i]]() -> sim::Task<int> {  // EXPECT: EFAC005
+    co_return x;
+  };
+
+  // 3. deduced return type: no Task<...> in the signature at all, only
+  //    the co_return in the body reveals the coroutine
+  auto bad_deduced = [&server] {  // EXPECT: EFAC005
+    co_return;
+  };
+
+  // capture-free coroutine lambdas are the sanctioned pattern
+  auto good = [](Server& s) -> sim::Task<void> {
+    co_await server_ready(s);
+    s.run();
+  };
+
+  // capturing NON-coroutine lambdas are fine
+  auto also_good = [&server] { server.run(); };
+
+  (void)bad_ws;
+  (void)bad_nested;
+  (void)bad_deduced;
+  (void)good;
+  (void)also_good;
+}

@@ -1,0 +1,37 @@
+// EFAC002: a function whose signature promises "returns == durable or
+// explicitly claims nothing", with one return path that breaks the
+// promise. Shape: verify_and_persist with a torn-object early-out the
+// author forgot to mark EFAC_NO_CLAIM.
+#include "common/contracts.hpp"
+
+struct Obj {
+  bool verify_crc() const;
+  void flush_all();
+};
+
+bool broken_promise(Obj& obj, bool meta_ok) {
+  EFAC_FN_ESTABLISHES_DURABLE();
+  if (!meta_ok) {
+    return false;  // EXPECT: EFAC002
+  }
+  if (!obj.verify_crc()) {
+    EFAC_NO_CLAIM("fixture.torn");
+    return false;  // fine: explicitly claims nothing
+  }
+  obj.flush_all();
+  EFAC_PERSISTS("fixture.flush_fence");
+  return true;  // fine: persisted
+}
+
+bool promise_broken_by_fallthrough(Obj& obj, int tries) {
+  EFAC_FN_ESTABLISHES_DURABLE();
+  for (int i = 0; i < tries; ++i) {
+    if (obj.verify_crc()) {
+      obj.flush_all();
+      EFAC_PERSISTS("fixture.loop_flush");
+      return true;
+    }
+  }
+  // exhausting the loop falls out with no persist and no NO_CLAIM
+  return false;  // EXPECT: EFAC002
+}

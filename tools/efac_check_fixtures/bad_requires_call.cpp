@@ -1,0 +1,39 @@
+// EFAC001 (REQUIRES form): calling a function that demands durability
+// evidence without establishing it first. Shape: assert_object_durable
+// reached before the verifier flushed — exactly what the dynamic checker
+// can only catch on executed schedules.
+#include "common/contracts.hpp"
+
+void fixture_assert_durable(unsigned long off, unsigned long span) {
+  EFAC_FN_REQUIRES_DURABLE();
+  (void)off;
+  (void)span;
+}
+
+bool fixture_verify(unsigned long off) {
+  EFAC_FN_ESTABLISHES_DURABLE();
+  if (off == 0) {
+    EFAC_NO_CLAIM("fixture.verify.null");
+    return false;
+  }
+  EFAC_PERSISTS("fixture.verify.flushed");
+  return true;
+}
+
+void claim_before_evidence(unsigned long off) {
+  fixture_assert_durable(off, 64);  // EXPECT: EFAC001
+}
+
+void claim_in_wrong_branch(unsigned long off) {
+  if (fixture_verify(off)) {
+    fixture_assert_durable(off, 64);  // fine: success branch
+  } else {
+    // failure branch of the establishing call: no evidence here
+    fixture_assert_durable(off, 64);  // EXPECT: EFAC001
+  }
+}
+
+void claim_after_unconditional_persist(unsigned long off) {
+  EFAC_PERSISTS("fixture.direct");
+  fixture_assert_durable(off, 64);  // fine
+}

@@ -1,0 +1,29 @@
+// EFAC006: `.finish()` on something that is not a locally declared
+// metrics::Span. The RAII balance argument (every span closes exactly
+// once) only holds for spans whose lifetime the function owns.
+namespace metrics {
+struct Tracer {};
+struct Span {
+  Span(Tracer& t, const char* name);
+  void finish();
+};
+}  // namespace metrics
+
+struct Holder {
+  metrics::Span* stolen;
+};
+
+void finish_owned_span(metrics::Tracer& tracer) {
+  metrics::Span op_span{tracer, "fixture.op"};
+  op_span.finish();  // fine: declared above
+}
+
+void finish_foreign_span(Holder& h) {
+  // not a Span declared in this function — double-finish risk
+  h.stolen->finish();
+}
+
+void finish_unknown_name(Holder& h, metrics::Span& borrowed) {
+  borrowed.finish();  // EXPECT: EFAC006
+  (void)h;
+}

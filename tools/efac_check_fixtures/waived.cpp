@@ -1,0 +1,27 @@
+// Waiver syntax calibration: a real violation silenced by an
+// `efac-waive` comment with a reason produces no finding; a waiver
+// WITHOUT a reason is itself an error (reported under the waived rule).
+#include "common/contracts.hpp"
+
+struct Replier {
+  void reply(int status);
+};
+
+void waived_on_same_line(Replier r) {
+  EFAC_ACK_SITE("wv.a");  // efac-waive: EFAC001 fixture calibrates waiver
+  r.reply(0);
+}
+
+void waived_on_line_above(Replier r) {
+  // efac-waive: EFAC001 reply carries no durability bit on this opcode
+  EFAC_ACK_SITE("wv.b");
+  r.reply(0);
+}
+
+void reasonless_waiver_is_an_error(Replier r) {
+  // the missing reason is reported on the waiver's own line, and the
+  // un-waived violation still fires too
+  // efac-waive: EFAC001 EXPECT: EFAC001
+  EFAC_ACK_SITE("wv.c");  // EXPECT: EFAC001
+  r.reply(0);
+}
