@@ -6,6 +6,7 @@
 #include <memory>
 #include <utility>
 
+#include "metrics/telemetry.hpp"
 #include "stores/efactory.hpp"
 #include "trace/chrome.hpp"
 
@@ -51,6 +52,14 @@ std::vector<trace::EventLog::Snapshot> g_trace_snapshots;
 // --batch= state (default 1 = plain sync ops through the runner).
 std::size_t g_batch = 1;
 
+// --telemetry / --slo= state: sampler on/off, an optional period override
+// (0 = keep the TelemetryOptions default), the pre-validated rule texts,
+// and the snapshots adopted from each sampled run, in measurement order.
+bool g_telemetry = false;
+SimDuration g_telem_period = 0;
+std::vector<std::string> g_slo_rules;
+std::vector<metrics::TelemetrySnapshot> g_telem_snapshots;
+
 }  // namespace
 
 metrics::MetricsRegistry& metrics_sink() {
@@ -77,11 +86,27 @@ void maybe_adopt_trace(stores::StoreBase& store, std::string label) {
   g_trace_snapshots.push_back(log->snapshot(std::move(label)));
 }
 
+bool telemetry_requested() { return g_telemetry; }
+
+void maybe_enable_telemetry(stores::StoreConfig& config) {
+  if (!g_telemetry) return;
+  config.telemetry.enabled = true;
+  if (g_telem_period > 0) config.telemetry.period_ns = g_telem_period;
+  config.telemetry.slo_rules = g_slo_rules;
+}
+
+void maybe_adopt_telemetry(stores::StoreBase& store, std::string label) {
+  metrics::TelemetrySampler* sampler = store.telemetry();
+  if (sampler == nullptr) return;
+  g_telem_snapshots.push_back(sampler->snapshot(std::move(label)));
+}
+
 Histogram measure_put_latency(SystemKind kind, std::size_t value_len,
                               std::size_t ops, std::uint64_t seed) {
   auto sim = std::make_unique<sim::Simulator>();
   stores::StoreConfig config = latency_config(value_len, ops, seed);
   maybe_enable_trace(config);
+  maybe_enable_telemetry(config);
   Cluster cluster = stores::make_cluster(*sim, kind, config);
   cluster.start();
   stores::ClientOptions copts;
@@ -114,6 +139,7 @@ Histogram measure_put_latency(SystemKind kind, std::size_t value_len,
   metrics_sink().merge_from(client->metrics(), prefix);
   metrics_sink().merge_from(cluster.store->metrics(), prefix);
   maybe_adopt_trace(*cluster.store, prefix);
+  maybe_adopt_telemetry(*cluster.store, prefix);
   sim.reset();
   return hist;
 }
@@ -123,6 +149,7 @@ Histogram measure_get_latency(SystemKind kind, std::size_t value_len,
   auto sim = std::make_unique<sim::Simulator>();
   stores::StoreConfig config = latency_config(value_len, 512, seed);
   maybe_enable_trace(config);
+  maybe_enable_telemetry(config);
   Cluster cluster = stores::make_cluster(*sim, kind, config);
   cluster.start();
   stores::ClientOptions copts;
@@ -174,6 +201,7 @@ Histogram measure_get_latency(SystemKind kind, std::size_t value_len,
   metrics_sink().merge_from(client->metrics(), prefix);
   metrics_sink().merge_from(cluster.store->metrics(), prefix);
   maybe_adopt_trace(*cluster.store, prefix);
+  maybe_adopt_telemetry(*cluster.store, prefix);
   sim.reset();
   return hist;
 }
@@ -198,6 +226,7 @@ workload::RunResult throughput_run(SystemKind kind, workload::Mix mix,
   auto sim = std::make_unique<sim::Simulator>();
   stores::StoreConfig config = workload::sized_store_config(options);
   maybe_enable_trace(config);
+  maybe_enable_telemetry(config);
   Cluster cluster = stores::make_cluster(*sim, kind, config);
   workload::RunResult result = workload::run_workload(*sim, cluster, options);
   std::string label = "run/";
@@ -207,7 +236,8 @@ workload::RunResult throughput_run(SystemKind kind, workload::Mix mix,
   label += "/";
   label += size_label(value_len);
   label += "/";
-  maybe_adopt_trace(*cluster.store, std::move(label));
+  maybe_adopt_trace(*cluster.store, label);
+  maybe_adopt_telemetry(*cluster.store, std::move(label));
   sim.reset();
   return result;
 }
@@ -237,10 +267,11 @@ workload::RunResult sharded_throughput_run(SystemKind kind,
   cluster_config.num_shards = shards;
   cluster_config.store = workload::sized_store_config(options);
   maybe_enable_trace(cluster_config.store);
+  maybe_enable_telemetry(cluster_config.store);
   stores::ShardedCluster cluster =
       stores::make_sharded_cluster(*sim, kind, std::move(cluster_config));
   workload::RunResult result = workload::run_workload(*sim, cluster, options);
-  if (trace_requested()) {
+  if (trace_requested() || telemetry_requested()) {
     std::string label = "shard/";
     label += workload::to_string(mix);
     label += "/";
@@ -250,6 +281,8 @@ workload::RunResult sharded_throughput_run(SystemKind kind,
     label += "/";
     for (std::size_t s = 0; s < cluster.num_shards(); ++s) {
       maybe_adopt_trace(cluster.store(s), label + "s" + std::to_string(s));
+      maybe_adopt_telemetry(cluster.store(s),
+                            label + "s" + std::to_string(s));
     }
   }
   sim.reset();
@@ -459,6 +492,48 @@ int bench_main(int argc, char** argv, std::string_view figure) {
     constexpr std::string_view kSystemFlag = "--system=";
     constexpr std::string_view kTraceFlag = "--trace-out=";
     constexpr std::string_view kBatchFlag = "--batch=";
+    constexpr std::string_view kTelemetryFlag = "--telemetry";
+    constexpr std::string_view kSloFlag = "--slo=";
+    if (arg == kTelemetryFlag || arg.rfind("--telemetry=", 0) == 0) {
+      g_telemetry = true;
+      if (arg.size() > kTelemetryFlag.size()) {
+        const std::string value{arg.substr(kTelemetryFlag.size() + 1)};
+        char* end = nullptr;
+        const unsigned long long parsed =
+            std::strtoull(value.c_str(), &end, 10);
+        if (value.empty() || end == nullptr || *end != '\0' || parsed == 0) {
+          std::cerr << "--telemetry= needs a period in virtual ns"
+                    << std::endl;
+          return 1;
+        }
+        g_telem_period = static_cast<SimDuration>(parsed);
+      }
+      continue;
+    }
+    if (arg.rfind(kSloFlag, 0) == 0) {
+      // Semicolon-separated because rule text contains commas
+      // (ratio(a, b) > 0.5). --slo implies telemetry.
+      std::string_view rules = arg.substr(kSloFlag.size());
+      while (!rules.empty()) {
+        const std::size_t semi = std::min(rules.find(';'), rules.size());
+        const std::string_view text = rules.substr(0, semi);
+        rules.remove_prefix(std::min(semi + 1, rules.size()));
+        if (text.empty()) continue;
+        const Expected<metrics::SloRule> rule = metrics::SloRule::parse(text);
+        if (!rule) {
+          std::cerr << "bad --slo rule \"" << text
+                    << "\": " << rule.status().to_string() << std::endl;
+          return 1;
+        }
+        g_slo_rules.emplace_back(text);
+      }
+      if (g_slo_rules.empty()) {
+        std::cerr << "--slo= needs at least one rule" << std::endl;
+        return 1;
+      }
+      g_telemetry = true;
+      continue;
+    }
     if (arg.rfind(kBatchFlag, 0) == 0) {
       const std::string value{arg.substr(kBatchFlag.size())};
       char* end = nullptr;
@@ -546,6 +621,48 @@ int bench_main(int argc, char** argv, std::string_view figure) {
     }
     std::cout << g_trace_snapshots.size() << " trace snapshot(s) exported to "
               << g_trace_path << " (+ .bin)" << std::endl;
+  }
+
+  if (telemetry_requested()) {
+    // Same self-check discipline as the trace export: a document our own
+    // validator rejects should fail the bench, not the downstream tool.
+    const std::string doc = metrics::to_telemetry_json(g_telem_snapshots,
+                                                       figure);
+    if (const Status valid = metrics::validate_telemetry_json(doc);
+        !valid.is_ok()) {
+      std::cerr << "telemetry export failed validation: " << valid.to_string()
+                << std::endl;
+      return 1;
+    }
+    const std::string telem_path = "TELEM_" + std::string{figure} + ".json";
+    std::ofstream telem_out{telem_path};
+    telem_out << doc << "\n";
+    if (!telem_out) {
+      std::cerr << "failed to write " << telem_path << std::endl;
+      return 1;
+    }
+    std::cout << g_telem_snapshots.size()
+              << " telemetry snapshot(s) exported to " << telem_path
+              << std::endl;
+
+    if (!g_slo_rules.empty()) {
+      std::size_t total = 0;
+      for (const metrics::TelemetrySnapshot& snap : g_telem_snapshots) {
+        for (const metrics::SloViolation& v : snap.violations) {
+          std::cerr << "SLO violation [" << snap.label << "] " << v.rule
+                    << " — value " << v.value << " vs threshold "
+                    << v.threshold << " at t=" << v.t_ns << "ns" << std::endl;
+          ++total;
+        }
+        total += snap.violations_dropped;
+      }
+      if (total > 0) {
+        std::cerr << total << " SLO violation(s); failing the run"
+                  << std::endl;
+        return 2;
+      }
+      std::cout << "SLO watchdog: all rules held" << std::endl;
+    }
   }
   return 0;
 }

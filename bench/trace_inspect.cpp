@@ -14,7 +14,15 @@
 //       (RPC delivery by call id, verifier scan/flush/durability-flag by
 //       object offset) and, for GETs, which path the read took and why it
 //       fell back to RPC.
+//
+//   trace_inspect timeline [--perfetto=<out.json>] <TELEM.json>
+//       Read a bench's TELEM_<figure>.json telemetry export
+//       (efac.telemetry.v1), print a per-snapshot summary table of every
+//       sampled series (kind, points, min/max/mean/last) plus recorded SLO
+//       violations, and optionally re-emit the series as Chrome/Perfetto
+//       counter tracks ("ph":"C") for timeline rendering in the UI.
 #include <algorithm>
+#include <bit>
 #include <cstdlib>
 #include <cstring>
 #include <fstream>
@@ -25,6 +33,8 @@
 #include <string>
 #include <vector>
 
+#include "common/table.hpp"
+#include "metrics/telemetry.hpp"
 #include "trace/chrome.hpp"
 #include "trace/event_log.hpp"
 
@@ -123,6 +133,11 @@ std::string render_event(const EventLog::Snapshot& snap, const Event& ev,
       break;
     case EventType::kObjBind:
       os << " off=" << ev.a;
+      break;
+    case EventType::kSloViolation:
+      os << " rule=" << static_cast<int>(ev.aux)
+         << " value=" << std::bit_cast<double>(ev.a)
+         << " threshold=" << std::bit_cast<double>(ev.b);
       break;
     default:
       break;
@@ -385,10 +400,126 @@ int cmd_explain(const char* path, int slowest) {
   return 0;
 }
 
+/// Perfetto/Chrome counter-track export of the telemetry series: one
+/// process per snapshot (named by its label via process_name metadata),
+/// one "ph":"C" counter event per retained tick. Rates and gauges render
+/// as stacked counter tracks in the timeline UI.
+std::string to_perfetto_counters(
+    const std::vector<metrics::TelemetrySnapshot>& snapshots) {
+  std::ostringstream os;
+  os.setf(std::ios::fixed);
+  os.precision(3);
+  os << "{\"traceEvents\":[";
+  bool first = true;
+  for (std::size_t s = 0; s < snapshots.size(); ++s) {
+    const metrics::TelemetrySnapshot& snap = snapshots[s];
+    const std::size_t pid = s + 1;
+    if (!first) os << ",";
+    first = false;
+    os << "{\"ph\":\"M\",\"name\":\"process_name\",\"pid\":" << pid
+       << ",\"args\":{\"name\":\""
+       << (snap.label.empty() ? "<unlabelled>" : snap.label) << "\"}}";
+    for (const metrics::TelemetrySnapshot::Series& series : snap.series) {
+      for (std::size_t i = 0; i < series.points.size(); ++i) {
+        // Chrome trace timestamps are microseconds.
+        const double ts =
+            static_cast<double>(snap.start_ns +
+                                i * snap.period_ns) /
+            1000.0;
+        os << ",{\"ph\":\"C\",\"name\":\"" << series.name
+           << "\",\"pid\":" << pid << ",\"tid\":0,\"ts\":" << ts
+           << ",\"args\":{\"value\":" << series.points[i] << "}}";
+      }
+    }
+  }
+  os << "]}";
+  return os.str();
+}
+
+int cmd_timeline(const char* path, const char* perfetto_out) {
+  std::ifstream in{path};
+  if (!in) {
+    std::cerr << "trace_inspect: cannot open " << path << "\n";
+    return 1;
+  }
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  const Expected<std::vector<metrics::TelemetrySnapshot>> snapshots =
+      metrics::parse_telemetry_json(buffer.str());
+  if (!snapshots) {
+    std::cerr << "trace_inspect: " << path
+              << " is not a valid efac.telemetry.v1 document: "
+              << snapshots.status().to_string() << "\n";
+    return 1;
+  }
+
+  for (const metrics::TelemetrySnapshot& snap : *snapshots) {
+    std::ostringstream title;
+    title << "timeline ["
+          << (snap.label.empty() ? "<unlabelled>" : snap.label) << "]  "
+          << snap.samples << " sample(s) @ " << snap.period_ns << "ns";
+    if (snap.dropped != 0) {
+      title << "  (" << snap.dropped << " dropped by the ring)";
+    }
+    TextTable table{title.str()};
+    table.set_header({"series", "kind", "points", "min", "max", "mean",
+                      "last"});
+    for (const metrics::TelemetrySnapshot::Series& series : snap.series) {
+      if (series.points.empty()) {
+        table.add_row({series.name,
+                       series.kind == metrics::SeriesKind::kRate ? "rate"
+                                                                 : "gauge",
+                       "0", "-", "-", "-", "-"});
+        continue;
+      }
+      double lo = series.points.front();
+      double hi = lo;
+      double sum = 0.0;
+      for (const double v : series.points) {
+        lo = std::min(lo, v);
+        hi = std::max(hi, v);
+        sum += v;
+      }
+      table.add_row(
+          {series.name,
+           series.kind == metrics::SeriesKind::kRate ? "rate" : "gauge",
+           std::to_string(series.points.size()), TextTable::num(lo),
+           TextTable::num(hi),
+           TextTable::num(sum / static_cast<double>(series.points.size())),
+           TextTable::num(series.points.back())});
+    }
+    table.print(std::cout);
+    for (const metrics::SloViolation& v : snap.violations) {
+      std::cout << "  SLO violation: " << v.rule << " — value " << v.value
+                << " vs threshold " << v.threshold << " at t=" << v.t_ns
+                << "ns\n";
+    }
+    if (snap.violations_dropped != 0) {
+      std::cout << "  (" << snap.violations_dropped
+                << " further violation(s) dropped)\n";
+    }
+    std::cout << "\n";
+  }
+
+  if (perfetto_out != nullptr) {
+    std::ofstream out{perfetto_out};
+    out << to_perfetto_counters(*snapshots) << "\n";
+    if (!out) {
+      std::cerr << "trace_inspect: failed to write " << perfetto_out << "\n";
+      return 1;
+    }
+    std::cout << "perfetto counter tracks written to " << perfetto_out
+              << "\n";
+  }
+  return 0;
+}
+
 int usage() {
   std::cerr << "usage:\n"
                "  trace_inspect validate <trace.json>\n"
-               "  trace_inspect explain [--slowest=K] <trace.bin>\n";
+               "  trace_inspect explain [--slowest=K] <trace.bin>\n"
+               "  trace_inspect timeline [--perfetto=<out.json>] "
+               "<TELEM.json>\n";
   return 2;
 }
 
@@ -420,6 +551,26 @@ int main(int argc, char** argv) {
     }
     if (path == nullptr) return efac::trace::usage();
     return efac::trace::cmd_explain(path, slowest);
+  }
+  if (cmd == "timeline") {
+    const char* perfetto = nullptr;
+    const char* path = nullptr;
+    for (int i = 2; i < argc; ++i) {
+      constexpr const char* kPerfetto = "--perfetto=";
+      if (std::strncmp(argv[i], kPerfetto, 11) == 0) {
+        perfetto = argv[i] + 11;
+        if (*perfetto == '\0') {
+          std::cerr << "trace_inspect: --perfetto= needs a path\n";
+          return 2;
+        }
+      } else if (path == nullptr) {
+        path = argv[i];
+      } else {
+        return efac::trace::usage();
+      }
+    }
+    if (path == nullptr) return efac::trace::usage();
+    return efac::trace::cmd_timeline(path, perfetto);
   }
   return efac::trace::usage();
 }

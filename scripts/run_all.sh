@@ -44,8 +44,9 @@ for b in build/bench/*; do
     bench_json_check) continue ;;  # validator CLI, needs a file argument
     trace_inspect) continue ;;     # inspector CLI, runs after the benches
     fig2_get_breakdown)
-      # Also produce a flight-recorder export (validated below).
-      args+=(--trace-out=TRACE_fig2.json)
+      # Also produce a flight-recorder export and a telemetry timeline
+      # (both validated below).
+      args+=(--trace-out=TRACE_fig2.json --telemetry)
       [ "$SMOKE" -eq 1 ] && args+=(--system=Erda) ;;
     engine_bench)
       [ "$SMOKE" -eq 1 ] && args+=(--smoke) ;;
@@ -91,10 +92,49 @@ if [ "$status" -eq 0 ]; then
   ./build/bench/trace_inspect validate build/bench/TRACE_fig2.json
   ./build/bench/trace_inspect explain --slowest=5 \
     build/bench/TRACE_fig2.json.bin
+  # fig2 also ran with --telemetry: render its sampled timelines and emit
+  # the Perfetto counter-track export next to it.
+  ./build/bench/trace_inspect timeline \
+    --perfetto=build/bench/TELEM_fig2_counters.json \
+    build/bench/TELEM_fig2.json
   # fig10's shard family also exported the sharded-sweep metrics.
   ./build/bench/bench_json_check build/bench/BENCH_shard.json
   # The adaptive-read sweep (Fig. 9(c) deviation fix; docs/ADAPTIVE_READ.md).
   ./build/bench/bench_json_check build/bench/BENCH_adaptive.json
+  # The trend gate: deterministic virtual-time numbers must match the
+  # checked-in baselines within tolerance (see scripts/bench_compare.py).
+  python3 scripts/bench_compare.py --baselines bench/baselines \
+    --current build/bench
+fi
+
+# Collect every export into artifacts/ with a manifest, so a CI run (or a
+# colleague) gets one self-describing directory instead of a scavenger
+# hunt through build/bench/.
+if [ "$status" -eq 0 ]; then
+  rm -rf artifacts
+  mkdir -p artifacts
+  cp build/bench/BENCH_*.json build/bench/TELEM_*.json artifacts/
+  python3 - <<'EOF'
+import json, os
+entries = []
+for name in sorted(os.listdir("artifacts")):
+    if name == "MANIFEST.json":
+        continue
+    path = os.path.join("artifacts", name)
+    with open(path, encoding="utf-8") as f:
+        doc = json.load(f)
+    entries.append({
+        "file": name,
+        "schema": doc.get("schema", ""),
+        "figure": doc.get("figure", ""),
+        "bytes": os.path.getsize(path),
+    })
+manifest = {"schema": "efac.artifacts.v1", "artifacts": entries}
+with open("artifacts/MANIFEST.json", "w", encoding="utf-8") as f:
+    json.dump(manifest, f, indent=2)
+    f.write("\n")
+print(f"artifacts/: {len(entries)} export(s) + MANIFEST.json")
+EOF
 fi
 
 # Documentation must stay navigable: every doc reachable from README.md,

@@ -59,7 +59,7 @@ void append_u64(std::string& out, std::uint64_t value) {
 
 constexpr std::string_view kSchemaName = "efac.bench.v1";
 constexpr std::string_view kHistogramFields[] = {
-    "count", "sum", "min", "max", "mean", "p50", "p90", "p99"};
+    "count", "sum", "min", "max", "mean", "p50", "p90", "p95", "p99"};
 
 Status invalid(std::string message) {
   return Status{StatusCode::kInvalidArgument, std::move(message)};
@@ -165,6 +165,8 @@ std::string to_json(const MetricsRegistry& registry, std::string_view figure) {
     append_u64(out, h.cell.percentile(0.5));
     out += ", \"p90\": ";
     append_u64(out, h.cell.percentile(0.9));
+    out += ", \"p95\": ";
+    append_u64(out, h.cell.percentile(0.95));
     out += ", \"p99\": ";
     append_u64(out, h.cell.percentile(0.99));
     out += "}";

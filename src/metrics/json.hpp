@@ -11,7 +11,8 @@
 //     "histograms": { "<name>": { "count": <u64>, "sum": <u64>,
 //                                 "min": <u64>, "max": <u64>,
 //                                 "mean": <double>, "p50": <u64>,
-//                                 "p90": <u64>, "p99": <u64> }, ... }
+//                                 "p90": <u64>, "p95": <u64>,
+//                                 "p99": <u64> }, ... }
 //   }
 //
 // Histogram times are virtual nanoseconds. validate_bench_json() parses a

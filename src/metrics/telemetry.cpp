@@ -1,0 +1,731 @@
+#include "metrics/telemetry.hpp"
+
+#include <algorithm>
+#include <cctype>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+
+#include "common/assert.hpp"
+#include "common/json_reader.hpp"
+#include "sim/simulator.hpp"
+
+namespace efac::metrics {
+namespace {
+
+using json::Parser;
+
+constexpr std::string_view kTelemetrySchema = "efac.telemetry.v1";
+
+/// Violations are bounded like the event ring: a pathological rule cannot
+/// grow a run's memory without bound, and the drop count is reported.
+constexpr std::size_t kMaxViolations = 256;
+
+// ------------------------------------------------------------ rule parsing
+
+void eat_ws(std::string_view& s) {
+  while (!s.empty() && (s.front() == ' ' || s.front() == '\t')) {
+    s.remove_prefix(1);
+  }
+}
+
+bool ident_char(char c) {
+  return std::isalnum(static_cast<unsigned char>(c)) != 0 || c == '.' ||
+         c == '_' || c == '/' || c == '-';
+}
+
+std::string_view take_ident(std::string_view& s) {
+  eat_ws(s);
+  std::size_t n = 0;
+  while (n < s.size() && ident_char(s[n])) ++n;
+  const std::string_view out = s.substr(0, n);
+  s.remove_prefix(n);
+  return out;
+}
+
+// -------------------------------------------------------- JSON primitives
+// Same file-local writer helpers as metrics/json.cpp (deliberately static
+// there; the few lines are cheaper than a shared header).
+
+void append_escaped(std::string& out, std::string_view text) {
+  out += '"';
+  for (const char c : text) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  out += '"';
+}
+
+void append_double(std::string& out, double value) {
+  if (!std::isfinite(value)) value = 0.0;
+  char buf[40];
+  std::snprintf(buf, sizeof buf, "%.9g", value);
+  out += buf;
+}
+
+void append_u64(std::string& out, std::uint64_t value) {
+  out += std::to_string(value);
+}
+
+}  // namespace
+
+// ------------------------------------------------------------------ rules
+
+Expected<SloRule> SloRule::parse(std::string_view text) {
+  SloRule rule;
+  rule.text = std::string{text};
+  const auto fail = [&rule](std::string_view why) {
+    return Status{StatusCode::kInvalidArgument,
+                  "bad SLO rule \"" + rule.text + "\": " + std::string{why}};
+  };
+
+  std::string_view s = text;
+  const std::string_view fn = take_ident(s);
+  if (fn == "rate") {
+    rule.fn = Fn::kRate;
+  } else if (fn == "gauge") {
+    rule.fn = Fn::kGauge;
+  } else if (fn == "slope") {
+    rule.fn = Fn::kSlope;
+  } else if (fn == "ratio") {
+    rule.fn = Fn::kRatio;
+  } else {
+    return fail("unknown function (want rate/gauge/slope/ratio)");
+  }
+
+  eat_ws(s);
+  if (s.empty() || s.front() != '(') return fail("expected '('");
+  s.remove_prefix(1);
+  rule.series = std::string{take_ident(s)};
+  if (rule.series.empty()) return fail("expected a series name");
+  eat_ws(s);
+  if (!s.empty() && s.front() == ',') {
+    s.remove_prefix(1);
+    rule.denominator = std::string{take_ident(s)};
+    if (rule.denominator.empty()) return fail("expected a second series name");
+  }
+  if (rule.fn == Fn::kRatio && rule.denominator.empty()) {
+    return fail("ratio() takes two series");
+  }
+  if (rule.fn != Fn::kRatio && !rule.denominator.empty()) {
+    return fail("only ratio() takes two series");
+  }
+  eat_ws(s);
+  if (s.empty() || s.front() != ')') return fail("expected ')'");
+  s.remove_prefix(1);
+
+  eat_ws(s);
+  if (s.empty() || (s.front() != '>' && s.front() != '<')) {
+    return fail("expected '>' or '<'");
+  }
+  rule.greater = s.front() == '>';
+  s.remove_prefix(1);
+
+  eat_ws(s);
+  {
+    const std::string rest{s};
+    char* end = nullptr;
+    rule.threshold = std::strtod(rest.c_str(), &end);
+    if (end == rest.c_str()) return fail("expected a threshold number");
+    s.remove_prefix(static_cast<std::size_t>(end - rest.c_str()));
+  }
+
+  rule.window = rule.fn == Fn::kSlope ? 2 : 1;
+  eat_ws(s);
+  if (!s.empty()) {
+    if (take_ident(s) != "over") return fail("trailing junk (want 'over N')");
+    const std::string_view count = take_ident(s);
+    if (count.empty() ||
+        count.find_first_not_of("0123456789") != std::string_view::npos) {
+      return fail("expected a sample count after 'over'");
+    }
+    rule.window = static_cast<std::size_t>(
+        std::strtoul(std::string{count}.c_str(), nullptr, 10));
+    if (rule.window == 0) return fail("window must be at least 1");
+    eat_ws(s);
+    if (!s.empty()) return fail("trailing junk after window");
+  }
+  if (rule.fn == Fn::kSlope && rule.window < 2) {
+    return fail("slope needs a window of at least 2");
+  }
+  return rule;
+}
+
+// ---------------------------------------------------------------- sampler
+
+TelemetrySampler::TelemetrySampler(sim::Simulator& sim,
+                                   MetricsRegistry& registry,
+                                   TelemetryOptions options)
+    : sim_(sim),
+      options_(std::move(options)),
+      samples_counter_(registry.counter("telemetry.samples")),
+      violations_counter_(registry.counter("telemetry.slo_violations")) {
+  if (options_.capacity == 0) options_.capacity = 1;
+  if (options_.period_ns == 0) options_.period_ns = 1;
+  rules_.reserve(options_.slo_rules.size());
+  for (const std::string& text : options_.slo_rules) {
+    Expected<SloRule> parsed = SloRule::parse(text);
+    EFAC_CHECK_MSG(parsed.has_value(), parsed.status().to_string());
+    rules_.push_back(RuleState{std::move(parsed).take(), false});
+  }
+}
+
+TelemetrySampler::~TelemetrySampler() { *alive_ = false; }
+
+void TelemetrySampler::start() {
+  if (started_) return;
+  started_ = true;
+  arm();
+}
+
+void TelemetrySampler::stop() { started_ = false; }
+
+void TelemetrySampler::arm() {
+  sim_.call_after(options_.period_ns, [this, alive = alive_] {
+    if (!*alive || !started_) return;
+    sample_now();
+    arm();
+  });
+}
+
+TelemetrySampler::SeriesState& TelemetrySampler::series_for(
+    std::string_view name, SeriesKind kind) {
+  std::string full = options_.series_prefix;
+  full += name;
+  const auto it = series_index_.find(full);
+  if (it != series_index_.end()) {
+    SeriesState& s = series_[it->second];
+    EFAC_CHECK_MSG(s.kind == kind, "telemetry series \""
+                                       << full
+                                       << "\" registered with two kinds");
+    return s;
+  }
+  series_.push_back(SeriesState{full, kind, {}, {}, {}});
+  series_index_.emplace(std::move(full), series_.size() - 1);
+  SeriesState& s = series_.back();
+  // Backfill so every series stays tick-aligned even when a source shows
+  // up after sampling began (e.g. a client created mid-run).
+  const std::uint64_t have =
+      std::min<std::uint64_t>(samples_, options_.capacity);
+  s.ring.assign(static_cast<std::size_t>(have), 0.0);
+  return s;
+}
+
+void TelemetrySampler::add_counter_source(Owner owner, std::string_view name,
+                                          const Counter& cell) {
+  SeriesState& s = series_for(name, SeriesKind::kRate);
+  // Baseline at the current value: a mid-run registration contributes
+  // deltas from now on, not its whole history as one spike.
+  s.counters.push_back(CounterSource{owner, &cell, cell.value()});
+}
+
+void TelemetrySampler::add_gauge_probe(Owner owner, std::string_view name,
+                                       std::function<double()> probe) {
+  SeriesState& s = series_for(name, SeriesKind::kGauge);
+  s.gauges.push_back(GaugeProbe{owner, std::move(probe)});
+}
+
+void TelemetrySampler::drop_sources(Owner owner) {
+  for (SeriesState& s : series_) {
+    std::erase_if(s.counters,
+                  [owner](const CounterSource& c) { return c.owner == owner; });
+    std::erase_if(s.gauges,
+                  [owner](const GaugeProbe& g) { return g.owner == owner; });
+  }
+}
+
+std::uint64_t TelemetrySampler::dropped() const noexcept {
+  return samples_ > options_.capacity ? samples_ - options_.capacity : 0;
+}
+
+void TelemetrySampler::sample_now() {
+  const std::uint64_t t = sim_.now();
+  if (samples_ == 0) first_tick_ns_ = t;
+  ++samples_;
+  ++samples_counter_;
+  for (SeriesState& s : series_) {
+    double point = 0.0;
+    if (s.kind == SeriesKind::kRate) {
+      std::uint64_t delta = 0;
+      for (CounterSource& src : s.counters) {
+        const std::uint64_t now_value = src.cell->value();
+        // A registry reset() between phases rewinds cells; restart the
+        // baseline instead of producing a wrapped-around mega-delta.
+        delta += now_value >= src.last ? now_value - src.last : now_value;
+        src.last = now_value;
+      }
+      point = static_cast<double>(delta);
+    } else {
+      for (const GaugeProbe& g : s.gauges) point += g.probe();
+    }
+    s.ring.push_back(point);
+    if (s.ring.size() > options_.capacity) s.ring.pop_front();
+  }
+  evaluate_rules(t);
+}
+
+void TelemetrySampler::evaluate_rules(std::uint64_t t) {
+  for (std::size_t i = 0; i < rules_.size(); ++i) {
+    RuleState& state = rules_[i];
+    const SloRule& rule = state.rule;
+
+    const auto lookup = [this](const std::string& name) -> const SeriesState* {
+      const auto it = series_index_.find(options_.series_prefix + name);
+      return it == series_index_.end() ? nullptr : &series_[it->second];
+    };
+    const auto window_sum = [](const SeriesState& s, std::size_t w) {
+      double sum = 0.0;
+      for (std::size_t k = s.ring.size() - w; k < s.ring.size(); ++k) {
+        sum += s.ring[k];
+      }
+      return sum;
+    };
+
+    const SeriesState* primary = lookup(rule.series);
+    const std::size_t w = rule.window;
+    if (primary == nullptr || primary->ring.size() < w) {
+      state.active = false;
+      continue;
+    }
+
+    double value = 0.0;
+    switch (rule.fn) {
+      case SloRule::Fn::kRate:
+        value = window_sum(*primary, w) * 1e9 /
+                (static_cast<double>(w) *
+                 static_cast<double>(options_.period_ns));
+        break;
+      case SloRule::Fn::kGauge:
+        value = window_sum(*primary, w) / static_cast<double>(w);
+        break;
+      case SloRule::Fn::kSlope:
+        value = (primary->ring.back() - primary->ring[primary->ring.size() - w]) /
+                static_cast<double>(w - 1);
+        break;
+      case SloRule::Fn::kRatio: {
+        const SeriesState* denom = lookup(rule.denominator);
+        if (denom == nullptr || denom->ring.size() < w) {
+          state.active = false;
+          continue;
+        }
+        const double b = window_sum(*denom, w);
+        if (b == 0.0) {
+          state.active = false;
+          continue;
+        }
+        value = window_sum(*primary, w) / b;
+        break;
+      }
+    }
+
+    const bool tripped =
+        rule.greater ? value > rule.threshold : value < rule.threshold;
+    if (tripped && !state.active) {
+      ++violations_counter_;
+      const SloViolation v{rule.text, t, value, rule.threshold};
+      if (violations_.size() < kMaxViolations) {
+        violations_.push_back(v);
+      } else {
+        ++violations_dropped_;
+      }
+      if (hook_) hook_(v, i);
+    }
+    state.active = tripped;
+  }
+}
+
+TelemetrySnapshot TelemetrySampler::snapshot(std::string label) const {
+  TelemetrySnapshot snap;
+  snap.label = std::move(label);
+  snap.period_ns = options_.period_ns;
+  snap.samples = samples_;
+  snap.dropped = dropped();
+  snap.start_ns =
+      samples_ == 0 ? 0 : first_tick_ns_ + snap.dropped * options_.period_ns;
+  for (const SeriesState& s : series_) {
+    snap.series.push_back(TelemetrySnapshot::Series{
+        s.name, s.kind, {s.ring.begin(), s.ring.end()}});
+  }
+  snap.violations = violations_;
+  snap.violations_dropped = violations_dropped_;
+  return snap;
+}
+
+// ------------------------------------------------------------------ export
+
+std::string to_telemetry_json(const std::vector<TelemetrySnapshot>& snapshots,
+                              std::string_view figure) {
+  std::string out;
+  out += "{\n  \"schema\": ";
+  append_escaped(out, kTelemetrySchema);
+  out += ",\n  \"figure\": ";
+  append_escaped(out, figure);
+  out += ",\n  \"snapshots\": [";
+  bool first_snap = true;
+  for (const TelemetrySnapshot& snap : snapshots) {
+    out += first_snap ? "\n    {" : ",\n    {";
+    first_snap = false;
+    out += "\n      \"label\": ";
+    append_escaped(out, snap.label);
+    out += ",\n      \"period_ns\": ";
+    append_u64(out, snap.period_ns);
+    out += ",\n      \"start_ns\": ";
+    append_u64(out, snap.start_ns);
+    out += ",\n      \"samples\": ";
+    append_u64(out, snap.samples);
+    out += ",\n      \"dropped\": ";
+    append_u64(out, snap.dropped);
+    out += ",\n      \"series\": {";
+    bool first_series = true;
+    for (const TelemetrySnapshot::Series& s : snap.series) {
+      out += first_series ? "\n        " : ",\n        ";
+      first_series = false;
+      append_escaped(out, s.name);
+      out += ": {\"kind\": ";
+      append_escaped(out, s.kind == SeriesKind::kRate ? "rate" : "gauge");
+      out += ", \"points\": [";
+      bool first_point = true;
+      for (const double p : s.points) {
+        if (!first_point) out += ", ";
+        first_point = false;
+        append_double(out, p);
+      }
+      out += "]}";
+    }
+    out += first_series ? "}" : "\n      }";
+    out += ",\n      \"violations\": [";
+    bool first_violation = true;
+    for (const SloViolation& v : snap.violations) {
+      out += first_violation ? "\n        {" : ",\n        {";
+      first_violation = false;
+      out += "\"rule\": ";
+      append_escaped(out, v.rule);
+      out += ", \"t_ns\": ";
+      append_u64(out, v.t_ns);
+      out += ", \"value\": ";
+      append_double(out, v.value);
+      out += ", \"threshold\": ";
+      append_double(out, v.threshold);
+      out += "}";
+    }
+    out += first_violation ? "]" : "\n      ]";
+    out += ",\n      \"violations_dropped\": ";
+    append_u64(out, snap.violations_dropped);
+    out += "\n    }";
+  }
+  out += first_snap ? "]" : "\n  ]";
+  out += "\n}\n";
+  return out;
+}
+
+// ------------------------------------------------------------------ import
+
+namespace {
+
+Status invalid(std::string message) {
+  return Status{StatusCode::kInvalidArgument, std::move(message)};
+}
+
+/// Read a non-negative integral number into `out`.
+bool parse_count(Parser& p, std::string_view what, std::uint64_t& out,
+                 std::string& why) {
+  const Parser::Number num = p.parse_number();
+  if (p.failed() || !num.integral || num.value < 0) {
+    why = std::string{what} + " is not a non-negative integer";
+    return false;
+  }
+  out = static_cast<std::uint64_t>(num.value);
+  return true;
+}
+
+bool parse_violation(Parser& p, SloViolation& v, std::string& why) {
+  if (!p.expect('{')) {
+    why = "violation is not an object";
+    return false;
+  }
+  bool seen_rule = false;
+  bool seen_t = false;
+  bool seen_value = false;
+  bool seen_threshold = false;
+  if (!p.consume('}')) {
+    do {
+      const std::string key = p.parse_string();
+      if (!p.expect(':')) break;
+      if (key == "rule") {
+        v.rule = p.parse_string();
+        seen_rule = true;
+      } else if (key == "t_ns") {
+        if (!parse_count(p, "violation t_ns", v.t_ns, why)) return false;
+        seen_t = true;
+      } else if (key == "value") {
+        v.value = p.parse_number().value;
+        seen_value = true;
+      } else if (key == "threshold") {
+        v.threshold = p.parse_number().value;
+        seen_threshold = true;
+      } else {
+        p.skip_value();
+      }
+      if (p.failed()) break;
+    } while (p.consume(','));
+    if (!p.expect('}')) {
+      why = "violation object is malformed";
+      return false;
+    }
+  }
+  if (p.failed()) {
+    why = "violation parse error: " + p.error;
+    return false;
+  }
+  if (!seen_rule || !seen_t || !seen_value || !seen_threshold) {
+    why = "violation is missing a required field";
+    return false;
+  }
+  return true;
+}
+
+bool parse_series_entry(Parser& p, const std::string& name,
+                        TelemetrySnapshot::Series& s, std::string& why) {
+  s.name = name;
+  if (!p.expect('{')) {
+    why = "series \"" + name + "\" is not an object";
+    return false;
+  }
+  bool seen_kind = false;
+  bool seen_points = false;
+  if (!p.consume('}')) {
+    do {
+      const std::string key = p.parse_string();
+      if (!p.expect(':')) break;
+      if (key == "kind") {
+        const std::string kind = p.parse_string();
+        if (kind == "rate") {
+          s.kind = SeriesKind::kRate;
+        } else if (kind == "gauge") {
+          s.kind = SeriesKind::kGauge;
+        } else {
+          why = "series \"" + name + "\" has unknown kind \"" + kind + "\"";
+          return false;
+        }
+        seen_kind = true;
+      } else if (key == "points") {
+        if (!p.expect('[')) {
+          why = "series \"" + name + "\" points is not an array";
+          return false;
+        }
+        if (!p.consume(']')) {
+          do {
+            s.points.push_back(p.parse_number().value);
+            if (p.failed()) break;
+          } while (p.consume(','));
+          if (!p.expect(']')) {
+            why = "series \"" + name + "\" points array is malformed";
+            return false;
+          }
+        }
+        seen_points = true;
+      } else {
+        p.skip_value();
+      }
+      if (p.failed()) break;
+    } while (p.consume(','));
+    if (!p.expect('}')) {
+      why = "series \"" + name + "\" is malformed";
+      return false;
+    }
+  }
+  if (p.failed()) {
+    why = "series parse error: " + p.error;
+    return false;
+  }
+  if (!seen_kind || !seen_points) {
+    why = "series \"" + name + "\" is missing kind or points";
+    return false;
+  }
+  return true;
+}
+
+bool parse_snapshot(Parser& p, TelemetrySnapshot& snap, std::string& why) {
+  if (!p.expect('{')) {
+    why = "snapshot is not an object";
+    return false;
+  }
+  bool seen_label = false;
+  bool seen_period = false;
+  bool seen_samples = false;
+  bool seen_series = false;
+  if (!p.consume('}')) {
+    do {
+      const std::string key = p.parse_string();
+      if (!p.expect(':')) break;
+      if (key == "label") {
+        snap.label = p.parse_string();
+        seen_label = true;
+      } else if (key == "period_ns") {
+        if (!parse_count(p, "period_ns", snap.period_ns, why)) return false;
+        if (snap.period_ns == 0) {
+          why = "period_ns must be positive";
+          return false;
+        }
+        seen_period = true;
+      } else if (key == "start_ns") {
+        if (!parse_count(p, "start_ns", snap.start_ns, why)) return false;
+      } else if (key == "samples") {
+        if (!parse_count(p, "samples", snap.samples, why)) return false;
+        seen_samples = true;
+      } else if (key == "dropped") {
+        if (!parse_count(p, "dropped", snap.dropped, why)) return false;
+      } else if (key == "violations_dropped") {
+        if (!parse_count(p, "violations_dropped", snap.violations_dropped,
+                         why)) {
+          return false;
+        }
+      } else if (key == "series") {
+        if (!p.expect('{')) {
+          why = "series is not an object";
+          return false;
+        }
+        if (!p.consume('}')) {
+          do {
+            const std::string name = p.parse_string();
+            if (!p.expect(':')) break;
+            TelemetrySnapshot::Series s;
+            if (!parse_series_entry(p, name, s, why)) return false;
+            snap.series.push_back(std::move(s));
+          } while (p.consume(','));
+          if (!p.expect('}')) {
+            why = "series object is malformed";
+            return false;
+          }
+        }
+        seen_series = true;
+      } else if (key == "violations") {
+        if (!p.expect('[')) {
+          why = "violations is not an array";
+          return false;
+        }
+        if (!p.consume(']')) {
+          do {
+            SloViolation v;
+            if (!parse_violation(p, v, why)) return false;
+            snap.violations.push_back(std::move(v));
+          } while (p.consume(','));
+          if (!p.expect(']')) {
+            why = "violations array is malformed";
+            return false;
+          }
+        }
+      } else {
+        p.skip_value();
+      }
+      if (p.failed()) break;
+    } while (p.consume(','));
+    if (!p.expect('}')) {
+      why = "snapshot object is malformed";
+      return false;
+    }
+  }
+  if (p.failed()) {
+    why = "snapshot parse error: " + p.error;
+    return false;
+  }
+  if (!seen_label || !seen_period || !seen_samples || !seen_series) {
+    why = "snapshot is missing a required field";
+    return false;
+  }
+  // Accounting must be self-consistent: retained points never exceed the
+  // ticks taken, and dropped never exceeds samples.
+  if (snap.dropped > snap.samples) {
+    why = "snapshot drops more samples than it took";
+    return false;
+  }
+  for (const TelemetrySnapshot::Series& s : snap.series) {
+    if (s.points.size() > snap.samples - snap.dropped) {
+      why = "series \"" + s.name + "\" has more points than retained samples";
+      return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace
+
+Expected<std::vector<TelemetrySnapshot>> parse_telemetry_json(
+    std::string_view doc) {
+  Parser p{doc, 0, {}};
+  if (!p.expect('{')) return invalid("document is not a JSON object");
+
+  bool seen_schema = false;
+  bool seen_figure = false;
+  bool seen_snapshots = false;
+  std::vector<TelemetrySnapshot> out;
+
+  if (!p.consume('}')) {
+    do {
+      const std::string key = p.parse_string();
+      if (p.failed()) break;
+      if (!p.expect(':')) break;
+      if (key == "schema") {
+        const std::string value = p.parse_string();
+        if (value != kTelemetrySchema) {
+          return invalid("schema is \"" + value + "\", expected \"" +
+                         std::string{kTelemetrySchema} + "\"");
+        }
+        seen_schema = true;
+      } else if (key == "figure") {
+        if (p.parse_string().empty()) return invalid("figure name is empty");
+        seen_figure = true;
+      } else if (key == "snapshots") {
+        if (!p.expect('[')) return invalid("snapshots is not an array");
+        if (!p.consume(']')) {
+          do {
+            TelemetrySnapshot snap;
+            std::string why;
+            if (!parse_snapshot(p, snap, why)) return invalid(std::move(why));
+            out.push_back(std::move(snap));
+          } while (p.consume(','));
+          if (!p.expect(']')) return invalid("snapshots array is malformed");
+        }
+        seen_snapshots = true;
+      } else {
+        p.skip_value();
+      }
+      if (p.failed()) break;
+    } while (p.consume(','));
+    if (!p.failed()) p.expect('}');
+  }
+  if (p.failed()) return invalid("parse error: " + p.error);
+  p.skip_ws();
+  if (p.pos != doc.size()) return invalid("trailing data after document");
+
+  if (!seen_schema) return invalid("missing \"schema\"");
+  if (!seen_figure) return invalid("missing \"figure\"");
+  if (!seen_snapshots) return invalid("missing \"snapshots\"");
+  return out;
+}
+
+Status validate_telemetry_json(std::string_view doc) {
+  return parse_telemetry_json(doc).status();
+}
+
+}  // namespace efac::metrics

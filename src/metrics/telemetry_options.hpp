@@ -1,0 +1,43 @@
+// Configuration for the virtual-time telemetry sampler.
+//
+// Kept in its own tiny header (mirroring trace/options.hpp) so StoreConfig
+// can embed it without pulling the sampler implementation into every
+// translation unit that sizes a store.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "common/types.hpp"
+
+namespace efac::metrics {
+
+/// Options for the per-store telemetry sampler (see metrics/telemetry.hpp
+/// and docs/OBSERVABILITY.md). Disabled by default: no sampler object is
+/// created, no simulator event is registered, and schedules stay
+/// bit-identical to a build without the subsystem.
+struct TelemetryOptions {
+  /// Master switch. When false the store keeps a null sampler pointer and
+  /// every probe site reduces to one branch.
+  bool enabled = false;
+
+  /// Virtual time between samples. The default (2 µs) gives a few hundred
+  /// points across a typical bench measurement window.
+  SimDuration period_ns = 2 * timeconst::kMicrosecond;
+
+  /// Ring capacity per series: only the most recent `capacity` samples are
+  /// retained; older points are dropped and accounted in `dropped`.
+  std::size_t capacity = 4096;
+
+  /// Prefix applied to every series name (sharded clusters use "s<i>/" so
+  /// per-shard timelines stay distinguishable after aggregation).
+  std::string series_prefix;
+
+  /// Declarative SLO watchdog rules evaluated after every sample; see
+  /// SloRule::parse for the grammar. Invalid rules fail sampler
+  /// construction loudly rather than silently not firing.
+  std::vector<std::string> slo_rules;
+};
+
+}  // namespace efac::metrics

@@ -17,6 +17,7 @@
 #include "fault/fault.hpp"
 #include "kv/erda_table.hpp"
 #include "kv/hash_dir.hpp"
+#include "metrics/telemetry_options.hpp"
 #include "nvm/arena.hpp"
 #include "rdma/fabric.hpp"
 #include "trace/options.hpp"
@@ -104,6 +105,9 @@ struct StoreConfig {
   /// Flight recorder (default: disabled = no event log; every emission
   /// site reduces to one pointer test and the schedule is untouched).
   trace::TraceOptions trace;
+  /// Telemetry sampler + SLO watchdog (default: disabled = no sampler, no
+  /// periodic event; every probe site reduces to one pointer test).
+  metrics::TelemetryOptions telemetry;
   std::uint64_t seed = 0xEFAC;
 
   [[nodiscard]] SimDuration recv_cost() const noexcept {

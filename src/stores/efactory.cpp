@@ -26,6 +26,21 @@ EFactoryStore::EFactoryStore(sim::Simulator& sim, StoreConfig config)
       dir_(*arena_, 0, config_.hash_buckets) {
   verifier_rec_.attach(trace_log_.get(), "verifier");
   cleaner_rec_.attach(trace_log_.get(), "cleaner");
+  // Load-bearing queue depths for the telemetry sampler: these are the
+  // series the paper's dynamics arguments (verifier drain vs. ack latency,
+  // cleaner interference) are about. Probes only read state — no verbs, no
+  // persistence — so the persist-before-ack contracts are untouched.
+  if (telemetry() != nullptr) {
+    telemetry()->add_gauge_probe(this, "server.verify_queue_depth", [this] {
+      return static_cast<double>(verify_queue_.size());
+    });
+    telemetry()->add_gauge_probe(this, "server.cleaner_backlog", [this] {
+      return static_cast<double>(clean_backlog_);
+    });
+    telemetry()->add_gauge_probe(this, "server.pool_fill", [this] {
+      return working_pool().fill_fraction();
+    });
+  }
 }
 
 std::unique_ptr<KvClient> EFactoryStore::make_client(ClientOptions options) {
@@ -566,8 +581,11 @@ sim::Task<void> EFactoryStore::cleaning_task() {
   compress_start_ = sim_.now();
   shadow_pool().reset();
 
+  // Candidate backlog for the telemetry gauge: slots this stage has left.
+  clean_backlog_ = dir_.bucket_count();
   for (std::size_t slot = 0; slot < dir_.bucket_count(); ++slot) {
     if (epoch != epoch_) co_return;
+    --clean_backlog_;
     kv::HashDir::Entry entry = dir_.read(slot);
     if (entry.empty()) continue;
     const MemOffset head = working_of(entry);
@@ -586,8 +604,10 @@ sim::Task<void> EFactoryStore::cleaning_task() {
   stage_ = CleanStage::kMerge;
   cleaner_rec_.emit(trace::EventType::kGcSwitch,
                     static_cast<std::uint8_t>(CleanStage::kMerge));
+  clean_backlog_ = dir_.bucket_count();
   for (std::size_t slot = 0; slot < dir_.bucket_count(); ++slot) {
     if (epoch != epoch_) co_return;
+    --clean_backlog_;
     kv::HashDir::Entry entry = dir_.read(slot);
     if (entry.empty()) continue;
     const MemOffset old_head = working_of(entry);
@@ -629,8 +649,10 @@ sim::Task<void> EFactoryStore::cleaning_task() {
   }
 
   // ---- Finish: flip the mark bit, retire the old pool ----------------
+  clean_backlog_ = dir_.bucket_count();
   for (std::size_t slot = 0; slot < dir_.bucket_count(); ++slot) {
     if (epoch != epoch_) co_return;
+    --clean_backlog_;
     kv::HashDir::Entry entry = dir_.read(slot);
     if (entry.empty()) continue;
     MemOffset new_head = shadow_of(entry);
@@ -677,6 +699,7 @@ sim::Task<void> EFactoryStore::cleaning_task() {
   ++stats_.cleanings;
   stage_ = CleanStage::kIdle;
   clients_use_rpc_ = false;
+  clean_backlog_ = 0;
   cleaner_rec_.emit(trace::EventType::kGcSwitch,
                     static_cast<std::uint8_t>(CleanStage::kIdle));
 }
@@ -771,6 +794,7 @@ EFactoryStore::RecoveryReport EFactoryStore::recover() {
   pool_flip_ = false;
   stage_ = CleanStage::kIdle;
   clients_use_rpc_ = false;
+  clean_backlog_ = 0;
   verify_queue_.clear();
 
   for (Survivor& s : survivors) {

@@ -181,6 +181,10 @@ class EFactoryStore final : public StoreBase {
   CleanStage stage_ = CleanStage::kIdle;
   bool pool_flip_ = false;       ///< false: pool A is the working pool
   bool clients_use_rpc_ = false;
+  /// Remaining hash slots the current cleaning stage still has to walk
+  /// (0 when idle) — the cleaner candidate backlog the telemetry sampler
+  /// polls as "server.cleaner_backlog".
+  std::size_t clean_backlog_ = 0;
   SimTime compress_start_ = 0;
   /// Bumped by recover(): long-running actors (background verifier, log
   /// cleaner) from before a restart observe the mismatch at their next

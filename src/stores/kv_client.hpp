@@ -45,6 +45,7 @@
 #include "common/bytes.hpp"
 #include "common/status.hpp"
 #include "metrics/metrics.hpp"
+#include "metrics/telemetry.hpp"
 #include "metrics/trace.hpp"
 #include "sim/simulator.hpp"
 #include "sim/sync.hpp"
@@ -114,6 +115,7 @@ struct ClientOptions {
 struct ClusterWiring {
   analysis::Checker* checker = nullptr;  ///< conflict sanitizer (optional)
   trace::EventLog* trace_log = nullptr;  ///< flight recorder (optional)
+  metrics::TelemetrySampler* telemetry = nullptr;  ///< sampler (optional)
 };
 
 /// Snapshot of a client's operation counters (view over the registry).
@@ -139,7 +141,12 @@ struct ClientStats {
 
 class KvClient {
  public:
-  virtual ~KvClient() = default;
+  // Clients are destroyed before the store (and thus before the sampler)
+  // by every harness convention; withdrawing the probes here keeps the
+  // sampler from polling freed state in between.
+  virtual ~KvClient() {
+    if (telemetry_ != nullptr) telemetry_->drop_sources(this);
+  }
   KvClient(const KvClient&) = delete;
   KvClient& operator=(const KvClient&) = delete;
 
@@ -388,6 +395,33 @@ class KvClient {
   void attach(const ClusterWiring& wiring) {
     attach_checker(wiring.checker);
     attach_recorder(wiring.trace_log);
+    attach_telemetry(wiring.telemetry);
+  }
+
+  /// Register this client's load-bearing signals with the cluster's
+  /// telemetry sampler (no-op with a null sampler). Per-client counters
+  /// feed SHARED series ("client.retries" sums deltas over every attached
+  /// client), so cluster-level rates come out of one timeline; the
+  /// in-flight window occupancy is polled as a gauge.
+  void attach_telemetry(metrics::TelemetrySampler* telemetry) {
+    telemetry_ = telemetry;
+    if (telemetry_ == nullptr) return;
+    telemetry_->add_counter_source(this, "client.puts", stats_.puts);
+    telemetry_->add_counter_source(this, "client.gets", stats_.gets);
+    telemetry_->add_counter_source(this, "client.retries", stats_.retries);
+    telemetry_->add_counter_source(this, "client.giveups", stats_.giveups);
+    telemetry_->add_counter_source(this, "client.gets_rpc_path",
+                                   stats_.gets_rpc_path);
+    // Adaptive hybrid-read signals (get-or-create: zero series for
+    // non-adaptive clients, which keeps shard exports shape-stable).
+    for (const char* name :
+         {"read.adaptive.hedges", "read.adaptive.hedges_wasted",
+          "read.adaptive.spec_pairs", "read.adaptive.rpc_first"}) {
+      telemetry_->add_counter_source(this, name, metrics_.counter(name));
+    }
+    telemetry_->add_gauge_probe(this, "client.inflight", [this] {
+      return static_cast<double>(inflight_);
+    });
   }
 
   /// DEPRECATED: use attach(ClusterWiring) — kept as a shim for one
@@ -677,6 +711,9 @@ class KvClient {
   /// Subclass QPs/Connections borrow &recorder_ so their verb events carry
   /// this client's current op id.
   trace::Recorder recorder_;
+  /// Telemetry sampler this client's probes are registered with (null when
+  /// telemetry is off or the client was never attach()ed).
+  metrics::TelemetrySampler* telemetry_ = nullptr;
   /// Jitter stream for retry backoff (deterministic per client).
   Rng retry_rng_{options_.retry.seed};
 

@@ -70,6 +70,10 @@ StoreConfig shard_store_config(const ClusterConfig& config,
     std::string prefix = "s";
     prefix += std::to_string(shard);
     prefix += '/';
+    // Same "s<i>/" namespace for flight-recorder tracks and telemetry
+    // series, so per-shard imbalance stays visible after benches merge
+    // shard exports into one document.
+    store.telemetry.series_prefix = prefix;
     store.trace.actor_prefix = std::move(prefix);
   }
   if (shard < config.shard_fault_plans.size() &&

@@ -2,8 +2,11 @@
 
 #include <initializer_list>
 #include <ostream>
+#include <string>
 #include <string_view>
+#include <vector>
 
+#include "common/table.hpp"
 #include "stores/store_base.hpp"
 
 namespace efac::stores {
@@ -142,12 +145,42 @@ void print_qp_stats(std::ostream& os,
            {"COMMITs", "qp.commits"}});
 }
 
+void print_latency_stats(std::ostream& os,
+                         const metrics::MetricsRegistry& registry) {
+  // The quantile columns, in one place: adding a column here changes
+  // every histogram row (and nothing else).
+  struct Quantile {
+    const char* label;
+    double q;
+  };
+  static constexpr Quantile kQuantiles[] = {
+      {"p50", 0.5}, {"p95", 0.95}, {"p99", 0.99}};
+
+  bool any = false;
+  TextTable table{"latency quantiles (ns)"};
+  std::vector<std::string> header{"histogram", "count", "mean"};
+  for (const Quantile& q : kQuantiles) header.emplace_back(q.label);
+  table.set_header(std::move(header));
+  for (const auto& h : registry.histograms()) {
+    any = true;
+    std::vector<std::string> row{std::string{h.name},
+                                 std::to_string(h.cell.count()),
+                                 TextTable::num(h.cell.mean(), 1)};
+    for (const Quantile& q : kQuantiles) {
+      row.push_back(std::to_string(h.cell.percentile(q.q)));
+    }
+    table.add_row(std::move(row));
+  }
+  if (any) table.print(os);
+}
+
 void print_cluster_report(std::ostream& os,
                           const metrics::MetricsRegistry& registry) {
   print_server_stats(os, registry);
   print_client_stats(os, registry);
   print_arena_stats(os, registry);
   print_qp_stats(os, registry);
+  print_latency_stats(os, registry);
 }
 
 void print_cluster_report(std::ostream& os, const StoreBase& store,

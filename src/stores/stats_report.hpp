@@ -34,6 +34,13 @@ void print_arena_stats(std::ostream& os,
 void print_qp_stats(std::ostream& os,
                     const metrics::MetricsRegistry& registry);
 
+/// Quantile table over EVERY histogram in `registry`: one row per
+/// histogram, one column per entry of a fixed quantile table (p50, p95,
+/// p99) plus count and mean. Skipped entirely when the registry has no
+/// histograms, so counter-only reports are unchanged.
+void print_latency_stats(std::ostream& os,
+                         const metrics::MetricsRegistry& registry);
+
 /// One combined report over a single (typically merged) registry, e.g.
 /// workload::RunResult::metrics.
 void print_cluster_report(std::ostream& os,

@@ -25,6 +25,7 @@
 #include "kv/data_pool.hpp"
 #include "kv/object.hpp"
 #include "metrics/metrics.hpp"
+#include "metrics/telemetry.hpp"
 #include "metrics/trace.hpp"
 #include "nvm/arena.hpp"
 #include "rdma/fabric.hpp"
@@ -147,9 +148,16 @@ class StoreBase {
     return trace_log_.get();
   }
 
+  /// Telemetry sampler, or nullptr when config().telemetry.enabled is
+  /// false (same pattern again: disabled costs one pointer test per probe
+  /// site and registers no simulator event).
+  [[nodiscard]] metrics::TelemetrySampler* telemetry() noexcept {
+    return telemetry_.get();
+  }
+
   /// The cross-cutting subsystems a new client should be attach()ed to.
   [[nodiscard]] ClusterWiring wiring() noexcept {
-    return ClusterWiring{checker(), trace_log()};
+    return ClusterWiring{checker(), trace_log(), telemetry()};
   }
 
   /// Allocate a unique QP id for a new client connection.
@@ -223,6 +231,10 @@ class StoreBase {
   std::unique_ptr<trace::EventLog> trace_log_;
   trace::Recorder server_rec_;
   trace::Recorder fault_rec_;
+  // telemetry_ must follow metrics_ (its accounting counters live there)
+  // and trace_log_ (the violation hook emits through telemetry_rec_).
+  std::unique_ptr<metrics::TelemetrySampler> telemetry_;
+  trace::Recorder telemetry_rec_;
   std::unique_ptr<nvm::Arena> arena_;
   rdma::Fabric fabric_;
   std::unique_ptr<rdma::Node> node_;

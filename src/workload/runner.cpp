@@ -293,6 +293,7 @@ stores::StoreConfig sized_store_config(const RunOptions& options,
   const WorkloadConfig& w = options.workload;
   stores::StoreConfig config;
   config.seed = w.seed;
+  config.telemetry = options.telemetry;
 
   const std::size_t object_bytes =
       kv::ObjectLayout::total_size(w.key_len, w.value_len);

@@ -16,6 +16,7 @@
 
 #include "common/histogram.hpp"
 #include "metrics/metrics.hpp"
+#include "metrics/telemetry_options.hpp"
 #include "sim/simulator.hpp"
 #include "stores/factory.hpp"
 #include "stores/sharding.hpp"
@@ -43,6 +44,10 @@ struct RunOptions {
   /// parallel plumbing path. The default keeps runs bit-identical to the
   /// pre-template harness.
   stores::ClientOptions client;
+  /// Virtual-time telemetry sampler configuration, copied verbatim into
+  /// the store config by sized_store_config(). Disabled (the default)
+  /// adds no simulator events and keeps runs bit-identical.
+  metrics::TelemetryOptions telemetry;
 };
 
 struct RunResult {

@@ -87,6 +87,89 @@ TEST(MetricsRegistry, MergeFromWithPrefixNamespacesEverything) {
   EXPECT_EQ(sink.find_histogram("put/Erda/4KB/span.put.total")->count(), 1u);
 }
 
+TEST(MetricsRegistry, MergeFromPrefixCollisionAddsIntoExistingCell) {
+  // A prefixed merge that lands on a name the sink already has must fold
+  // into the existing cell (and keep outstanding handles valid), not
+  // create a shadow instrument.
+  MetricsRegistry sink;
+  Counter& existing = sink.counter("s0/client.puts");
+  existing += 10;
+  Histogram& existing_hist = sink.histogram("s0/span.put.total");
+  existing_hist.record(100);
+
+  MetricsRegistry shard;
+  shard.counter("client.puts") += 5;
+  shard.histogram("span.put.total").record(300);
+  sink.merge_from(shard, "s0/");
+
+  EXPECT_EQ(existing.value(), 15u);
+  EXPECT_EQ(&sink.counter("s0/client.puts"), &existing);
+  EXPECT_EQ(existing_hist.count(), 2u);
+  EXPECT_EQ(existing_hist.sum(), 400u);
+
+  // And the reverse collision: a sink name that LOOKS prefixed does not
+  // leak into an unprefixed merge of the same source.
+  sink.merge_from(shard);
+  EXPECT_EQ(sink.find_counter("client.puts")->value(), 5u);
+  EXPECT_EQ(existing.value(), 15u);
+}
+
+TEST(MetricsRegistry, MergeFromGaugeOverwriteIsLastWriterWins) {
+  // Gauges overwrite on merge: merge order decides the surviving value,
+  // and a re-merge of an updated source replaces, never accumulates.
+  MetricsRegistry sink;
+  MetricsRegistry first;
+  MetricsRegistry second;
+  first.gauge("pool.fill").set(0.25);
+  second.gauge("pool.fill").set(0.75);
+
+  sink.merge_from(first);
+  sink.merge_from(second);
+  EXPECT_DOUBLE_EQ(sink.find_gauge("pool.fill")->value(), 0.75);
+
+  sink.merge_from(first);  // stale value merged later still overwrites
+  EXPECT_DOUBLE_EQ(sink.find_gauge("pool.fill")->value(), 0.25);
+
+  second.gauge("pool.fill").set(0.5);
+  sink.merge_from(second);
+  EXPECT_DOUBLE_EQ(sink.find_gauge("pool.fill")->value(), 0.5);
+}
+
+TEST(MetricsRegistry, MergeFromHistogramsMergeBucketWise) {
+  // Merging two histograms must be indistinguishable from recording every
+  // sample into one histogram directly: counts, sum, min/max, and every
+  // quantile — pinned against the hand-built reference.
+  static constexpr std::uint64_t kLeft[] = {3, 17, 190, 4096, 70000};
+  static constexpr std::uint64_t kRight[] = {1, 17, 250, 1 << 20, 9};
+
+  MetricsRegistry a;
+  MetricsRegistry b;
+  MetricsRegistry reference;
+  Histogram& ref = reference.histogram("lat");
+  for (const std::uint64_t v : kLeft) {
+    a.histogram("lat").record(v);
+    ref.record(v);
+  }
+  for (const std::uint64_t v : kRight) {
+    b.histogram("lat").record(v);
+    ref.record(v);
+  }
+
+  a.merge_from(b);
+  const Histogram* merged = a.find_histogram("lat");
+  ASSERT_NE(merged, nullptr);
+  EXPECT_EQ(merged->count(), ref.count());
+  EXPECT_EQ(merged->sum(), ref.sum());
+  EXPECT_EQ(merged->min(), ref.min());
+  EXPECT_EQ(merged->max(), ref.max());
+  for (const double q : {0.0, 0.1, 0.25, 0.5, 0.9, 0.95, 0.99, 1.0}) {
+    EXPECT_EQ(merged->percentile(q), ref.percentile(q)) << "q=" << q;
+  }
+  // The low samples land in exact linear buckets, so the median is exact.
+  EXPECT_EQ(merged->count(), 10u);
+  EXPECT_EQ(merged->min(), 1u);
+}
+
 TEST(MetricsRegistry, ResetZeroesButKeepsHandles) {
   MetricsRegistry registry;
   Counter& c = registry.counter("c");
@@ -212,7 +295,8 @@ constexpr std::string_view kGoldenDoc = R"({
   "histograms": {
     "get/Erda/4KB/span.get.total": {"count": 2, "sum": 4000, "min": 1000,
                                     "max": 3000, "mean": 2000.0,
-                                    "p50": 1000, "p90": 3000, "p99": 3000}
+                                    "p50": 1000, "p90": 3000, "p95": 3000,
+                                    "p99": 3000}
   }
 })";
 
